@@ -1,0 +1,259 @@
+//! Dataset analysis — the statistics of Table 2 of the paper (§2).
+//!
+//! These functions are *offline* diagnostics (the compressor never calls
+//! them); the `table2_analysis` harness uses them to characterize the
+//! synthetic datasets the same way the paper characterizes the real ones:
+//! decimal precision, per-vector similarity, IEEE exponent variance, success
+//! of the naive `P_enc`/`P_dec` procedures, and XOR leading/trailing zeros.
+
+use std::collections::HashSet;
+
+use fastlanes::VECTOR_SIZE;
+
+/// Number of visible decimal places of a double — the digits after the point
+/// in its shortest round-trip decimal representation (what a user "sees").
+pub fn decimal_precision(v: f64) -> u32 {
+    if !v.is_finite() {
+        return 0;
+    }
+    let s = format!("{v}");
+    match s.find('.') {
+        Some(dot) => (s.len() - dot - 1) as u32,
+        None => 0,
+    }
+}
+
+/// Naive `P_enc` of §2.5: `round(n * 10^e)` in plain double arithmetic,
+/// without ALP's factor. Returns `None` when the scaled value leaves the
+/// exactly-representable integer range.
+pub fn p_enc(n: f64, e: u32) -> Option<i64> {
+    if e > 22 {
+        return None;
+    }
+    let scaled = n * 10f64.powi(e as i32);
+    if !scaled.is_finite() || scaled.abs() >= 9.007_199_254_740_992e15 {
+        return None;
+    }
+    Some(scaled.round() as i64)
+}
+
+/// Naive `P_dec` of §2.5: `d * 10^-e`.
+pub fn p_dec(d: i64, e: u32) -> f64 {
+    (d as f64) * 10f64.powi(-(e as i32))
+}
+
+/// Whether `P_enc`/`P_dec` with exponent `e` losslessly round-trips `n`.
+pub fn penc_roundtrips(n: f64, e: u32) -> bool {
+    match p_enc(n, e) {
+        Some(d) => p_dec(d, e).to_bits() == n.to_bits(),
+        None => false,
+    }
+}
+
+/// Basic distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Maximum observed value.
+    pub max: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Summarizes an iterator of f64 observations.
+pub fn summarize(values: impl Iterator<Item = f64> + Clone) -> Summary {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    let mut min = f64::INFINITY;
+    for v in values.clone() {
+        n += 1;
+        sum += v;
+        max = max.max(v);
+        min = min.min(v);
+    }
+    if n == 0 {
+        return Summary::default();
+    }
+    let mean = sum / n as f64;
+    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    Summary { max, min, mean, std_dev: var.sqrt() }
+}
+
+/// The Table 2 row computed for one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetMetrics {
+    /// C2–C5: decimal precision max / min / avg / (per-vector) std-dev.
+    pub precision: Summary,
+    /// C6: fraction of values per vector that repeat an earlier in-vector value.
+    pub non_unique_fraction: f64,
+    /// C7–C8: mean and std-dev of the values themselves.
+    pub magnitude: Summary,
+    /// C9–C10: mean of per-vector IEEE-754 exponent averages, and the mean
+    /// per-vector exponent std-dev.
+    pub ieee_exponent_mean: f64,
+    pub ieee_exponent_std: f64,
+    /// C11: `P_enc` success rate using each value's own visible precision.
+    pub penc_per_value: f64,
+    /// C12: best single dataset-wide exponent and its success rate.
+    pub penc_best_exponent: u32,
+    pub penc_per_dataset: f64,
+    /// C13: success rate when choosing the best exponent per vector.
+    pub penc_per_vector: f64,
+    /// C14–C15: average leading / trailing zero bits of XOR with the
+    /// previous value.
+    pub xor_leading_zeros: f64,
+    pub xor_trailing_zeros: f64,
+}
+
+/// Computes the full Table 2 row for `data`.
+pub fn dataset_metrics(data: &[f64]) -> DatasetMetrics {
+    if data.is_empty() {
+        return DatasetMetrics::default();
+    }
+    let precisions: Vec<u32> = data.iter().map(|&v| decimal_precision(v)).collect();
+
+    // Per-vector aggregates.
+    let mut non_unique = 0usize;
+    let mut exp_means = Vec::new();
+    let mut exp_stds = Vec::new();
+    let mut prec_stds = Vec::new();
+    let mut per_vector_success = 0usize;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for (chunk, prec_chunk) in data.chunks(VECTOR_SIZE).zip(precisions.chunks(VECTOR_SIZE)) {
+        seen.clear();
+        for &v in chunk {
+            if !seen.insert(v.to_bits()) {
+                non_unique += 1;
+            }
+        }
+        let exps = chunk.iter().map(|v| ((v.to_bits() >> 52) & 0x7FF) as f64);
+        let s = summarize(exps);
+        exp_means.push(s.mean);
+        exp_stds.push(s.std_dev);
+        prec_stds.push(summarize(prec_chunk.iter().map(|&p| p as f64)).std_dev);
+
+        // C13: best exponent for this vector.
+        let best = (0..=22u32)
+            .map(|e| chunk.iter().filter(|&&v| penc_roundtrips(v, e)).count())
+            .max()
+            .unwrap_or(0);
+        per_vector_success += best;
+    }
+
+    // C11: per-value visible precision as the exponent.
+    let penc_per_value = data
+        .iter()
+        .zip(&precisions)
+        .filter(|&(&v, &p)| penc_roundtrips(v, p))
+        .count() as f64
+        / data.len() as f64;
+
+    // C12: best single exponent for the whole dataset.
+    let (best_e, best_count) = (0..=22u32)
+        .map(|e| (e, data.iter().filter(|&&v| penc_roundtrips(v, e)).count()))
+        .max_by_key(|&(_, c)| c)
+        .unwrap_or((0, 0));
+
+    // C14–C15: XOR with previous value.
+    let mut lz_sum = 0u64;
+    let mut tz_sum = 0u64;
+    for w in data.windows(2) {
+        let x = w[0].to_bits() ^ w[1].to_bits();
+        lz_sum += x.leading_zeros() as u64;
+        tz_sum += x.trailing_zeros() as u64;
+    }
+    let pairs = (data.len() - 1).max(1) as f64;
+
+    let prec_summary = summarize(precisions.iter().map(|&p| p as f64));
+    DatasetMetrics {
+        precision: Summary {
+            max: prec_summary.max,
+            min: prec_summary.min,
+            mean: prec_summary.mean,
+            // C5 is the *within-vector* std-dev averaged over vectors.
+            std_dev: summarize(prec_stds.iter().copied()).mean,
+        },
+        non_unique_fraction: non_unique as f64 / data.len() as f64,
+        magnitude: summarize(data.iter().copied()),
+        ieee_exponent_mean: summarize(exp_means.iter().copied()).mean,
+        ieee_exponent_std: summarize(exp_stds.iter().copied()).mean,
+        penc_per_value,
+        penc_best_exponent: best_e,
+        penc_per_dataset: best_count as f64 / data.len() as f64,
+        penc_per_vector: per_vector_success as f64 / data.len() as f64,
+        xor_leading_zeros: lz_sum as f64 / pairs,
+        xor_trailing_zeros: tz_sum as f64 / pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_precision_of_common_values() {
+        assert_eq!(decimal_precision(1.0), 0);
+        assert_eq!(decimal_precision(0.5), 1);
+        assert_eq!(decimal_precision(8.0605), 4);
+        assert_eq!(decimal_precision(-3.25), 2);
+        assert_eq!(decimal_precision(100.0), 0);
+        assert_eq!(decimal_precision(f64::NAN), 0);
+        assert_eq!(decimal_precision(1e-7), 7);
+    }
+
+    #[test]
+    fn penc_fails_at_visible_precision_for_hard_decimals() {
+        // The paper's §2.5 example: 8.0605 with e = 4 does not round-trip.
+        assert!(!penc_roundtrips(8.0605, 4));
+        // But a high exponent succeeds.
+        assert!(penc_roundtrips(8.0605, 14));
+    }
+
+    #[test]
+    fn penc_rejects_out_of_range_scaling() {
+        assert_eq!(p_enc(1e10, 14), None); // 1e24 overflows the 2^53 bound
+        assert!(p_enc(1.5, 2).is_some());
+    }
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize([1.0, 2.0, 3.0, 4.0].into_iter());
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert!((s.std_dev - 1.118_033_988_749_895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_on_decimal_dataset() {
+        let data: Vec<f64> = (0..4096).map(|i| (i % 100) as f64 / 100.0).collect();
+        let m = dataset_metrics(&data);
+        assert!(m.precision.max <= 2.0);
+        assert!(m.penc_per_dataset > 0.99, "{}", m.penc_per_dataset);
+        assert!(m.penc_per_vector >= m.penc_per_dataset - 1e-9);
+        assert!(m.non_unique_fraction > 0.9);
+    }
+
+    #[test]
+    fn metrics_on_real_doubles() {
+        let data: Vec<f64> = (0..4096).map(|i| ((i as f64) * 0.777).sin()).collect();
+        let m = dataset_metrics(&data);
+        // Full-precision values: high visible precision, low P_enc success.
+        assert!(m.precision.mean > 14.0, "{}", m.precision.mean);
+        assert!(m.penc_per_dataset < 0.5, "{}", m.penc_per_dataset);
+    }
+
+    #[test]
+    fn per_vector_success_is_at_least_per_dataset() {
+        // Mixing two precisions: a per-vector exponent adapts, a global one
+        // cannot.
+        let mut data: Vec<f64> = (0..1024).map(|i| i as f64 / 10.0).collect();
+        data.extend((0..1024).map(|i| i as f64 / 100_000.0));
+        let m = dataset_metrics(&data);
+        assert!(m.penc_per_vector + 1e-9 >= m.penc_per_dataset);
+    }
+}

@@ -1,0 +1,225 @@
+//! ALP decompression (Algorithm 2): unFFOR + `ALP_dec` multiplication + patch.
+//!
+//! Three variants of the hot loop exist on purpose:
+//!
+//! * [`decode_vector`] — the production path: bit-unpack, add the FOR base and
+//!   multiply back to floats **in a single fused kernel**, then patch
+//!   exceptions. This is the "FFOR+ALP fused" configuration of Figure 5.
+//! * [`decode_vector_unfused`] — identical math split into two kernels with a
+//!   materialized intermediate integer vector (the Figure 5 baseline).
+//! * [`decode_vector_scalar`] — a deliberately value-at-a-time, branchy
+//!   implementation (runtime-width bit extraction, per-value exception test)
+//!   standing in for the paper's "Scalar (vectorization disabled)"
+//!   configuration of Figure 4.
+
+use fastlanes::dispatch::{width_mask, with_width, WidthKernel};
+use fastlanes::{ffor, VECTOR_SIZE};
+
+use crate::encode::AlpVector;
+use crate::traits::AlpFloat;
+
+/// Decodes `v` into `out[..v.len]` using the fused kernel. Returns the number
+/// of live values written.
+pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
+    assert!(out.len() >= VECTOR_SIZE);
+    let mul_f = F::f10(v.factor);
+    let mul_e = F::if10(v.exponent);
+    with_width(
+        v.bit_width as usize,
+        FusedDecode { packed: &v.packed, base: v.for_base, mul_f, mul_e, out },
+    );
+    patch_exceptions(v, out);
+    v.len as usize
+}
+
+/// Unfused decode: unFFOR into an integer scratch vector, then a separate
+/// multiply loop. Exists for the Figure 5 kernel-fusion ablation.
+#[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+pub fn decode_vector_unfused<F: AlpFloat>(v: &AlpVector, scratch: &mut [i64], out: &mut [F]) -> usize {
+    assert!(scratch.len() >= VECTOR_SIZE && out.len() >= VECTOR_SIZE);
+    ffor::ffor_unpack(&v.packed, v.for_base, v.bit_width as usize, &mut scratch[..VECTOR_SIZE]);
+    let mul_f = F::f10(v.factor);
+    let mul_e = F::if10(v.exponent);
+    for i in 0..VECTOR_SIZE {
+        out[i] = F::from_i64(scratch[i]) * mul_f * mul_e;
+    }
+    patch_exceptions(v, out);
+    v.len as usize
+}
+
+/// Deliberately scalar decode: value-at-a-time with runtime-width bit
+/// arithmetic and a per-value exception branch. Proxy for the paper's
+/// vectorization-disabled builds (Figure 4).
+#[allow(clippy::needless_range_loop)] // value-at-a-time is the point here
+pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
+    assert!(out.len() >= VECTOR_SIZE);
+    let w = v.bit_width as usize;
+    let mul_f = F::f10(v.factor);
+    let mul_e = F::if10(v.exponent);
+    let mask = if w == 64 {
+        u64::MAX
+    } else if w == 0 {
+        0
+    } else {
+        (1u64 << w) - 1
+    };
+    let mut exc_idx = 0usize;
+    for i in 0..v.len as usize {
+        // Per-value adaptivity emulation: check the exception side first, as a
+        // per-value codec (Chimp-style flag dispatch) would.
+        if exc_idx < v.exc_positions.len() && v.exc_positions[exc_idx] as usize == i {
+            out[i] = F::from_bits_u64(v.exc_values[exc_idx]);
+            exc_idx += 1;
+            continue;
+        }
+        let raw = if w == 0 {
+            0
+        } else {
+            let bit = i * w;
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            let lo = v.packed[word] >> off;
+            let hi = (v.packed[word + 1] << 1) << (63 - off);
+            (lo | hi) & mask
+        };
+        let d = raw.wrapping_add(v.for_base as u64) as i64;
+        out[i] = F::from_i64(d) * mul_f * mul_e;
+    }
+    v.len as usize
+}
+
+/// Overwrites exception positions with their stored raw values (the PATCH step
+/// of Algorithm 2).
+#[inline]
+pub fn patch_exceptions<F: AlpFloat>(v: &AlpVector, out: &mut [F]) {
+    for (&p, &bits) in v.exc_positions.iter().zip(&v.exc_values) {
+        out[p as usize] = F::from_bits_u64(bits);
+    }
+}
+
+struct FusedDecode<'a, F: AlpFloat> {
+    packed: &'a [u64],
+    base: i64,
+    mul_f: F,
+    mul_e: F,
+    out: &'a mut [F],
+}
+
+impl<F: AlpFloat> WidthKernel for FusedDecode<'_, F> {
+    type Out = ();
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+    fn run<const W: usize>(self) {
+        let Self { packed, base, mul_f, mul_e, out } = self;
+        let base_u = base as u64;
+        if W == 0 {
+            let val = F::from_i64(base) * mul_f * mul_e;
+            out[..VECTOR_SIZE].fill(val);
+            return;
+        }
+        if W == 64 {
+            for i in 0..VECTOR_SIZE {
+                let d = packed[i].wrapping_add(base_u) as i64;
+                out[i] = F::from_i64(d) * mul_f * mul_e;
+            }
+            return;
+        }
+        let mask = width_mask::<W>();
+        // Same 16x64 block structure as the fastlanes kernels. Fusion happens
+        // at the cache-block level: the 64 unpacked integers stay in a local
+        // buffer (registers / L1) instead of a materialized 1024-value vector,
+        // and each mini-loop is a clean single-domain pattern the compiler
+        // auto-vectorizes (mixing the shift network and the int→float multiply
+        // in one loop defeats the vectorizer).
+        for block in 0..VECTOR_SIZE / 64 {
+            let words = &packed[block * W..block * W + W + 1];
+            let out_block = &mut out[block * 64..block * 64 + 64];
+            let mut tmp = [0i64; 64];
+            for j in 0..64 {
+                let bit = j * W;
+                let word = bit >> 6;
+                let off = (bit & 63) as u32;
+                let lo = words[word] >> off;
+                let hi = (words[word + 1] << 1) << (63 - off);
+                tmp[j] = ((lo | hi) & mask).wrapping_add(base_u) as i64;
+            }
+            for j in 0..64 {
+                out_block[j] = F::from_i64(tmp[j]) * mul_f * mul_e;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_vector;
+
+    fn roundtrip_all_variants(input: &[f64], e: u8, f: u8) {
+        let v = encode_vector(input, e, f);
+        let mut fused = vec![0.0f64; VECTOR_SIZE];
+        let mut unfused = vec![0.0f64; VECTOR_SIZE];
+        let mut scalar = vec![0.0f64; VECTOR_SIZE];
+        let mut scratch = vec![0i64; VECTOR_SIZE];
+        let n1 = decode_vector(&v, &mut fused);
+        let n2 = decode_vector_unfused(&v, &mut scratch, &mut unfused);
+        let n3 = decode_vector_scalar(&v, &mut scalar);
+        assert_eq!(n1, input.len());
+        assert_eq!(n2, input.len());
+        assert_eq!(n3, input.len());
+        for i in 0..input.len() {
+            assert_eq!(fused[i].to_bits(), input[i].to_bits(), "fused idx {i}");
+            assert_eq!(unfused[i].to_bits(), input[i].to_bits(), "unfused idx {i}");
+            assert_eq!(scalar[i].to_bits(), input[i].to_bits(), "scalar idx {i}");
+        }
+    }
+
+    #[test]
+    fn decimal_vector_roundtrips() {
+        let input: Vec<f64> = (0..1024).map(|i| (i as f64) * 0.05 - 20.0).collect();
+        roundtrip_all_variants(&input, 14, 12);
+    }
+
+    #[test]
+    fn vector_with_exceptions_roundtrips() {
+        let mut input: Vec<f64> = (0..1024).map(|i| (i as f64) * 0.25).collect();
+        input[17] = f64::NAN;
+        input[512] = std::f64::consts::PI; // full-precision, not a decimal
+        input[1023] = f64::INFINITY;
+        roundtrip_all_variants(&input, 14, 12);
+    }
+
+    #[test]
+    fn short_vector_roundtrips() {
+        let input = vec![9.75f64, -3.25, 0.5];
+        roundtrip_all_variants(&input, 14, 12);
+    }
+
+    #[test]
+    fn all_exceptions_roundtrip() {
+        let input: Vec<f64> = (0..100).map(|i| (i as f64).sqrt().sin()).collect();
+        roundtrip_all_variants(&input, 0, 0);
+    }
+
+    #[test]
+    fn f32_roundtrip_through_vector_path() {
+        let input: Vec<f32> = (0..1024).map(|i| (i as f32) * 0.5 - 100.0).collect();
+        let v = encode_vector(&input, 5, 2);
+        let mut out = vec![0.0f32; VECTOR_SIZE];
+        decode_vector(&v, &mut out);
+        for i in 0..input.len() {
+            assert_eq!(out[i].to_bits(), input[i].to_bits(), "idx {i}");
+        }
+    }
+
+    #[test]
+    fn negative_and_mixed_magnitudes() {
+        let input: Vec<f64> = (0..1024)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (i as f64) * 1000.5
+            })
+            .collect();
+        roundtrip_all_variants(&input, 14, 13);
+    }
+}

@@ -1,0 +1,265 @@
+//! The `ALP_enc` / `ALP_dec` procedures (Formulas 1 and 2 of the paper) and
+//! the per-vector encoder of Algorithm 1.
+//!
+//! A vector is encoded with a single (exponent `e`, factor `f`) pair:
+//!
+//! ```text
+//! ALP_enc(n) = fast_round(n * 10^e * 10^-f)      // yields integer d
+//! ALP_dec(d) = d * 10^f * 10^-e
+//! ```
+//!
+//! Values for which `ALP_dec(ALP_enc(n))` is not bitwise-identical to `n`
+//! become *exceptions*: they are stored verbatim and their slot in the encoded
+//! integer vector is patched with the first successfully-encoded value so the
+//! bit width of the packed vector is unaffected. The encoded integers then go
+//! through FFOR (frame-of-reference + bit-packing, fused).
+
+use fastlanes::ffor;
+use fastlanes::VECTOR_SIZE;
+
+use crate::traits::AlpFloat;
+
+/// Rounds to the nearest integer using the add/subtract "sweet spot" trick
+/// (§3.1 *Fast Rounding*): exact for |x| < 2^51 (f64) / 2^22 (f32); outside
+/// that range the result is wrong, which the encoder detects via the decode
+/// verification and turns into an exception.
+#[inline(always)]
+pub fn fast_round<F: AlpFloat>(x: F) -> i64 {
+    ((x + F::SWEET) - F::SWEET).to_i64_cast()
+}
+
+/// `ALP_enc`: encodes one value with exponent `e` and factor `f`.
+#[inline(always)]
+pub fn encode_one<F: AlpFloat>(n: F, e: u8, f: u8) -> i64 {
+    fast_round(n * F::f10(e) * F::if10(f))
+}
+
+/// `ALP_dec`: decodes one integer back to the float domain.
+#[inline(always)]
+pub fn decode_one<F: AlpFloat>(d: i64, e: u8, f: u8) -> F {
+    F::from_i64(d) * F::f10(f) * F::if10(e)
+}
+
+/// One ALP-encoded vector of up to 1024 values (§3.1).
+///
+/// `packed` stores the FFOR'd integers; exceptions live in the parallel
+/// `exc_positions` / `exc_values` arrays (positions are `u16`, values raw bit
+/// patterns — 80 bits of overhead per exception for doubles, as in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlpVector {
+    /// Exponent `e` shared by the whole vector.
+    pub exponent: u8,
+    /// Factor `f` shared by the whole vector.
+    pub factor: u8,
+    /// Bits per packed residual.
+    pub bit_width: u8,
+    /// Frame-of-reference base subtracted before packing.
+    pub for_base: i64,
+    /// Bit-packed residuals, `fastlanes::packed_len(bit_width)` words.
+    pub packed: Vec<u64>,
+    /// Positions (within the vector) of values stored as exceptions.
+    pub exc_positions: Vec<u16>,
+    /// Raw bit patterns of the exception values (zero-extended to 64 bits).
+    pub exc_values: Vec<u64>,
+    /// Number of live values in this vector (`<= 1024`; only the last vector
+    /// of a column may be short).
+    pub len: u16,
+}
+
+impl AlpVector {
+    /// Exact compressed size in bits, counting everything a serialized format
+    /// must store: parameters, base, packed payload, and exceptions.
+    pub fn compressed_bits<F: AlpFloat>(&self) -> usize {
+        // e + f + bit_width (u8 each) + base (64) + exception count (16)
+        let header = 8 + 8 + 8 + 64 + 16;
+        let payload = self.bit_width as usize * VECTOR_SIZE;
+        let exceptions = self.exc_positions.len() * (16 + F::BITS as usize);
+        header + payload + exceptions
+    }
+
+    /// Number of exceptions in this vector.
+    pub fn exception_count(&self) -> usize {
+        self.exc_positions.len()
+    }
+}
+
+/// Encodes one vector (Algorithm 1) with the given `(e, f)` combination.
+///
+/// `input.len()` must be `1..=1024`. Shorter inputs are padded internally with
+/// the patch value so the packed payload is always a full 1024-value vector.
+pub fn encode_vector<F: AlpFloat>(input: &[F], e: u8, f: u8) -> AlpVector {
+    let len = input.len();
+    assert!(len > 0 && len <= VECTOR_SIZE, "vector length {len} out of range");
+
+    let mut encoded = [0i64; VECTOR_SIZE];
+    // Main encode loop — branch-free, auto-vectorizable.
+    for i in 0..len {
+        encoded[i] = encode_one(input[i], e, f);
+    }
+
+    // Exception detection, predicated as in Algorithm 1 (no if-then-else on
+    // the value path).
+    let mut exc_positions_buf = [0u16; VECTOR_SIZE];
+    let mut exc_count = 0usize;
+    for i in 0..len {
+        let dec: F = decode_one(encoded[i], e, f);
+        let neq = dec.to_bits_u64() != input[i].to_bits_u64();
+        exc_positions_buf[exc_count] = i as u16;
+        exc_count += neq as usize;
+    }
+
+    // FIND_FIRST_ENCODED: first position that is *not* an exception.
+    let first_encoded = find_first_encoded(&encoded[..len], &exc_positions_buf[..exc_count]);
+
+    // Fetch exceptions and patch their slots.
+    let mut exc_values = Vec::with_capacity(exc_count);
+    for &p in &exc_positions_buf[..exc_count] {
+        exc_values.push(input[p as usize].to_bits_u64());
+        encoded[p as usize] = first_encoded;
+    }
+    // Pad a short tail with the patch value (does not widen the frame).
+    for slot in encoded[len..].iter_mut() {
+        *slot = first_encoded;
+    }
+
+    let (for_base, bit_width) = ffor::frame_of(&encoded);
+    let packed = ffor::ffor_pack(&encoded, for_base, bit_width);
+
+    AlpVector {
+        exponent: e,
+        factor: f,
+        bit_width: bit_width as u8,
+        for_base,
+        packed,
+        exc_positions: exc_positions_buf[..exc_count].to_vec(),
+        exc_values,
+        len: len as u16,
+    }
+}
+
+/// Returns the first encoded integer whose position is not in the (sorted)
+/// exception list, or 0 if every value is an exception.
+fn find_first_encoded(encoded: &[i64], exc_positions: &[u16]) -> i64 {
+    let mut exc_iter = exc_positions.iter().peekable();
+    for (i, &d) in encoded.iter().enumerate() {
+        match exc_iter.peek() {
+            Some(&&p) if p as usize == i => {
+                exc_iter.next();
+            }
+            _ => return d,
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_round_is_round_half_to_even() {
+        // The FP addition rounds ties to even (banker's rounding).
+        let cases: &[(f64, i64)] = &[
+            (0.0, 0),
+            (0.4, 0),
+            (0.6, 1),
+            (1.5, 2),
+            (2.5, 2),
+            (3.5, 4),
+            (-0.4, 0),
+            (-0.6, -1),
+            (-1.5, -2),
+            (-2.5, -2),
+            (12345.499, 12345),
+            (-99999.51, -100000),
+        ];
+        for &(x, expected) in cases {
+            assert_eq!(fast_round(x), expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fast_round_of_nan_and_inf_is_harmless() {
+        // The values are garbage but must not panic; the decode-verify step
+        // rejects them as exceptions.
+        let _ = fast_round(f64::NAN);
+        let _ = fast_round(f64::INFINITY);
+        let _ = fast_round(f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // §2.6: n ≈ 8.0605, e = 14, f = 10 encodes to 80605.
+        let n: f64 = 8.0605;
+        let d = encode_one(n, 14, 10);
+        assert_eq!(d, 80605);
+        let back: f64 = decode_one(d, 14, 10);
+        assert_eq!(back.to_bits(), n.to_bits());
+    }
+
+    #[test]
+    fn paper_example_fails_with_naive_exponent() {
+        // §2.5: using e = 4 (the visible precision) fails for 8.0605.
+        let n: f64 = 8.0605;
+        let d = encode_one(n, 4, 0);
+        let back: f64 = decode_one(d, 4, 0);
+        assert_ne!(back.to_bits(), n.to_bits());
+    }
+
+    #[test]
+    fn encode_vector_roundtrips_decimals_without_exceptions() {
+        // (314 + i) / 100: division by an exact power of ten is correctly
+        // rounded, so these are genuine "decimals stored as doubles".
+        let input: Vec<f64> = (0..1024).map(|i| (314 + i) as f64 / 100.0).collect();
+        let v = encode_vector(&input, 14, 12);
+        assert_eq!(v.exception_count(), 0);
+        assert_eq!(v.len, 1024);
+    }
+
+    #[test]
+    fn nan_inf_neg_zero_become_exceptions() {
+        let mut input = vec![1.5f64; 1024];
+        input[0] = f64::NAN;
+        input[1] = f64::INFINITY;
+        input[2] = f64::NEG_INFINITY;
+        input[3] = -0.0;
+        input[4] = f64::from_bits(0x7FF0_0000_0000_0001); // signaling-ish NaN
+        let v = encode_vector(&input, 14, 13);
+        assert_eq!(v.exception_count(), 5);
+        assert_eq!(v.exc_positions, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_exception_vector_is_representable() {
+        let input = vec![f64::NAN; 8];
+        let v = encode_vector(&input, 10, 5);
+        assert_eq!(v.exception_count(), 8);
+        assert_eq!(v.bit_width, 0); // all slots patched with 0
+    }
+
+    #[test]
+    fn short_vector_padding_does_not_widen_frame() {
+        let input = vec![100.25f64, 100.50, 100.75];
+        let v = encode_vector(&input, 14, 12);
+        assert_eq!(v.len, 3);
+        assert_eq!(v.exception_count(), 0);
+        // Range of encoded values is 50 -> 6 bits.
+        assert!(v.bit_width <= 7, "width {}", v.bit_width);
+    }
+
+    #[test]
+    fn find_first_encoded_skips_leading_exceptions() {
+        let encoded = [7i64, 8, 9];
+        assert_eq!(find_first_encoded(&encoded, &[0, 1]), 9);
+        assert_eq!(find_first_encoded(&encoded, &[]), 7);
+        assert_eq!(find_first_encoded(&encoded, &[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn f32_paper_style_roundtrip() {
+        let n: f32 = 8.0605;
+        let d = encode_one(n, 7, 3);
+        let back: f32 = decode_one(d, 7, 3);
+        assert_eq!(back.to_bits(), n.to_bits());
+    }
+}

@@ -1,0 +1,53 @@
+//! # ALP: Adaptive Lossless floating-Point compression
+//!
+//! A from-scratch Rust reproduction of *ALP: Adaptive Lossless floating-Point
+//! Compression* (Afroozeh, Kuffó, Boncz — SIGMOD). ALP losslessly encodes
+//! vectors of 1024 doubles (or floats) either as **decimals** — integers plus
+//! a per-vector exponent/factor pair, bit-packed with fused
+//! frame-of-reference — or, for truly high-precision "real doubles", with the
+//! **ALP_rd** front-bits scheme (dictionary-compressed front bits + verbatim
+//! tail bits).
+//!
+//! The encoding is *adaptive* (a two-level sampling scheme chooses the scheme
+//! per row-group and the parameters per vector) and *vectorized* (all hot
+//! loops are branch-free over 1024-value vectors and auto-vectorize).
+//!
+//! ## Quick start
+//! ```
+//! use alp::Compressor;
+//!
+//! let prices: Vec<f64> = (0..10_000).map(|i| (999 + i % 500) as f64 / 100.0).collect();
+//! let compressed = Compressor::new().compress(&prices);
+//! assert!(compressed.bits_per_value() < 16.0); // ~64 bits uncompressed
+//! let restored = compressed.decompress();
+//! assert_eq!(prices, restored); // bit-exact
+//! ```
+//!
+//! ## Crate map
+//! * [`encode`] / [`decode`] — the `ALP_enc`/`ALP_dec` kernels of Algorithms 1–2.
+//! * [`sampler`] — the two-level adaptive sampling of §3.2.
+//! * [`rd`] — ALP_rd for real doubles, §3.4.
+//! * [`rowgroup`] — the column-level [`Compressor`] tying it together.
+//! * [`mod@format`] — byte serialization of compressed columns.
+//! * [`cascade`] — Dictionary/RLE cascades (the "LWC+ALP" column of Table 4).
+//! * [`stream`] — incremental `std::io` writer/reader (one row-group in memory).
+//! * [`analysis`] — the dataset statistics of Table 2.
+
+pub mod analysis;
+pub mod cascade;
+pub mod decode;
+pub mod encode;
+pub mod format;
+pub mod rd;
+pub mod rowgroup;
+pub mod sampler;
+pub mod stream;
+pub mod traits;
+
+pub use encode::{encode_one, decode_one, fast_round, AlpVector};
+pub use rowgroup::{Compressed, Compressor, RowGroup, Scheme};
+pub use sampler::{Combination, SamplerParams, SamplerStats};
+pub use traits::AlpFloat;
+
+/// Values per vector — the unit of vectorized execution.
+pub const VECTOR_SIZE: usize = fastlanes::VECTOR_SIZE;

@@ -1,0 +1,329 @@
+//! Column-level compression: splits data into row-groups of `w × 1024` values,
+//! runs level-1 sampling once per row-group to pick the scheme (ALP vs ALP_rd)
+//! and the candidate combinations, then encodes vector by vector.
+
+use fastlanes::VECTOR_SIZE;
+
+use crate::decode::{decode_vector, decode_vector_unfused};
+use crate::encode::{encode_vector, AlpVector};
+use crate::rd::{choose_cut, decode_rd_vector, encode_rd_vector, RdMeta, RdVector};
+use crate::sampler::{first_level, second_level, SamplerParams, SamplerStats};
+use crate::traits::AlpFloat;
+
+/// Which encoding a row-group uses (§3.4: the decision is per row-group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Decimal encoding (`ALP_enc`/`ALP_dec` + FFOR).
+    Alp,
+    /// Front-bits encoding for real doubles.
+    AlpRd,
+}
+
+/// One compressed row-group.
+#[derive(Debug, Clone)]
+pub enum RowGroup {
+    /// Plain ALP vectors.
+    Alp(Vec<AlpVector>),
+    /// ALP_rd vectors plus the shared cut/dictionary metadata.
+    Rd(RdMeta, Vec<RdVector>),
+}
+
+impl RowGroup {
+    /// Scheme tag for reporting.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            RowGroup::Alp(_) => Scheme::Alp,
+            RowGroup::Rd(..) => Scheme::AlpRd,
+        }
+    }
+
+    /// Number of vectors in this row-group.
+    pub fn vector_count(&self) -> usize {
+        match self {
+            RowGroup::Alp(v) => v.len(),
+            RowGroup::Rd(_, v) => v.len(),
+        }
+    }
+
+    /// Number of live values in this row-group.
+    pub fn len(&self) -> usize {
+        match self {
+            RowGroup::Alp(v) => v.iter().map(|x| x.len as usize).sum(),
+            RowGroup::Rd(_, v) => v.iter().map(|x| x.len as usize).sum(),
+        }
+    }
+
+    /// Whether the row-group holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact compressed size in bits (header + payload + exceptions).
+    pub fn compressed_bits<F: AlpFloat>(&self) -> usize {
+        let scheme_tag = 8;
+        match self {
+            RowGroup::Alp(vs) => {
+                scheme_tag + vs.iter().map(|v| v.compressed_bits::<F>()).sum::<usize>()
+            }
+            RowGroup::Rd(meta, vs) => {
+                scheme_tag
+                    + meta.header_bits()
+                    + vs.iter().map(|v| v.compressed_bits::<F>(meta)).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A fully compressed column.
+#[derive(Debug, Clone)]
+pub struct Compressed<F: AlpFloat> {
+    /// Row-groups in order.
+    pub rowgroups: Vec<RowGroup>,
+    /// Total number of values.
+    pub len: usize,
+    /// Sampling statistics accumulated during compression.
+    pub stats: SamplerStats,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: AlpFloat> Compressed<F> {
+    /// Assembles a column from already-encoded row-groups (used by the
+    /// deserializer and by cascade encodings that build row-groups directly).
+    pub fn from_rowgroups(rowgroups: Vec<RowGroup>, len: usize) -> Self {
+        Self { rowgroups, len, stats: SamplerStats::default(), _marker: core::marker::PhantomData }
+    }
+
+    /// Exact compressed size in bits.
+    pub fn compressed_bits(&self) -> usize {
+        self.rowgroups.iter().map(|rg| rg.compressed_bits::<F>()).sum()
+    }
+
+    /// Compression ratio in bits per value — the metric of Table 4.
+    pub fn bits_per_value(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.compressed_bits() as f64 / self.len as f64
+        }
+    }
+
+    /// Decompresses the whole column.
+    pub fn decompress(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut buf = vec![F::from_bits_u64(0); VECTOR_SIZE];
+        for rg in &self.rowgroups {
+            match rg {
+                RowGroup::Alp(vs) => {
+                    for v in vs {
+                        let n = decode_vector(v, &mut buf);
+                        out.extend_from_slice(&buf[..n]);
+                    }
+                }
+                RowGroup::Rd(meta, vs) => {
+                    for v in vs {
+                        let n = decode_rd_vector(v, meta, &mut buf);
+                        out.extend_from_slice(&buf[..n]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decompresses a single vector (`rowgroup`, `vector`) into `out`
+    /// (≥ 1024 elements); returns the live count. This is the skip-friendly
+    /// access path that block-based compressors cannot offer.
+    pub fn decompress_vector(&self, rowgroup: usize, vector: usize, out: &mut [F]) -> usize {
+        match &self.rowgroups[rowgroup] {
+            RowGroup::Alp(vs) => decode_vector(&vs[vector], out),
+            RowGroup::Rd(meta, vs) => decode_rd_vector(&vs[vector], meta, out),
+        }
+    }
+
+    /// Same as [`Compressed::decompress`] but through the *unfused* decode
+    /// kernels — the Figure 5 baseline.
+    pub fn decompress_unfused(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut buf = vec![F::from_bits_u64(0); VECTOR_SIZE];
+        let mut scratch = vec![0i64; VECTOR_SIZE];
+        for rg in &self.rowgroups {
+            match rg {
+                RowGroup::Alp(vs) => {
+                    for v in vs {
+                        let n = decode_vector_unfused(v, &mut scratch, &mut buf);
+                        out.extend_from_slice(&buf[..n]);
+                    }
+                }
+                RowGroup::Rd(meta, vs) => {
+                    for v in vs {
+                        let n = decode_rd_vector(v, meta, &mut buf);
+                        out.extend_from_slice(&buf[..n]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The ALP compressor. Construct once (optionally with custom
+/// [`SamplerParams`]) and reuse across columns.
+#[derive(Debug, Clone, Default)]
+pub struct Compressor {
+    params: SamplerParams,
+}
+
+impl Compressor {
+    /// Compressor with the paper's default sampling parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compressor with custom sampling parameters.
+    pub fn with_params(params: SamplerParams) -> Self {
+        Self { params }
+    }
+
+    /// The active sampling parameters.
+    pub fn params(&self) -> &SamplerParams {
+        &self.params
+    }
+
+    /// Compresses a column of floats.
+    pub fn compress<F: AlpFloat>(&self, data: &[F]) -> Compressed<F> {
+        let rg_values = self.params.vectors_per_rowgroup * VECTOR_SIZE;
+        let mut stats = SamplerStats::default();
+        let mut rowgroups = Vec::with_capacity(data.len().div_ceil(rg_values.max(1)));
+
+        for rg_data in data.chunks(rg_values.max(1)) {
+            let outcome = first_level(rg_data, &self.params);
+            if outcome.should_use_rd::<F>() {
+                stats.rowgroups_rd += 1;
+                let meta = choose_cut::<F>(
+                    rg_data,
+                    self.params.sample_vectors * self.params.sample_values,
+                );
+                let vectors = rg_data
+                    .chunks(VECTOR_SIZE)
+                    .map(|chunk| encode_rd_vector(chunk, &meta))
+                    .collect();
+                rowgroups.push(RowGroup::Rd(meta, vectors));
+            } else {
+                stats.rowgroups_alp += 1;
+                let mut vectors = Vec::with_capacity(rg_data.len().div_ceil(VECTOR_SIZE));
+                for chunk in rg_data.chunks(VECTOR_SIZE) {
+                    let combo =
+                        second_level(chunk, &outcome.combinations, &self.params, &mut stats);
+                    vectors.push(encode_vector(chunk, combo.e, combo.f));
+                }
+                rowgroups.push(RowGroup::Alp(vectors));
+            }
+        }
+
+        Compressed { rowgroups, len: data.len(), stats, _marker: core::marker::PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_lossless(data: &[f64]) -> Compressed<f64> {
+        let c = Compressor::new().compress(data);
+        let back = c.decompress();
+        assert_eq!(back.len(), data.len());
+        for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "idx {i}");
+        }
+        c
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Compressor::new().compress::<f64>(&[]);
+        assert_eq!(c.len, 0);
+        assert!(c.decompress().is_empty());
+        assert_eq!(c.bits_per_value(), 0.0);
+    }
+
+    #[test]
+    fn decimal_column_compresses_well() {
+        let data: Vec<f64> = (0..250_000).map(|i| ((i % 9973) as f64) / 100.0).collect();
+        let c = assert_lossless(&data);
+        assert_eq!(c.stats.rowgroups_rd, 0);
+        assert!(c.bits_per_value() < 22.0, "bpv {}", c.bits_per_value());
+    }
+
+    #[test]
+    fn real_double_column_switches_to_rd() {
+        let data: Vec<f64> = (0..120_000).map(|i| (i as f64 * 0.577).sin() * 0.001).collect();
+        let c = assert_lossless(&data);
+        assert!(c.stats.rowgroups_rd > 0, "{:?}", c.stats);
+        // ALP_rd achieves at most modest compression on real doubles.
+        assert!(c.bits_per_value() <= 64.0 + 1.0);
+    }
+
+    #[test]
+    fn mixed_rowgroups_pick_schemes_independently() {
+        let mut data: Vec<f64> = (0..102_400).map(|i| (i % 1000) as f64 * 0.25).collect();
+        data.extend((0..102_400).map(|i| ((i as f64) * 0.31).cos() * 1e-5));
+        let c = assert_lossless(&data);
+        assert_eq!(c.rowgroups.len(), 2);
+        assert_eq!(c.rowgroups[0].scheme(), Scheme::Alp);
+        assert_eq!(c.rowgroups[1].scheme(), Scheme::AlpRd);
+    }
+
+    #[test]
+    fn vector_random_access_matches_full_decode() {
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64) * 0.5).collect();
+        let c = Compressor::new().compress(&data);
+        let full = c.decompress();
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        let n = c.decompress_vector(0, 2, &mut buf);
+        assert_eq!(n, 1024);
+        assert_eq!(&full[2048..2048 + n], &buf[..n]);
+        // Last, short vector.
+        let n_last = c.decompress_vector(0, 4, &mut buf);
+        assert_eq!(n_last, 5000 - 4096);
+        assert_eq!(&full[4096..], &buf[..n_last]);
+    }
+
+    #[test]
+    fn special_values_roundtrip_anywhere() {
+        let mut data: Vec<f64> = (0..8000).map(|i| (i as f64) / 8.0).collect();
+        data[0] = f64::NAN;
+        data[1] = -0.0;
+        data[4000] = f64::INFINITY;
+        data[7999] = f64::MIN_POSITIVE / 2.0; // subnormal
+        assert_lossless(&data);
+    }
+
+    #[test]
+    fn unfused_decode_is_identical() {
+        let data: Vec<f64> = (0..50_000).map(|i| ((i * 7) % 99991) as f64 / 1000.0).collect();
+        let c = Compressor::new().compress(&data);
+        assert_eq!(c.decompress(), c.decompress_unfused());
+    }
+
+    #[test]
+    fn f32_column_roundtrips() {
+        let data: Vec<f32> = (0..30_000).map(|i| ((i % 2048) as f32) / 4.0).collect();
+        let c = Compressor::new().compress(&data);
+        let back = c.decompress();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(c.bits_per_value() < 32.0);
+    }
+
+    #[test]
+    fn f32_real_floats_use_rd() {
+        let data: Vec<f32> = (0..120_000).map(|i| ((i as f32) * 0.113).sin() * 0.02).collect();
+        let c = Compressor::new().compress(&data);
+        assert!(c.stats.rowgroups_rd > 0);
+        let back = c.decompress();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

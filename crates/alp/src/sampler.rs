@@ -1,0 +1,404 @@
+//! The two-level adaptive sampling scheme of §3.2.
+//!
+//! **Level 1** (once per row-group): sample `SAMPLE_VECTORS` equidistant
+//! vectors, `SAMPLE_VALUES` equidistant values from each; brute-force the full
+//! (e, f) search space (253 combinations for doubles) on each sampled vector;
+//! keep the `k` most frequent winners. The pooled sample also drives the
+//! ALP-vs-ALP_rd scheme decision (§3.4).
+//!
+//! **Level 2** (once per vector, only when `k' > 1`): sample `SECOND_VALUES`
+//! equidistant values from the vector, evaluate the `k'` candidates in order,
+//! early-exiting after two consecutive non-improvements.
+
+use crate::encode::{decode_one, encode_one};
+use crate::traits::AlpFloat;
+
+/// Sampling parameters (§4 "Sampling Parameters"). Defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerParams {
+    /// `w`: vectors per row-group (paper: 100).
+    pub vectors_per_rowgroup: usize,
+    /// Vectors sampled per row-group in level 1 (paper: 8).
+    pub sample_vectors: usize,
+    /// Values sampled per vector in level 1 (paper: 32).
+    pub sample_values: usize,
+    /// `k`: maximum number of candidate combinations kept (paper: 5).
+    pub max_combinations: usize,
+    /// `s`: values sampled per vector in level 2 (paper: 32).
+    pub second_level_values: usize,
+}
+
+impl Default for SamplerParams {
+    fn default() -> Self {
+        Self {
+            vectors_per_rowgroup: 100,
+            sample_vectors: 8,
+            sample_values: 32,
+            max_combinations: 5,
+            second_level_values: 32,
+        }
+    }
+}
+
+/// An (exponent, factor) candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Combination {
+    /// Exponent `e`.
+    pub e: u8,
+    /// Factor `f <= e`.
+    pub f: u8,
+}
+
+/// Estimated compressed footprint of a sample under one combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleScore {
+    /// Estimated size in bits (packed integers + exception overhead).
+    pub bits: usize,
+    /// Number of sampled values that failed to round-trip.
+    pub exceptions: usize,
+}
+
+/// Scores `sample` under `(e, f)`: estimated bits = `len * width(max-min)`
+/// plus `(BITS + 16)` bits per exception — the cost model of §3.2.
+pub fn score_sample<F: AlpFloat>(sample: &[F], e: u8, f: u8) -> SampleScore {
+    let mut exceptions = 0usize;
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut ok = 0usize;
+    for &n in sample {
+        let d = encode_one(n, e, f);
+        let dec: F = decode_one(d, e, f);
+        if dec.to_bits_u64() == n.to_bits_u64() {
+            min = min.min(d);
+            max = max.max(d);
+            ok += 1;
+        } else {
+            exceptions += 1;
+        }
+    }
+    let width = if ok > 0 {
+        fastlanes::bits_needed((max as u64).wrapping_sub(min as u64))
+    } else {
+        0
+    };
+    SampleScore {
+        bits: sample.len() * width + exceptions * (F::BITS as usize + 16),
+        exceptions,
+    }
+}
+
+/// Brute-force search over the full `(e, f)` space; ties prefer higher `e`,
+/// then higher `f` (§3.2).
+pub fn full_search<F: AlpFloat>(sample: &[F]) -> (Combination, SampleScore) {
+    let mut best = Combination { e: 0, f: 0 };
+    let mut best_score = SampleScore { bits: usize::MAX, exceptions: usize::MAX };
+    for e in 0..=F::MAX_EXPONENT {
+        for f in 0..=e {
+            let s = score_sample(sample, e, f);
+            // `e` ascends and `f` ascends within `e`, so `<=` makes the
+            // *later* (higher-e, then higher-f) combination win ties — the
+            // paper's tie-break rule.
+            if s.bits <= best_score.bits {
+                best = Combination { e, f };
+                best_score = s;
+            }
+        }
+    }
+    (best, best_score)
+}
+
+/// Outcome of level-1 sampling for one row-group.
+#[derive(Debug, Clone)]
+pub struct FirstLevelOutcome {
+    /// The `k' <= k` candidate combinations, most frequent first.
+    pub combinations: Vec<Combination>,
+    /// Estimated bits/value of the pooled sample under the top candidate.
+    pub estimated_bits_per_value: f64,
+    /// Fraction of pooled sample values that were exceptions.
+    pub exception_fraction: f64,
+}
+
+impl FirstLevelOutcome {
+    /// Whether the row-group should switch to ALP_rd (§3.4): the decimal
+    /// encoding is deemed hopeless when the estimate approaches the
+    /// uncompressed width or exceptions dominate.
+    pub fn should_use_rd<F: AlpFloat>(&self) -> bool {
+        self.estimated_bits_per_value >= F::BITS as f64 * 0.96 || self.exception_fraction > 0.35
+    }
+}
+
+/// Indices of `count` samples of a `len`-element sequence: one per
+/// equal-width stratum, at a deterministic hash-jittered offset.
+///
+/// The paper samples strictly equidistantly; a fixed stride, however, aliases
+/// with periodic data (e.g. a value pattern whose period divides the stride
+/// makes every sample land in the same residue class, so the search only ever
+/// sees one sub-population). The jitter keeps the samples spread while
+/// breaking that resonance; it is deterministic, so compression stays
+/// reproducible.
+pub fn equidistant_indices(len: usize, count: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if count >= len {
+        return (0..len).collect();
+    }
+    let stride = len / count;
+    (0..count)
+        .map(|i| {
+            let jitter = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % stride;
+            i * stride + jitter
+        })
+        .collect()
+}
+
+/// Level-1 sampling over one row-group, presented as a slice of (up to
+/// `vectors_per_rowgroup * 1024`) values.
+pub fn first_level<F: AlpFloat>(rowgroup: &[F], params: &SamplerParams) -> FirstLevelOutcome {
+    let n_vectors = rowgroup.len().div_ceil(fastlanes::VECTOR_SIZE);
+    let vector_ids = equidistant_indices(n_vectors, params.sample_vectors);
+
+    let mut winners: Vec<Combination> = Vec::with_capacity(vector_ids.len());
+    let mut sample_buf: Vec<F> = Vec::with_capacity(params.sample_values);
+    let mut sampled_values = 0usize;
+    let mut best_bits = 0usize;
+    let mut best_exceptions = 0usize;
+
+    for &vid in &vector_ids {
+        let start = vid * fastlanes::VECTOR_SIZE;
+        let end = (start + fastlanes::VECTOR_SIZE).min(rowgroup.len());
+        let vector = &rowgroup[start..end];
+        sample_buf.clear();
+        for idx in equidistant_indices(vector.len(), params.sample_values) {
+            sample_buf.push(vector[idx]);
+        }
+        let (combo, score) = full_search(&sample_buf);
+        winners.push(combo);
+        // The scheme decision uses what a *per-vector adaptive* encoder can
+        // achieve — each sampled vector under its own best combination —
+        // so mixed row-groups (e.g. zero bursts next to value bursts) are
+        // not mistaken for incompressible real doubles.
+        sampled_values += sample_buf.len();
+        best_bits += score.bits;
+        best_exceptions += score.exceptions;
+    }
+
+    // Frequency-rank the winners; ties prefer higher e, then higher f.
+    let mut counts: Vec<(Combination, usize)> = Vec::new();
+    for &w in &winners {
+        match counts.iter_mut().find(|(c, _)| *c == w) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((w, 1)),
+        }
+    }
+    counts.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(b.0.e.cmp(&a.0.e))
+            .then(b.0.f.cmp(&a.0.f))
+    });
+    counts.truncate(params.max_combinations);
+    let combinations: Vec<Combination> = counts.into_iter().map(|(c, _)| c).collect();
+
+    let (est_bits, exc_frac) = if sampled_values == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            best_bits as f64 / sampled_values as f64,
+            best_exceptions as f64 / sampled_values as f64,
+        )
+    };
+
+    FirstLevelOutcome {
+        combinations,
+        estimated_bits_per_value: est_bits,
+        exception_fraction: exc_frac,
+    }
+}
+
+/// Counters the §4.2 "Sampling Overhead" analysis reports.
+#[derive(Debug, Default, Clone)]
+pub struct SamplerStats {
+    /// Vectors encoded with the decimal (non-rd) scheme.
+    pub vectors_encoded: usize,
+    /// Vectors whose second-level sampling was skipped because `k' == 1`.
+    pub second_level_skipped: usize,
+    /// Histogram over how many candidate combinations each vector tried
+    /// (index = combinations tried; index 0 unused).
+    pub combinations_tried: [usize; 8],
+    /// Row-groups encoded with plain ALP.
+    pub rowgroups_alp: usize,
+    /// Row-groups that fell back to ALP_rd.
+    pub rowgroups_rd: usize,
+    /// Vectors whose row-group candidates all failed locally and that were
+    /// re-searched individually (see `rescue_if_poor`).
+    pub rescued_vectors: usize,
+}
+
+/// Level-2 sampling: picks the combination for one vector from the row-group
+/// candidates, with the greedy two-strikes early exit of §3.2.
+pub fn second_level<F: AlpFloat>(
+    vector: &[F],
+    candidates: &[Combination],
+    params: &SamplerParams,
+    stats: &mut SamplerStats,
+) -> Combination {
+    stats.vectors_encoded += 1;
+    let mut sample: Vec<F> = Vec::with_capacity(params.second_level_values);
+    for idx in equidistant_indices(vector.len(), params.second_level_values) {
+        sample.push(vector[idx]);
+    }
+
+    if candidates.len() <= 1 {
+        stats.second_level_skipped += 1;
+        stats.combinations_tried[1.min(candidates.len())] += 1;
+        let combo = candidates.first().copied().unwrap_or(Combination { e: 0, f: 0 });
+        return rescue_if_poor(&sample, combo, stats);
+    }
+
+    let mut best = candidates[0];
+    let mut best_bits = usize::MAX;
+    let mut worse_streak = 0usize;
+    let mut tried = 0usize;
+    for &c in candidates {
+        tried += 1;
+        let s = score_sample(&sample, c.e, c.f);
+        if s.bits < best_bits {
+            best = c;
+            best_bits = s.bits;
+            worse_streak = 0;
+        } else {
+            worse_streak += 1;
+            if worse_streak == 2 {
+                break;
+            }
+        }
+    }
+    stats.combinations_tried[tried.min(7)] += 1;
+    rescue_if_poor(&sample, best, stats)
+}
+
+/// Robustness guard (deviation from the paper, see DESIGN.md): if the
+/// row-group's candidates all fail on this particular vector — which happens
+/// when the level-1 sample missed a locally different sub-population (e.g. a
+/// burst of values inside a mostly-zero column) — fall back to a full search
+/// on the vector's own sample. The guard costs one 32-value scoring pass per
+/// vector and only triggers on pathological vectors.
+fn rescue_if_poor<F: AlpFloat>(
+    sample: &[F],
+    combo: Combination,
+    stats: &mut SamplerStats,
+) -> Combination {
+    let s = score_sample(sample, combo.e, combo.f);
+    if s.exceptions * 4 > sample.len() {
+        stats.rescued_vectors += 1;
+        let (best, best_score) = full_search(sample);
+        if best_score.bits < s.bits {
+            return best;
+        }
+    }
+    combo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decimals(precision: u32, count: usize) -> Vec<f64> {
+        // i / 10^p — correctly rounded decimal-to-double (see DESIGN.md).
+        let div = 10f64.powi(precision as i32);
+        (0..count).map(|i| (i as f64 * 7.0 + 13.0) / div).collect()
+    }
+
+    #[test]
+    fn sample_indices_are_strata_bounded_and_sorted() {
+        for (len, count) in [(10, 3), (1024, 32), (1000, 7), (4096, 32)] {
+            let idx = equidistant_indices(len, count);
+            assert_eq!(idx.len(), count);
+            let stride = len / count;
+            for (i, &x) in idx.iter().enumerate() {
+                assert!(x >= i * stride && x < (i + 1) * stride, "len {len} count {count} i {i}");
+            }
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(equidistant_indices(2, 5), vec![0, 1]);
+        assert_eq!(equidistant_indices(0, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sample_indices_break_periodic_aliasing() {
+        // With a plain stride of 32 on 1024 values, all samples share
+        // index % 4; the jitter must hit several residue classes.
+        let idx = equidistant_indices(1024, 32);
+        let classes: std::collections::HashSet<usize> = idx.iter().map(|&i| i % 4).collect();
+        assert!(classes.len() > 1, "{idx:?}");
+    }
+
+    #[test]
+    fn full_search_finds_lossless_combo_for_decimals() {
+        let sample = decimals(2, 32);
+        let (combo, score) = full_search(&sample);
+        assert_eq!(score.exceptions, 0, "combo {combo:?}");
+        // Must at least neutralize 2 decimal places.
+        assert!(combo.e as i32 - combo.f as i32 >= 2);
+    }
+
+    #[test]
+    fn score_prefers_factor_that_shrinks_integers() {
+        // Values like 123.00 (2 decimals of zeros): high factor shrinks d.
+        let sample: Vec<f64> = (0..32).map(|i| (i * 100) as f64).collect();
+        let with_factor = score_sample(&sample, 14, 14);
+        let without_factor = score_sample(&sample, 14, 0);
+        assert_eq!(with_factor.exceptions, 0);
+        assert!(with_factor.bits < without_factor.bits);
+    }
+
+    #[test]
+    fn first_level_converges_to_one_combo_on_uniform_data() {
+        let rowgroup = decimals(3, 8 * 1024);
+        let outcome = first_level(&rowgroup, &SamplerParams::default());
+        assert!(!outcome.combinations.is_empty());
+        assert_eq!(outcome.combinations.len(), 1, "{:?}", outcome.combinations);
+        assert!(!outcome.should_use_rd::<f64>());
+    }
+
+    #[test]
+    fn first_level_flags_real_doubles_for_rd() {
+        // Full-precision values: essentially nothing round-trips.
+        let rowgroup: Vec<f64> = (0..8192).map(|i| ((i as f64) + 0.1).sqrt().sin() * 1e-3).collect();
+        let outcome = first_level(&rowgroup, &SamplerParams::default());
+        assert!(outcome.should_use_rd::<f64>(), "{outcome:?}");
+    }
+
+    #[test]
+    fn second_level_skips_when_single_candidate() {
+        let mut stats = SamplerStats::default();
+        let v = decimals(2, 1024);
+        let combo = second_level(
+            &v,
+            &[Combination { e: 14, f: 12 }],
+            &SamplerParams::default(),
+            &mut stats,
+        );
+        assert_eq!(combo, Combination { e: 14, f: 12 });
+        assert_eq!(stats.second_level_skipped, 1);
+    }
+
+    #[test]
+    fn second_level_picks_better_candidate() {
+        let mut stats = SamplerStats::default();
+        let v = decimals(4, 1024); // needs >= 4 decimals of headroom
+        let good = Combination { e: 14, f: 10 };
+        let bad = Combination { e: 2, f: 0 }; // cannot represent 4 decimals
+        let combo = second_level(&v, &[bad, good], &SamplerParams::default(), &mut stats);
+        assert_eq!(combo, good);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let p = SamplerParams::default();
+        assert_eq!(
+            (p.vectors_per_rowgroup, p.sample_vectors, p.sample_values, p.max_combinations, p.second_level_values),
+            (100, 8, 32, 5, 32)
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Streaming compression over `std::io` — write a column row-group by
+//! row-group without ever materializing it, and read it back incrementally.
+//!
+//! The stream format is a sequence of self-contained frames:
+//!
+//! ```text
+//! "ALPS" | bits:u8 | { frame_len:u32 | row-group bytes }* | frame_len = 0
+//! ```
+//!
+//! Each frame holds one serialized row-group (see [`crate::format`]), so a
+//! reader needs only one row-group of memory at a time and can stop early.
+//!
+//! # Example
+//! ```
+//! use alp::stream::{ColumnReader, ColumnWriter};
+//!
+//! let mut file = Vec::new();
+//! let mut writer = ColumnWriter::<f64, _>::new(&mut file);
+//! for chunk in (0..500_000).map(|i| (i % 1000) as f64 / 10.0).collect::<Vec<_>>().chunks(37_000) {
+//!     writer.push(chunk).unwrap();
+//! }
+//! let summary = writer.finish().unwrap();
+//! assert_eq!(summary.values, 500_000);
+//!
+//! let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+//! let mut restored = Vec::new();
+//! while let Some(values) = reader.next_rowgroup().unwrap() {
+//!     restored.extend(values);
+//! }
+//! assert_eq!(restored.len(), 500_000);
+//! ```
+
+use std::io::{self, Read, Write};
+
+use fastlanes::VECTOR_SIZE;
+
+use crate::format::{read_rowgroup, write_rowgroup, FormatError};
+use crate::rowgroup::{Compressor, RowGroup};
+use crate::sampler::SamplerParams;
+use crate::traits::AlpFloat;
+
+/// Magic bytes of a streamed column.
+pub const STREAM_MAGIC: &[u8; 4] = b"ALPS";
+
+/// Statistics returned by [`ColumnWriter::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total values written.
+    pub values: usize,
+    /// Row-groups emitted.
+    pub rowgroups: usize,
+    /// Compressed payload bytes (excluding the 9-byte stream header).
+    pub compressed_bytes: usize,
+}
+
+/// Incremental column writer: buffers up to one row-group, compresses and
+/// frames it, and forwards the bytes to the sink.
+pub struct ColumnWriter<F: AlpFloat, W: Write> {
+    sink: W,
+    compressor: Compressor,
+    buffer: Vec<F>,
+    rowgroup_values: usize,
+    header_written: bool,
+    summary: StreamSummary,
+    scratch: Vec<u8>,
+}
+
+impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
+    /// Writer with the paper's default sampling parameters.
+    pub fn new(sink: W) -> Self {
+        Self::with_params(sink, SamplerParams::default())
+    }
+
+    /// Writer with custom sampling parameters.
+    pub fn with_params(sink: W, params: SamplerParams) -> Self {
+        let rowgroup_values = params.vectors_per_rowgroup * VECTOR_SIZE;
+        Self {
+            sink,
+            compressor: Compressor::with_params(params),
+            buffer: Vec::with_capacity(rowgroup_values),
+            rowgroup_values,
+            header_written: false,
+            summary: StreamSummary { values: 0, rowgroups: 0, compressed_bytes: 0 },
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Appends values; full row-groups are compressed and flushed eagerly.
+    pub fn push(&mut self, values: &[F]) -> io::Result<()> {
+        let mut rest = values;
+        while !rest.is_empty() {
+            let room = self.rowgroup_values - self.buffer.len();
+            let take = room.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() == self.rowgroup_values {
+                self.flush_rowgroup()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered tail and writes the end-of-stream marker.
+    pub fn finish(mut self) -> io::Result<StreamSummary> {
+        if !self.buffer.is_empty() {
+            self.flush_rowgroup()?;
+        }
+        self.ensure_header()?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.summary)
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            self.sink.write_all(STREAM_MAGIC)?;
+            self.sink.write_all(&[F::BITS as u8])?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    fn flush_rowgroup(&mut self) -> io::Result<()> {
+        self.ensure_header()?;
+        // Compress exactly one row-group (the buffer never exceeds one).
+        let compressed = self.compressor.compress(&self.buffer);
+        debug_assert_eq!(compressed.rowgroups.len(), 1);
+        self.summary.values += self.buffer.len();
+        self.buffer.clear();
+        for rg in &compressed.rowgroups {
+            self.scratch.clear();
+            write_rowgroup::<F>(&mut self.scratch, rg);
+            self.sink.write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+            self.sink.write_all(&self.scratch)?;
+            self.summary.rowgroups += 1;
+            self.summary.compressed_bytes += 4 + self.scratch.len();
+        }
+        Ok(())
+    }
+}
+
+/// Incremental column reader: yields one decompressed row-group at a time.
+pub struct ColumnReader<F: AlpFloat, R: Read> {
+    source: R,
+    frame: Vec<u8>,
+    done: bool,
+    _marker: core::marker::PhantomData<F>,
+}
+
+/// Errors produced while reading a stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid frame.
+    Format(FormatError),
+}
+
+impl core::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamError::Format(e) => write!(f, "stream format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<FormatError> for StreamError {
+    fn from(e: FormatError) -> Self {
+        StreamError::Format(e)
+    }
+}
+
+impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
+    /// Opens a stream, validating the header.
+    pub fn new(mut source: R) -> Result<Self, StreamError> {
+        let mut header = [0u8; 5];
+        source.read_exact(&mut header)?;
+        if &header[..4] != STREAM_MAGIC {
+            return Err(StreamError::Format(FormatError::BadMagic));
+        }
+        if header[4] as u32 != F::BITS {
+            return Err(StreamError::Format(FormatError::WidthMismatch {
+                found: header[4],
+                expected: F::BITS as u8,
+            }));
+        }
+        Ok(Self { source, frame: Vec::new(), done: false, _marker: core::marker::PhantomData })
+    }
+
+    /// Reads and decompresses the next row-group; `None` at end of stream.
+    pub fn next_rowgroup(&mut self) -> Result<Option<Vec<F>>, StreamError> {
+        match self.next_rowgroup_compressed()? {
+            None => Ok(None),
+            Some(rg) => {
+                let len = rg.len();
+                let compressed =
+                    crate::rowgroup::Compressed::<F>::from_rowgroups(vec![rg], len);
+                Ok(Some(compressed.decompress()))
+            }
+        }
+    }
+
+    /// Reads the next row-group without decompressing it (for servers that
+    /// relay or selectively decode).
+    pub fn next_rowgroup_compressed(&mut self) -> Result<Option<RowGroup>, StreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        self.source.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        self.frame.resize(len, 0);
+        self.source.read_exact(&mut self.frame)?;
+        let mut slice: &[u8] = &self.frame;
+        let rg = read_rowgroup::<F>(&mut slice)?;
+        Ok(Some(rg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_roundtrip(data: &[f64], chunk: usize) {
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut file);
+        for c in data.chunks(chunk.max(1)) {
+            writer.push(c).unwrap();
+        }
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.values, data.len());
+
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_chunkings() {
+        let data: Vec<f64> = (0..250_000).map(|i| ((i % 999) as f64) / 4.0).collect();
+        for chunk in [1usize << 20, 102_400, 1024, 999, 37] {
+            stream_roundtrip(&data, chunk);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut file = Vec::new();
+        let writer = ColumnWriter::<f64, _>::new(&mut file);
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.values, 0);
+        assert_eq!(summary.rowgroups, 0);
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        assert!(reader.next_rowgroup().unwrap().is_none());
+    }
+
+    #[test]
+    fn mixed_schemes_stream() {
+        let mut data: Vec<f64> = (0..102_400).map(|i| (i % 100) as f64 / 10.0).collect();
+        data.extend((0..102_400).map(|i| ((i as f64) * 0.317).sin() * 1e-6));
+        stream_roundtrip(&data, 50_000);
+    }
+
+    #[test]
+    fn f32_stream() {
+        let data: Vec<f32> = (0..150_000).map(|i| (i % 512) as f32 / 8.0).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f32, _>::new(&mut file);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+        let mut reader = ColumnReader::<f32, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let mut file = Vec::new();
+        let writer = ColumnWriter::<f32, _>::new(&mut file);
+        writer.finish().unwrap();
+        assert!(matches!(
+            ColumnReader::<f64, _>::new(&file[..]),
+            Err(StreamError::Format(FormatError::WidthMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let data: Vec<f64> = (0..120_000).map(|i| i as f64).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut file);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+        let cut = file.len() / 2;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..cut]).unwrap();
+        let result = loop {
+            match reader.next_rowgroup() {
+                Ok(Some(_)) => continue,
+                other => break other,
+            }
+        };
+        assert!(result.is_err());
+    }
+}

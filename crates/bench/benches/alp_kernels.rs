@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the ALP hot kernels: per-vector encode,
+//! the three decode variants, second-level sampling, and ALP_rd.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use alp::VECTOR_SIZE;
+
+fn decimal_vector() -> Vec<f64> {
+    (0..VECTOR_SIZE).map(|i| (i as f64 * 7.0 + 355.0) / 100.0).collect()
+}
+
+fn real_double_vector() -> Vec<f64> {
+    (0..VECTOR_SIZE).map(|i| 0.5 + ((i as f64) * 0.7234).sin() * 1e-4).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let data = decimal_vector();
+    let mut g = c.benchmark_group("alp_encode");
+    g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+    g.bench_function("encode_vector", |b| {
+        b.iter(|| alp::encode::encode_vector(std::hint::black_box(&data), 14, 12))
+    });
+    let params = alp::SamplerParams::default();
+    let combos = vec![
+        alp::Combination { e: 14, f: 12 },
+        alp::Combination { e: 10, f: 8 },
+        alp::Combination { e: 5, f: 3 },
+    ];
+    g.bench_function("second_level_sampling", |b| {
+        b.iter_batched(
+            alp::SamplerStats::default,
+            |mut stats| alp::sampler::second_level(&data, &combos, &params, &mut stats),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let data = decimal_vector();
+    let v = alp::encode::encode_vector(&data, 14, 12);
+    let mut out = vec![0.0f64; VECTOR_SIZE];
+    let mut scratch = vec![0i64; VECTOR_SIZE];
+    let mut g = c.benchmark_group("alp_decode");
+    g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+    g.bench_function("fused", |b| b.iter(|| alp::decode::decode_vector(&v, &mut out)));
+    g.bench_function("unfused", |b| {
+        b.iter(|| alp::decode::decode_vector_unfused(&v, &mut scratch, &mut out))
+    });
+    g.bench_function("scalar", |b| b.iter(|| alp::decode::decode_vector_scalar(&v, &mut out)));
+    g.finish();
+}
+
+fn bench_rd(c: &mut Criterion) {
+    let data = real_double_vector();
+    let meta = alp::rd::choose_cut::<f64>(&data, 256);
+    let v = alp::rd::encode_rd_vector(&data, &meta);
+    let mut out = vec![0.0f64; VECTOR_SIZE];
+    let mut g = c.benchmark_group("alp_rd");
+    g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+    g.bench_function("encode", |b| b.iter(|| alp::rd::encode_rd_vector(&data, &meta)));
+    g.bench_function("decode", |b| b.iter(|| alp::rd::decode_rd_vector(&v, &meta, &mut out)));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_encode, bench_decode, bench_rd
+}
+criterion_main!(benches);

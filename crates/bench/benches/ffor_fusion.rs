@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the FastLanes substrate: bit-unpacking and
+//! FFOR, fused vs unfused, at representative bit widths (the kernel-level
+//! view of Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fastlanes::{bitpack, ffor, VECTOR_SIZE};
+
+fn ints(width: usize) -> Vec<i64> {
+    (0..VECTOR_SIZE as u64)
+        .map(|i| {
+            if width == 0 {
+                0
+            } else {
+                let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+                (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask) as i64
+            }
+        })
+        .collect()
+}
+
+fn bench_ffor(c: &mut Criterion) {
+    for width in [3usize, 8, 16, 24, 40, 52] {
+        let input = ints(width);
+        let (base, w, packed) = ffor::ffor(&input);
+        let mut out = vec![0i64; VECTOR_SIZE];
+        let mut residuals = vec![0u64; VECTOR_SIZE];
+
+        let mut g = c.benchmark_group(format!("ffor_w{width}"));
+        g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+        g.bench_function("unpack_fused", |b| {
+            b.iter(|| ffor::ffor_unpack(&packed, base, w, &mut out))
+        });
+        g.bench_function("unpack_unfused", |b| {
+            b.iter(|| {
+                bitpack::unpack(&packed, w, &mut residuals);
+                ffor::for_decode(&residuals, base, &mut out);
+            })
+        });
+        g.bench_function("pack_fused", |b| b.iter(|| ffor::ffor_pack(&input, base, w)));
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ffor
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion ablation: word-sequential vs lane-transposed (interleaved)
+//! packed layouts at representative bit widths. Compressed size is identical;
+//! this measures only the access-pattern effect on [un]packing speed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fastlanes::{bitpack, bitpack32, interleaved, VECTOR_SIZE};
+
+fn values(width: usize) -> Vec<u64> {
+    let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+    (0..VECTOR_SIZE as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+        .collect()
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    for width in [3usize, 13, 27, 44] {
+        let input = values(width);
+        let seq = bitpack::pack(&input, width);
+        let inter = interleaved::pack(&input, width);
+        let mut out = vec![0u64; VECTOR_SIZE];
+
+        let mut g = c.benchmark_group(format!("layout_w{width}"));
+        g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+        g.bench_function("sequential_unpack", |b| {
+            b.iter(|| bitpack::unpack(&seq, width, &mut out))
+        });
+        g.bench_function("interleaved_unpack", |b| {
+            b.iter(|| interleaved::unpack(&inter, width, &mut out))
+        });
+        g.bench_function("sequential_pack", |b| b.iter(|| bitpack::pack(&input, width)));
+        g.bench_function("interleaved_pack", |b| b.iter(|| interleaved::pack(&input, width)));
+        g.finish();
+    }
+}
+
+fn bench_u32_vs_u64(c: &mut Criterion) {
+    for width in [5usize, 13, 21] {
+        let mask = (1u32 << width) - 1;
+        let narrow: Vec<u32> =
+            (0..VECTOR_SIZE as u32).map(|i| i.wrapping_mul(0x9E37_79B1) & mask).collect();
+        let wide: Vec<u64> = narrow.iter().map(|&v| v as u64).collect();
+        let packed32 = bitpack32::pack(&narrow, width);
+        let packed64 = bitpack::pack(&wide, width);
+        let mut out32 = vec![0u32; VECTOR_SIZE];
+        let mut out64 = vec![0u64; VECTOR_SIZE];
+
+        let mut g = c.benchmark_group(format!("wordsize_w{width}"));
+        g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
+        g.bench_function("u32_unpack", |b| {
+            b.iter(|| bitpack32::unpack(&packed32, width, &mut out32))
+        });
+        g.bench_function("u64_unpack", |b| {
+            b.iter(|| bitpack::unpack(&packed64, width, &mut out64))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_layouts, bench_u32_vs_u64
+}
+criterion_main!(benches);

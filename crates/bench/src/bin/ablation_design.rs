@@ -1,0 +1,137 @@
+//! **Ablation** — the remaining design choices DESIGN.md calls out:
+//!
+//! 1. **FOR vs Delta** as the integer stage after `ALP_enc` (§3.1 fixes FOR;
+//!    the cascade discussion suggests Delta for sorted data). We measure the
+//!    packed residual width both ways on every dataset, plus a sorted
+//!    synthetic column where Delta should win.
+//! 2. **ALP_rd cut position**: bits/value at every forced left width vs the
+//!    sampled choice (§3.4's "smallest p >= 48 with low-variance front").
+//! 3. **Exception patch value**: `first_encoded` (the paper's choice) vs
+//!    patching with zero, measured as packed bit width.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_design
+//! ```
+
+use alp::encode::encode_one;
+use alp::sampler::full_search;
+use alp::VECTOR_SIZE;
+use bench::tables::Table;
+use fastlanes::{bits_needed, delta, ffor};
+
+/// Average packed bits/value under FOR vs Delta for the ALP-encoded integers
+/// of a dataset (exceptions excluded on both sides).
+fn for_vs_delta(data: &[f64]) -> (f64, f64) {
+    let mut for_bits = 0usize;
+    let mut delta_bits = 0usize;
+    let mut values = 0usize;
+    for chunk in data.chunks(VECTOR_SIZE) {
+        let (combo, _) = full_search(chunk);
+        let ints: Vec<i64> = chunk.iter().map(|&n| encode_one(n, combo.e, combo.f)).collect();
+        let (_, w) = ffor::frame_of(&ints);
+        for_bits += w * ints.len();
+        let (_, deltas) = delta::delta_encode(&ints);
+        delta_bits += delta::delta_width(&deltas) * ints.len() + 64;
+        values += ints.len();
+    }
+    (for_bits as f64 / values as f64, delta_bits as f64 / values as f64)
+}
+
+fn main() {
+    // ---- 1. FOR vs Delta ----
+    let mut t = Table::new(
+        "Ablation: FOR vs Delta residuals after ALP_enc (packed bits/value)",
+        &["FOR", "Delta", "winner"],
+    );
+    let mut for_wins = 0usize;
+    let mut rows = 0usize;
+    for ds in &datagen::DATASETS {
+        if matches!(ds.name, "POI-lat" | "POI-lon") {
+            continue; // ALP_rd territory
+        }
+        let data = bench::dataset(ds.name);
+        let (f, d) = for_vs_delta(&data);
+        for_wins += (f <= d) as usize;
+        rows += 1;
+        t.row(
+            ds.name,
+            vec![format!("{f:.1}"), format!("{d:.1}"), if f <= d { "FOR" } else { "Delta" }.into()],
+        );
+    }
+    // A sorted column: the case the paper's cascade discussion reserves Delta for.
+    let sorted: Vec<f64> = (0..262_144).map(|i| (i as f64) / 100.0).collect();
+    let (f, d) = for_vs_delta(&sorted);
+    t.row("sorted (synthetic)", vec![format!("{f:.1}"), format!("{d:.1}"), if f <= d { "FOR" } else { "Delta" }.into()]);
+    t.print();
+    println!("FOR wins on {for_wins}/{rows} datasets; Delta wins on sorted data — supporting FOR as the fixed default with Delta reserved for cascades.");
+    t.write_csv("ablation_for_vs_delta").ok();
+
+    // ---- 2. ALP_rd cut position ----
+    let mut rd = Table::new(
+        "Ablation: ALP_rd left-width sweep (bits/value on POI-lat)",
+        &["bits/value", "dict size"],
+    );
+    let data = bench::dataset("POI-lat");
+    let chosen = alp::rd::choose_cut::<f64>(&data, 256);
+    for lw in 1..=16usize {
+        let meta = alp::rd::meta_for_width::<f64>(&data, 256, lw);
+        let mut bits = 0usize;
+        for chunk in data.chunks(VECTOR_SIZE) {
+            let v = alp::rd::encode_rd_vector(chunk, &meta);
+            bits += v.compressed_bits::<f64>(&meta);
+        }
+        let label = if lw == chosen.left_width as usize {
+            format!("left {lw:>2} (chosen)")
+        } else {
+            format!("left {lw:>2}")
+        };
+        rd.row(
+            label,
+            vec![format!("{:.2}", bits as f64 / data.len() as f64), meta.dict.len().to_string()],
+        );
+    }
+    rd.print();
+    rd.write_csv("ablation_rd_cut").ok();
+
+    // ---- 3. Exception patch value ----
+    let mut patch = Table::new(
+        "Ablation: exception patch value (packed width, vectors with exceptions)",
+        &["first_encoded", "zero-patch"],
+    );
+    for name in ["Gov/30", "CMS/1", "Food-prices"] {
+        let data = bench::dataset(name);
+        let mut first_bits = 0u64;
+        let mut zero_bits = 0u64;
+        let mut counted = 0u64;
+        for chunk in data.chunks(VECTOR_SIZE) {
+            let (combo, _) = full_search(chunk);
+            let v = alp::encode::encode_vector(chunk, combo.e, combo.f);
+            if v.exc_positions.is_empty() {
+                continue;
+            }
+            counted += 1;
+            first_bits += v.bit_width as u64;
+            // Re-encode with zero patches to compare the frame width.
+            let mut ints: Vec<i64> =
+                chunk.iter().map(|&n| encode_one(n, combo.e, combo.f)).collect();
+            for &p in &v.exc_positions {
+                ints[p as usize] = 0;
+            }
+            let (base, _) = ffor::frame_of(&ints);
+            let max = ints.iter().map(|&x| (x as u64).wrapping_sub(base as u64)).max().unwrap();
+            zero_bits += bits_needed(max) as u64;
+        }
+        if counted > 0 {
+            patch.row(
+                name,
+                vec![
+                    format!("{:.1} bits", first_bits as f64 / counted as f64),
+                    format!("{:.1} bits", zero_bits as f64 / counted as f64),
+                ],
+            );
+        }
+    }
+    patch.print();
+    println!("Patching with first_encoded keeps the frame tight; a zero patch widens it whenever 0 lies outside the value range (the paper's rationale).");
+    patch.write_csv("ablation_patch_value").ok();
+}

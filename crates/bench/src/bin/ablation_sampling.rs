@@ -1,0 +1,100 @@
+//! **Ablation** — sensitivity of compression ratio and compression time to
+//! the sampling parameters DESIGN.md calls out: the candidate budget `k`
+//! and the per-vector sample size (level-1 and level-2 share it here, as in
+//! the paper's tuning).
+//!
+//! The paper fixes k=5 and 32 samples/vector after tuning; this ablation
+//! shows the trade-off surface those defaults sit on.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_sampling
+//! ```
+
+use std::time::Instant;
+
+use alp::{Compressor, SamplerParams};
+use bench::tables::Table;
+
+const DATASETS: [&str; 6] =
+    ["City-Temp", "Stocks-USA", "CMS/1", "Gov/30", "Food-prices", "Basel-Temp"];
+
+fn run(params: SamplerParams) -> (f64, f64) {
+    let mut bits = 0usize;
+    let mut values = 0usize;
+    let mut seconds = 0.0;
+    let compressor = Compressor::with_params(params);
+    for name in DATASETS {
+        let data = bench::dataset(name);
+        let t0 = Instant::now();
+        let compressed = compressor.compress(&data);
+        seconds += t0.elapsed().as_secs_f64();
+        bits += compressed.compressed_bits();
+        values += data.len();
+    }
+    (bits as f64 / values as f64, seconds)
+}
+
+fn main() {
+    let base = SamplerParams::default();
+    let (base_bpv, base_time) = run(base);
+
+    let mut k_table = Table::new(
+        "Ablation: candidate budget k (avg bits/value over 6 datasets)",
+        &["bits/value", "vs k=5", "comp time", "vs k=5"],
+    );
+    for k in [1usize, 2, 3, 5, 8] {
+        let (bpv, secs) = run(SamplerParams { max_combinations: k, ..base });
+        k_table.row(
+            format!("k = {k}"),
+            vec![
+                format!("{bpv:.2}"),
+                format!("{:+.2}%", (bpv - base_bpv) / base_bpv * 100.0),
+                format!("{secs:.2}s"),
+                format!("{:+.0}%", (secs - base_time) / base_time * 100.0),
+            ],
+        );
+    }
+    k_table.print();
+    k_table.write_csv("ablation_sampling_k").ok();
+
+    let mut s_table = Table::new(
+        "Ablation: samples per vector (level-1 and level-2)",
+        &["bits/value", "vs 32", "comp time", "vs 32"],
+    );
+    for s in [8usize, 16, 32, 64, 128] {
+        let (bpv, secs) =
+            run(SamplerParams { sample_values: s, second_level_values: s, ..base });
+        s_table.row(
+            format!("{s} samples"),
+            vec![
+                format!("{bpv:.2}"),
+                format!("{:+.2}%", (bpv - base_bpv) / base_bpv * 100.0),
+                format!("{secs:.2}s"),
+                format!("{:+.0}%", (secs - base_time) / base_time * 100.0),
+            ],
+        );
+    }
+    s_table.print();
+    s_table.write_csv("ablation_sampling_values").ok();
+
+    let mut v_table = Table::new(
+        "Ablation: sampled vectors per row-group (level-1)",
+        &["bits/value", "vs 8", "comp time", "vs 8"],
+    );
+    for m in [2usize, 4, 8, 16, 32] {
+        let (bpv, secs) = run(SamplerParams { sample_vectors: m, ..base });
+        v_table.row(
+            format!("{m} vectors"),
+            vec![
+                format!("{bpv:.2}"),
+                format!("{:+.2}%", (bpv - base_bpv) / base_bpv * 100.0),
+                format!("{secs:.2}s"),
+                format!("{:+.0}%", (secs - base_time) / base_time * 100.0),
+            ],
+        );
+    }
+    v_table.print();
+    v_table.write_csv("ablation_sampling_vectors").ok();
+
+    println!("\nPaper's defaults: k=5, 32 samples/vector, 8 vectors/row-group.");
+}

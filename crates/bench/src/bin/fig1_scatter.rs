@@ -1,0 +1,67 @@
+//! **Figure 1** — the headline scatter: compression ratio vs compression
+//! speed vs decompression speed, one point per (scheme, dataset).
+//!
+//! Emits a CSV (`results/fig1_scatter.csv`) with columns
+//! `dataset,scheme,bits_per_value,compress_tpc,decompress_tpc` and prints a
+//! per-scheme summary. The paper's claim to check: ALP sits 1–2 orders of
+//! magnitude above every competitor in both speed axes while matching or
+//! beating their ratios.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig1_scatter
+//! ```
+
+use bench::schemes::{measure_speed, Scheme};
+use bench::tables::{results_dir, Table};
+
+fn main() {
+    let batch_ms: u64 =
+        std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+
+    let mut csv = String::from("dataset,scheme,bits_per_value,compress_tpc,decompress_tpc\n");
+    // (scheme, bits/value series, compression t/c series, decompression t/c series)
+    type Row = (Scheme, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut summary: Vec<Row> =
+        Scheme::SPEED.iter().map(|&s| (s, Vec::new(), Vec::new(), Vec::new())).collect();
+
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        for (i, &scheme) in Scheme::SPEED.iter().enumerate() {
+            let bpv = scheme.bits_per_value(&data);
+            let speed = measure_speed(scheme, &data, batch_ms);
+            csv.push_str(&format!(
+                "{},{},{:.2},{:.4},{:.4}\n",
+                ds.name,
+                scheme.name(),
+                bpv,
+                speed.compress_tpc(),
+                speed.decompress_tpc()
+            ));
+            summary[i].1.push(bpv);
+            summary[i].2.push(speed.compress_tpc());
+            summary[i].3.push(speed.decompress_tpc());
+        }
+        eprintln!("done: {}", ds.name);
+    }
+
+    std::fs::create_dir_all(results_dir()).ok();
+    let path = results_dir().join("fig1_scatter.csv");
+    std::fs::write(&path, &csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+
+    let mut table = Table::new(
+        "Figure 1 summary (averages over datasets)",
+        &["bits/value", "comp t/c", "dec t/c"],
+    );
+    for (scheme, bpvs, cts, dts) in &summary {
+        table.row(
+            scheme.name(),
+            vec![
+                format!("{:.1}", bench::mean(bpvs)),
+                format!("{:.3}", bench::mean(cts)),
+                format!("{:.3}", bench::mean(dts)),
+            ],
+        );
+    }
+    table.print();
+}

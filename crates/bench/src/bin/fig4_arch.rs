@@ -1,0 +1,94 @@
+//! **Figure 4** — decompression speed of ALP's decode implementations.
+//!
+//! The paper compares SIMDized / auto-vectorized / scalar builds across five
+//! CPU architectures. With a single host CPU we reproduce the software axis:
+//!
+//! * `fused` — the production branch-free kernel (auto-vectorizable),
+//! * `unfused` — same math through a materialized integer buffer,
+//! * `scalar` — deliberately value-at-a-time with per-value branching
+//!   (proxy for the `-fno-vectorize` builds of the paper).
+//!
+//! To reproduce the ISA axis, re-run with
+//! `RUSTFLAGS="-C target-cpu=native"` vs the default target.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig4_arch
+//! ```
+
+use alp::VECTOR_SIZE;
+use bench::tables::Table;
+use bench::timing::measure;
+
+fn main() {
+    let batch_ms: u64 =
+        std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let mut table = Table::new(
+        "Figure 4: ALP decode variants (tuples per cycle, higher is better)",
+        &["fused", "unfused", "scalar", "fused/scalar"],
+    );
+
+    let mut speedups = Vec::new();
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        let compressed = alp::Compressor::new().compress(&data);
+        // First ALP-encoded (non-rd) vector, or skip rd-only datasets for the
+        // decimal kernel comparison.
+        let Some(vector) = compressed.rowgroups.iter().find_map(|rg| match rg {
+            alp::RowGroup::Alp(vs) => vs.first().cloned(),
+            _ => None,
+        }) else {
+            eprintln!("skip {} (ALP_rd row-groups only)", ds.name);
+            continue;
+        };
+
+        let mut out = vec![0.0f64; VECTOR_SIZE];
+        let mut scratch = vec![0i64; VECTOR_SIZE];
+        let fused = measure(
+            || {
+                alp::decode::decode_vector(&vector, &mut out);
+                std::hint::black_box(&out);
+            },
+            batch_ms,
+            3,
+        );
+        let unfused = measure(
+            || {
+                alp::decode::decode_vector_unfused(&vector, &mut scratch, &mut out);
+                std::hint::black_box(&out);
+            },
+            batch_ms,
+            3,
+        );
+        let scalar = measure(
+            || {
+                alp::decode::decode_vector_scalar(&vector, &mut out);
+                std::hint::black_box(&out);
+            },
+            batch_ms,
+            3,
+        );
+        let f = fused.tuples_per_cycle(VECTOR_SIZE);
+        let u = unfused.tuples_per_cycle(VECTOR_SIZE);
+        let s = scalar.tuples_per_cycle(VECTOR_SIZE);
+        speedups.push(f / s);
+        table.row(
+            ds.name,
+            vec![format!("{f:.3}"), format!("{u:.3}"), format!("{s:.3}"), format!("{:.1}x", f / s)],
+        );
+    }
+
+    table.print();
+    println!("\nmedian fused/scalar speedup: {:.1}x", median(&mut speedups));
+    if let Ok(p) = table.write_csv("fig4_arch") {
+        eprintln!("wrote {}", p.display());
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}

@@ -1,0 +1,111 @@
+//! **Figure 5** — kernel fusion ablation: ALP decode with FFOR fused into the
+//! multiply loop vs two separate kernels.
+//!
+//! Top: per-dataset comparison (first ALP vector of each dataset).
+//! Bottom: synthetic vectors sweeping every packed bit width 0..=52, the
+//! robustness check the paper adds because real datasets do not cover all
+//! widths.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig5_fusion
+//! ```
+
+use alp::encode::AlpVector;
+use alp::VECTOR_SIZE;
+use bench::tables::Table;
+use bench::timing::measure;
+use fastlanes::ffor;
+
+fn bench_vector(vector: &AlpVector, batch_ms: u64) -> (f64, f64) {
+    let mut out = vec![0.0f64; VECTOR_SIZE];
+    let mut scratch = vec![0i64; VECTOR_SIZE];
+    let fused = measure(
+        || {
+            alp::decode::decode_vector(vector, &mut out);
+            std::hint::black_box(&out);
+        },
+        batch_ms,
+        3,
+    );
+    let unfused = measure(
+        || {
+            alp::decode::decode_vector_unfused(vector, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        },
+        batch_ms,
+        3,
+    );
+    (fused.tuples_per_cycle(VECTOR_SIZE), unfused.tuples_per_cycle(VECTOR_SIZE))
+}
+
+fn main() {
+    let batch_ms: u64 =
+        std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+
+    // ---- Top: datasets ----
+    let mut table = Table::new(
+        "Figure 5 (top): fused vs unfused decode on datasets (tuples/cycle)",
+        &["fused", "unfused", "speedup"],
+    );
+    let mut speedups = Vec::new();
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        let compressed = alp::Compressor::new().compress(&data);
+        let Some(vector) = compressed.rowgroups.iter().find_map(|rg| match rg {
+            alp::RowGroup::Alp(vs) => vs.first().cloned(),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let (f, u) = bench_vector(&vector, batch_ms);
+        speedups.push(f / u);
+        table.row(
+            ds.name,
+            vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)],
+        );
+    }
+    table.print();
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !speedups.is_empty() {
+        println!("median fusion speedup: {:.2}x (paper: ~1.4x median)", speedups[speedups.len() / 2]);
+    }
+    table.write_csv("fig5_fusion_datasets").ok();
+
+    // ---- Bottom: synthetic bit widths 0..=52 ----
+    let mut sweep = Table::new(
+        "Figure 5 (bottom): fused vs unfused by packed bit width (tuples/cycle)",
+        &["fused", "unfused", "speedup"],
+    );
+    for width in 0..=52usize {
+        // Build a synthetic ALP vector with exactly this packed width: encoded
+        // integers spanning [0, 2^width) with e=f=0 (identity decimals).
+        let ints: Vec<i64> = (0..VECTOR_SIZE as u64)
+            .map(|i| {
+                if width == 0 {
+                    0
+                } else {
+                    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << width) - 1)) as i64
+                }
+            })
+            .collect();
+        let (base, w) = ffor::frame_of(&ints);
+        let packed = ffor::ffor_pack(&ints, base, w);
+        let vector = AlpVector {
+            exponent: 14,
+            factor: 14,
+            bit_width: w as u8,
+            for_base: base,
+            packed,
+            exc_positions: Vec::new(),
+            exc_values: Vec::new(),
+            len: VECTOR_SIZE as u16,
+        };
+        let (f, u) = bench_vector(&vector, batch_ms);
+        sweep.row(
+            format!("width {width:>2}"),
+            vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)],
+        );
+    }
+    sweep.print();
+    sweep.write_csv("fig5_fusion_widths").ok();
+}

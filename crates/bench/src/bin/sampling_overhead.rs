@@ -1,0 +1,109 @@
+//! **§4.2 "Sampling Overhead in Compression"** — three measurements:
+//!
+//! 1. the histogram of how many candidate combinations each vector's
+//!    second-level sampling tried (paper: ~54% skip it entirely; 22.9% try 2,
+//!    20.0% try 3, 2.9% try 4, 0.3% try 5);
+//! 2. the share of total compression time spent in second-level sampling
+//!    (paper: ≈6%);
+//! 3. the compression-ratio gain a full brute-force search per vector would
+//!    deliver over the sampled parameters (paper: <1%).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin sampling_overhead
+//! ```
+
+use std::time::Instant;
+
+use alp::sampler::{full_search, SamplerParams};
+use alp::{Compressor, VECTOR_SIZE};
+use bench::tables::Table;
+
+fn main() {
+    let mut hist = [0usize; 8];
+    let mut total_vectors = 0usize;
+    let mut skipped = 0usize;
+
+    let mut sampled_time = 0.0f64;
+    let mut total_time = 0.0f64;
+    let mut sampled_bits = 0usize;
+    let mut brute_bits = 0usize;
+    let mut uncompressed_values = 0usize;
+
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+
+        // Full compression (includes both sampling levels).
+        let t0 = Instant::now();
+        let compressed = Compressor::new().compress(&data);
+        total_time += t0.elapsed().as_secs_f64();
+
+        for (i, &n) in compressed.stats.combinations_tried.iter().enumerate() {
+            hist[i] += n;
+        }
+        total_vectors += compressed.stats.vectors_encoded;
+        skipped += compressed.stats.second_level_skipped;
+        let rd_dataset = compressed.stats.rowgroups_rd > 0;
+        if !rd_dataset {
+            sampled_bits += compressed.compressed_bits();
+            uncompressed_values += data.len();
+        }
+
+        // Isolate second-level time: re-run level-2 on every vector.
+        let params = SamplerParams::default();
+        let outcome = alp::sampler::first_level(&data, &params);
+        let mut stats = alp::SamplerStats::default();
+        let t1 = Instant::now();
+        for chunk in data.chunks(VECTOR_SIZE) {
+            std::hint::black_box(alp::sampler::second_level(
+                chunk,
+                &outcome.combinations,
+                &params,
+                &mut stats,
+            ));
+        }
+        sampled_time += t1.elapsed().as_secs_f64();
+
+        // Brute force: best combination per vector over the full space, then
+        // encode with it. Only meaningful for decimal (non-rd) datasets.
+        if !rd_dataset {
+            let mut bits = 0usize;
+            for chunk in data.chunks(VECTOR_SIZE) {
+                let (combo, _) = full_search(chunk);
+                let v = alp::encode::encode_vector(chunk, combo.e, combo.f);
+                bits += v.compressed_bits::<f64>();
+            }
+            brute_bits += bits;
+        }
+        eprintln!("done: {}", ds.name);
+    }
+
+    let mut table = Table::new(
+        "Second-level sampling: combinations tried per vector",
+        &["vectors", "% of vectors"],
+    );
+    for (tried, &n) in hist.iter().enumerate().skip(1) {
+        if n > 0 {
+            table.row(
+                format!("{tried} combination(s)"),
+                vec![n.to_string(), format!("{:.1}%", n as f64 / total_vectors as f64 * 100.0)],
+            );
+        }
+    }
+    table.print();
+
+    println!(
+        "\nvectors skipping second-level sampling (k'=1): {:.1}% (paper: ~54%)",
+        skipped as f64 / total_vectors as f64 * 100.0
+    );
+    println!(
+        "second-level sampling share of compression time: {:.1}% (paper: ~6%)",
+        sampled_time / total_time * 100.0
+    );
+    let sampled_bpv = sampled_bits as f64 / uncompressed_values as f64;
+    let brute_bpv = brute_bits as f64 / uncompressed_values as f64;
+    println!(
+        "sampled {sampled_bpv:.2} bits/value vs brute-force {brute_bpv:.2}: brute-force gains {:.2}% (paper: <1%)",
+        (sampled_bpv - brute_bpv) / sampled_bpv * 100.0
+    );
+    table.write_csv("sampling_overhead").ok();
+}

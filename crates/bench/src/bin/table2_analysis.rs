@@ -1,0 +1,68 @@
+//! **Table 2** — detailed metrics computed on the datasets (§2).
+//!
+//! Prints, for every synthetic dataset: decimal precision (max/min/avg/vector
+//! std-dev), per-vector non-unique fraction, value magnitude (avg/std), IEEE
+//! exponent (avg/std per vector), success of the naive `P_enc`/`P_dec`
+//! procedures with per-value / per-dataset / per-vector exponents, and the
+//! XOR-with-previous leading/trailing zero bits.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table2_analysis
+//! ```
+
+use alp::analysis::dataset_metrics;
+use bench::tables::Table;
+
+fn main() {
+    let headers = [
+        "prec.max", "prec.min", "prec.avg", "prec.std", "nonuniq%", "val.avg", "val.std",
+        "exp.avg", "exp.std", "penc.val%", "best.e", "penc.ds%", "penc.vec%", "xor.lz", "xor.tz",
+    ];
+    let headers: Vec<&str> = headers.into();
+    let mut table = Table::new("Table 2: dataset metrics", &headers);
+
+    let mut ts_rows: Vec<Vec<f64>> = Vec::new();
+    let mut nts_rows: Vec<Vec<f64>> = Vec::new();
+
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        let m = dataset_metrics(&data);
+        let row = vec![
+            m.precision.max,
+            m.precision.min,
+            m.precision.mean,
+            m.precision.std_dev,
+            m.non_unique_fraction * 100.0,
+            m.magnitude.mean,
+            m.magnitude.std_dev,
+            m.ieee_exponent_mean,
+            m.ieee_exponent_std,
+            m.penc_per_value * 100.0,
+            m.penc_best_exponent as f64,
+            m.penc_per_dataset * 100.0,
+            m.penc_per_vector * 100.0,
+            m.xor_leading_zeros,
+            m.xor_trailing_zeros,
+        ];
+        if ds.time_series {
+            ts_rows.push(row.clone());
+        } else {
+            nts_rows.push(row.clone());
+        }
+        table.row_f64(ds.name, &row, 1);
+    }
+
+    let avg = |rows: &[Vec<f64>]| -> Vec<f64> {
+        let n = rows.len() as f64;
+        (0..rows[0].len()).map(|c| rows.iter().map(|r| r[c]).sum::<f64>() / n).collect()
+    };
+    table.row_f64("TS AVG.", &avg(&ts_rows), 1);
+    table.row_f64("NON-TS AVG.", &avg(&nts_rows), 1);
+    let all: Vec<Vec<f64>> = ts_rows.into_iter().chain(nts_rows).collect();
+    table.row_f64("ALL AVG.", &avg(&all), 1);
+
+    table.print();
+    if let Ok(p) = table.write_csv("table2_analysis") {
+        eprintln!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! **Table 4** — compression ratio in bits per value for every scheme on
+//! every dataset (§4.1). Every measurement verifies bit-exact losslessness.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table4_ratio
+//! ```
+
+use bench::schemes::Scheme;
+use bench::tables::Table;
+
+fn main() {
+    let headers: Vec<&str> = Scheme::TABLE4.iter().map(|s| s.name()).collect();
+    let mut table = Table::new("Table 4: compression ratio (bits per value)", &headers);
+
+    let mut ts_rows: Vec<Vec<f64>> = Vec::new();
+    let mut nts_rows: Vec<Vec<f64>> = Vec::new();
+
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        let row: Vec<f64> = Scheme::TABLE4.iter().map(|s| s.bits_per_value(&data)).collect();
+        if ds.time_series {
+            ts_rows.push(row.clone());
+        } else {
+            nts_rows.push(row.clone());
+        }
+        table.row_f64(ds.name, &row, 1);
+        eprintln!("done: {}", ds.name);
+    }
+
+    let avg = |rows: &[Vec<f64>]| -> Vec<f64> {
+        let n = rows.len() as f64;
+        (0..rows[0].len()).map(|c| rows.iter().map(|r| r[c]).sum::<f64>() / n).collect()
+    };
+    let ts_avg = avg(&ts_rows);
+    let nts_avg = avg(&nts_rows);
+    table.row_f64("TS AVG.", &ts_avg, 1);
+    table.row_f64("NON-TS AVG.", &nts_avg, 1);
+    let all: Vec<Vec<f64>> = ts_rows.into_iter().chain(nts_rows).collect();
+    let all_avg = avg(&all);
+    table.row_f64("ALL AVG.", &all_avg, 1);
+
+    table.print();
+    if let Ok(p) = table.write_csv("table4_ratio") {
+        eprintln!("\nwrote {}", p.display());
+    }
+
+    // Headline comparisons the paper calls out.
+    let idx = |name: &str| Scheme::TABLE4.iter().position(|s| s.name() == name).unwrap();
+    let alp = all_avg[idx("ALP")];
+    println!("\nHeadline (ALL AVG. bits/value):");
+    for name in ["Gorilla", "Chimp", "Chimp128", "Patas", "PDE", "Elf", "Zstd*", "LWC+ALP"] {
+        let v = all_avg[idx(name)];
+        println!("  ALP {alp:.1} vs {name} {v:.1}  ({:+.0}% vs ALP)", (v - alp) / v * 100.0);
+    }
+}

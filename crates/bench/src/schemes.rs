@@ -1,0 +1,227 @@
+//! Registry of every compression scheme in the evaluation, with uniform
+//! ratio- and speed-measurement entry points.
+
+use alp::cascade::CascadeCompressor;
+use alp::{Compressor, VECTOR_SIZE};
+
+use crate::timing::{measure, Measurement};
+
+/// One column of the paper's Table 4 / one series of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// A baseline float codec.
+    Codec(codecs::Codec),
+    /// ALP (this paper).
+    Alp,
+    /// ALP behind a Dictionary/RLE cascade ("LWC+ALP").
+    LwcAlp,
+    /// GPZip — the Zstd stand-in.
+    Gpzip,
+}
+
+impl Scheme {
+    /// Table 4 column order.
+    pub const TABLE4: [Scheme; 9] = [
+        Scheme::Codec(codecs::Codec::Gorilla),
+        Scheme::Codec(codecs::Codec::Chimp),
+        Scheme::Codec(codecs::Codec::Chimp128),
+        Scheme::Codec(codecs::Codec::Patas),
+        Scheme::Codec(codecs::Codec::Pde),
+        Scheme::Codec(codecs::Codec::Elf),
+        Scheme::Alp,
+        Scheme::LwcAlp,
+        Scheme::Gpzip,
+    ];
+
+    /// Schemes measured for speed (Figure 1 / Table 5): the cascade is a
+    /// ratio-only configuration, everything else is timed.
+    pub const SPEED: [Scheme; 8] = [
+        Scheme::Alp,
+        Scheme::Codec(codecs::Codec::Chimp),
+        Scheme::Codec(codecs::Codec::Chimp128),
+        Scheme::Codec(codecs::Codec::Elf),
+        Scheme::Codec(codecs::Codec::Gorilla),
+        Scheme::Codec(codecs::Codec::Pde),
+        Scheme::Codec(codecs::Codec::Patas),
+        Scheme::Gpzip,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Codec(c) => c.name(),
+            Scheme::Alp => "ALP",
+            Scheme::LwcAlp => "LWC+ALP",
+            Scheme::Gpzip => "Zstd*",
+        }
+    }
+
+    /// Compression ratio in bits per value on `data` (verifying losslessness).
+    pub fn bits_per_value(&self, data: &[f64]) -> f64 {
+        assert!(!data.is_empty());
+        match self {
+            Scheme::Codec(c) => {
+                let bytes = c.compress_f64(data);
+                let back = c.decompress_f64(&bytes, data.len());
+                assert_roundtrip(data, &back, c.name());
+                bytes.len() as f64 * 8.0 / data.len() as f64
+            }
+            Scheme::Alp => {
+                let compressed = Compressor::new().compress(data);
+                let back = compressed.decompress();
+                assert_roundtrip(data, &back, "ALP");
+                compressed.bits_per_value()
+            }
+            Scheme::LwcAlp => {
+                let compressed = CascadeCompressor::new().compress(data);
+                let back = compressed.decompress();
+                assert_roundtrip(data, &back, "LWC+ALP");
+                compressed.bits_per_value()
+            }
+            Scheme::Gpzip => {
+                let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+                let compressed = gpzip::compress(&bytes);
+                assert_eq!(gpzip::decompress(&compressed), bytes, "GPZip roundtrip");
+                compressed.len() as f64 * 8.0 / data.len() as f64
+            }
+        }
+    }
+}
+
+fn assert_roundtrip(data: &[f64], back: &[f64], name: &str) {
+    assert_eq!(data.len(), back.len(), "{name} length");
+    for (i, (a, b)) in data.iter().zip(back).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{name} not lossless at {i}");
+    }
+}
+
+/// Speed measurement of one scheme on one dataset: an L1-resident vector
+/// (1024 values) compressed/decompressed repeatedly, except GPZip which runs
+/// on a whole row-group (it is block-based — §4.2's methodology).
+#[derive(Debug, Clone, Copy)]
+pub struct Speed {
+    /// Compression throughput.
+    pub compress: Measurement,
+    /// Decompression throughput.
+    pub decompress: Measurement,
+    /// Values processed per call.
+    pub tuples: usize,
+}
+
+impl Speed {
+    /// Tuples per cycle for compression.
+    pub fn compress_tpc(&self) -> f64 {
+        self.compress.tuples_per_cycle(self.tuples)
+    }
+    /// Tuples per cycle for decompression.
+    pub fn decompress_tpc(&self) -> f64 {
+        self.decompress.tuples_per_cycle(self.tuples)
+    }
+}
+
+/// Measures a scheme's speed on a dataset (first 1024 values / first
+/// row-group). `min_batch_ms` trades accuracy for runtime.
+pub fn measure_speed(scheme: Scheme, data: &[f64], min_batch_ms: u64) -> Speed {
+    let vector: Vec<f64> = data.iter().copied().take(VECTOR_SIZE).collect();
+    assert_eq!(vector.len(), VECTOR_SIZE, "need at least one full vector");
+    match scheme {
+        Scheme::Alp => {
+            // Micro-benchmark scope per the paper: second-level sampling +
+            // encode (+FFOR) for compression; fused decode for decompression.
+            // Row-group (first-level) sampling is amortized and excluded.
+            let params = alp::SamplerParams::default();
+            let outcome = alp::sampler::first_level(data, &params);
+            let combos = outcome.combinations.clone();
+            let mut stats = alp::SamplerStats::default();
+            let compress = measure(
+                || {
+                    let combo = alp::sampler::second_level(&vector, &combos, &params, &mut stats);
+                    std::hint::black_box(alp::encode::encode_vector(&vector, combo.e, combo.f));
+                },
+                min_batch_ms,
+                3,
+            );
+            let combo = alp::sampler::second_level(&vector, &combos, &params, &mut stats);
+            let encoded = alp::encode::encode_vector(&vector, combo.e, combo.f);
+            let mut out = vec![0.0f64; VECTOR_SIZE];
+            let decompress = measure(
+                || {
+                    alp::decode::decode_vector(&encoded, &mut out);
+                    std::hint::black_box(&out);
+                },
+                min_batch_ms,
+                3,
+            );
+            Speed { compress, decompress, tuples: VECTOR_SIZE }
+        }
+        Scheme::Codec(codec) => {
+            let compress = measure(
+                || {
+                    std::hint::black_box(codec.compress_f64(&vector));
+                },
+                min_batch_ms,
+                3,
+            );
+            let bytes = codec.compress_f64(&vector);
+            let decompress = measure(
+                || {
+                    std::hint::black_box(codec.decompress_f64(&bytes, vector.len()));
+                },
+                min_batch_ms,
+                3,
+            );
+            Speed { compress, decompress, tuples: VECTOR_SIZE }
+        }
+        Scheme::Gpzip => {
+            let rg_len = data.len().min(vectorq::ROWGROUP_VALUES);
+            let raw: Vec<u8> = data[..rg_len].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let compress = measure(
+                || {
+                    std::hint::black_box(gpzip::compress(&raw));
+                },
+                min_batch_ms,
+                3,
+            );
+            let bytes = gpzip::compress(&raw);
+            let decompress = measure(
+                || {
+                    std::hint::black_box(gpzip::decompress(&bytes));
+                },
+                min_batch_ms,
+                3,
+            );
+            Speed { compress, decompress, tuples: rg_len }
+        }
+        Scheme::LwcAlp => panic!("LWC+ALP is a ratio-only configuration"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table4_scheme_reports_a_ratio() {
+        let data: Vec<f64> = (0..4096).map(|i| ((i % 91) as f64) / 10.0).collect();
+        for scheme in Scheme::TABLE4 {
+            let bpv = scheme.bits_per_value(&data);
+            assert!(bpv > 0.0 && bpv < 128.0, "{}: {bpv}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn alp_beats_xor_codecs_on_decimals() {
+        let data: Vec<f64> = (0..8192).map(|i| ((i * 37 % 9973) as f64) / 100.0).collect();
+        let alp = Scheme::Alp.bits_per_value(&data);
+        let gorilla = Scheme::Codec(codecs::Codec::Gorilla).bits_per_value(&data);
+        assert!(alp < gorilla, "alp {alp} gorilla {gorilla}");
+    }
+
+    #[test]
+    fn speed_measurement_runs_quickly() {
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64) / 8.0).collect();
+        let s = measure_speed(Scheme::Alp, &data, 1);
+        assert!(s.decompress_tpc() > 0.0);
+        assert!(s.compress_tpc() > 0.0);
+    }
+}

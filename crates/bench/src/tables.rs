@@ -1,0 +1,121 @@
+//! Plain-text table rendering and CSV export for the harness binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple left-labelled numeric table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// New table with column headers (the first column is the row label).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row of already-formatted cells.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Adds a row of floats rendered with `decimals` places.
+    pub fn row_f64(&mut self, label: impl Into<String>, values: &[f64], decimals: usize) {
+        self.row(label, values.iter().map(|v| format!("{v:.decimals$}")).collect());
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap();
+        let col_w: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .filter_map(|(_, cells)| cells.get(i).map(|c| c.len()))
+                    .chain([h.len()])
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+
+        println!("\n== {} ==", self.title);
+        print!("{:<label_w$}", "");
+        for (h, w) in self.headers.iter().zip(&col_w) {
+            print!("  {h:>w$}");
+        }
+        println!();
+        for (label, cells) in &self.rows {
+            print!("{label:<label_w$}");
+            for (c, w) in cells.iter().zip(&col_w) {
+                print!("  {c:>w$}");
+            }
+            println!();
+        }
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv` (relative to the
+    /// workspace root when run via cargo) and returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        csv.push_str("name");
+        for h in &self.headers {
+            csv.push(',');
+            csv.push_str(h);
+        }
+        csv.push('\n');
+        for (label, cells) in &self.rows {
+            csv.push_str(label);
+            for c in cells {
+                csv.push(',');
+                csv.push_str(c);
+            }
+            csv.push('\n');
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Directory benchmark CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var("ALP_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_exports() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row_f64("row1", &[1.234, 5.6789], 2);
+        t.row("row2", vec!["x".into(), "y".into()]);
+        t.print();
+        let dir = std::env::temp_dir().join("alp_table_test");
+        std::env::set_var("ALP_RESULTS_DIR", &dir);
+        let path = t.write_csv("demo_test").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("row1,1.23,5.68"));
+        std::env::remove_var("ALP_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,84 @@
+/// Append-only MSB-first bit writer backed by a `Vec<u8>`.
+///
+/// Bits accumulate in a 64-bit staging register and are flushed to the byte
+/// buffer eight at a time, so the hot `write_bits` path touches the heap at
+/// most once per call.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Staging register; valid bits occupy the *top* `filled` positions.
+    acc: u64,
+    /// Number of valid bits currently staged in `acc` (0..8).
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            acc: 0,
+            filled: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.filled as u64
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Appends the lowest `width` bits of `value`, most significant first.
+    ///
+    /// `width` must be `0..=64`; bits of `value` above `width` are ignored.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        if width == 0 {
+            return;
+        }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let mut remaining = width;
+        // Fill the staging byte; spill full bytes to the buffer.
+        while remaining > 0 {
+            let room = 8 - self.filled;
+            let take = remaining.min(room);
+            // Bits of `value` to emit next are its top `take` of the remaining ones.
+            let chunk = (value >> (remaining - take)) & ((1u64 << take) - 1);
+            self.acc = (self.acc << take) | chunk;
+            self.filled += take;
+            remaining -= take;
+            if self.filled == 8 {
+                self.bytes.push(self.acc as u8);
+                self.acc = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            let pad = 8 - self.filled;
+            self.bytes.push((self.acc << pad) as u8);
+            self.acc = 0;
+            self.filled = 0;
+        }
+        self.bytes
+    }
+}

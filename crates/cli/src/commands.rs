@@ -1,0 +1,288 @@
+//! Implementations of the CLI subcommands.
+
+use std::error::Error;
+use std::fs;
+use std::time::Instant;
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Reads a raw little-endian `f64` file.
+pub fn read_f64(path: &str) -> Result<Vec<f64>> {
+    let bytes = fs::read(path)?;
+    if bytes.len() % 8 != 0 {
+        return Err(format!("{path}: length {} is not a multiple of 8", bytes.len()).into());
+    }
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Reads a raw little-endian `f32` file.
+pub fn read_f32(path: &str) -> Result<Vec<f32>> {
+    let bytes = fs::read(path)?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()).into());
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+fn write_f64(path: &str, data: &[f64]) -> Result<()> {
+    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// `alp compress <in> <out> [--f32]`
+pub fn compress(input: &str, output: &str, f32_mode: bool) -> Result<()> {
+    let t0 = Instant::now();
+    let (bytes, values, bpv) = if f32_mode {
+        let data = read_f32(input)?;
+        let compressed = alp::Compressor::new().compress(&data);
+        (alp::format::to_bytes(&compressed), data.len(), compressed.bits_per_value())
+    } else {
+        let data = read_f64(input)?;
+        let compressed = alp::Compressor::new().compress(&data);
+        (alp::format::to_bytes(&compressed), data.len(), compressed.bits_per_value())
+    };
+    fs::write(output, &bytes)?;
+    let raw_bits = if f32_mode { 32.0 } else { 64.0 };
+    println!(
+        "{values} values -> {} bytes  ({bpv:.2} bits/value, {:.1}x, {:.0} ms)",
+        bytes.len(),
+        raw_bits / bpv,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `alp decompress <in> <out>`
+pub fn decompress(input: &str, output: &str) -> Result<()> {
+    let bytes = fs::read(input)?;
+    // Peek at the width byte (after the 4-byte magic).
+    let bits = *bytes.get(4).ok_or("file too short")?;
+    match bits {
+        64 => {
+            let compressed = alp::format::from_bytes::<f64>(&bytes)?;
+            let data = compressed.decompress();
+            write_f64(output, &data)?;
+            println!("{} values -> {output}", data.len());
+        }
+        32 => {
+            let compressed = alp::format::from_bytes::<f32>(&bytes)?;
+            let data = compressed.decompress();
+            let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+            fs::write(output, raw)?;
+            println!("{} values (f32) -> {output}", data.len());
+        }
+        other => return Err(format!("unsupported float width {other}").into()),
+    }
+    Ok(())
+}
+
+/// `alp inspect <in>`
+pub fn inspect(input: &str) -> Result<()> {
+    let bytes = fs::read(input)?;
+    let bits = *bytes.get(4).ok_or("file too short")?;
+    if bits == 32 {
+        let c = alp::format::from_bytes::<f32>(&bytes)?;
+        print_structure(&c.rowgroups, c.len, 32, bytes.len());
+    } else {
+        let c = alp::format::from_bytes::<f64>(&bytes)?;
+        print_structure(&c.rowgroups, c.len, 64, bytes.len());
+    }
+    Ok(())
+}
+
+fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_bytes: usize) {
+    println!("ALP column: {len} values of f{bits}, {} row-groups, {file_bytes} bytes", rowgroups.len());
+    println!("{:<6} {:<8} {:>8} {:>10} {:>12}", "rg", "scheme", "vectors", "values", "exceptions");
+    for (i, rg) in rowgroups.iter().enumerate() {
+        let (scheme, exceptions) = match rg {
+            alp::RowGroup::Alp(vs) => {
+                ("ALP", vs.iter().map(|v| v.exception_count()).sum::<usize>())
+            }
+            alp::RowGroup::Rd(_, vs) => {
+                ("ALP_rd", vs.iter().map(|v| v.exception_count()).sum::<usize>())
+            }
+        };
+        println!("{i:<6} {scheme:<8} {:>8} {:>10} {exceptions:>12}", rg.vector_count(), rg.len());
+    }
+}
+
+/// `alp stats <in> [--f32]`
+pub fn stats(input: &str, f32_mode: bool) -> Result<()> {
+    let data: Vec<f64> = if f32_mode {
+        read_f32(input)?.into_iter().map(|v| v as f64).collect()
+    } else {
+        read_f64(input)?
+    };
+    if data.is_empty() {
+        return Err("empty input".into());
+    }
+    let m = alp::analysis::dataset_metrics(&data);
+    println!("values                 : {}", data.len());
+    println!("decimal precision      : max {} min {} avg {:.1}", m.precision.max, m.precision.min, m.precision.mean);
+    println!("per-vector prec stddev : {:.2}", m.precision.std_dev);
+    println!("non-unique per vector  : {:.1}%", m.non_unique_fraction * 100.0);
+    println!("value mean / std       : {:.4} / {:.4}", m.magnitude.mean, m.magnitude.std_dev);
+    println!("IEEE exponent mean/std : {:.1} / {:.1}", m.ieee_exponent_mean, m.ieee_exponent_std);
+    println!("P_enc per-value        : {:.1}%", m.penc_per_value * 100.0);
+    println!("P_enc best exponent    : e={} ({:.1}%)", m.penc_best_exponent, m.penc_per_dataset * 100.0);
+    println!("P_enc per-vector       : {:.1}%", m.penc_per_vector * 100.0);
+    println!("XOR leading/trailing 0 : {:.1} / {:.1} bits", m.xor_leading_zeros, m.xor_trailing_zeros);
+    Ok(())
+}
+
+/// `alp gen <dataset> <n> <out>`
+pub fn generate(dataset: &str, n: &str, output: &str) -> Result<()> {
+    let n: usize = n.parse().map_err(|_| format!("bad count {n:?}"))?;
+    if !datagen::DATASETS.iter().any(|d| d.name == dataset) {
+        return Err(format!("unknown dataset {dataset:?} (try `alp datasets`)").into());
+    }
+    let data = datagen::generate(dataset, n, 42);
+    write_f64(output, &data)?;
+    println!("{dataset}: {n} values -> {output}");
+    Ok(())
+}
+
+/// `alp datasets`
+pub fn list_datasets() -> Result<()> {
+    println!("{:<14} {:<6} generator", "name", "kind");
+    for d in &datagen::DATASETS {
+        let kind = if d.time_series { "TS" } else { "non-TS" };
+        println!("{:<14} {:<6} {:?}", d.name, kind, d.spec);
+    }
+    Ok(())
+}
+
+/// `alp shootout <in>`
+pub fn shootout(input: &str) -> Result<()> {
+    let data = read_f64(input)?;
+    if data.is_empty() {
+        return Err("empty input".into());
+    }
+    let mb = data.len() as f64 * 8.0 / 1e6;
+    println!("{:<10} {:>11} {:>12} {:>12}", "scheme", "bits/value", "comp MB/s", "dec MB/s");
+
+    let t0 = Instant::now();
+    let compressed = alp::Compressor::new().compress(&data);
+    let c = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let back = compressed.decompress();
+    let d = t0.elapsed().as_secs_f64();
+    verify(&data, &back, "ALP")?;
+    println!("{:<10} {:>11.2} {:>12.0} {:>12.0}", "ALP", compressed.bits_per_value(), mb / c, mb / d);
+
+    for codec in codecs::Codec::EXTENDED {
+        let t0 = Instant::now();
+        let bytes = codec.compress_f64(&data);
+        let c = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let back = codec.decompress_f64(&bytes, data.len());
+        let d = t0.elapsed().as_secs_f64();
+        verify(&data, &back, codec.name())?;
+        println!(
+            "{:<10} {:>11.2} {:>12.0} {:>12.0}",
+            codec.name(),
+            bytes.len() as f64 * 8.0 / data.len() as f64,
+            mb / c,
+            mb / d
+        );
+    }
+
+    let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    for (name, comp, dec) in [
+        ("Zstd*", gpzip::compress as fn(&[u8]) -> Vec<u8>, gpzip::decompress as fn(&[u8]) -> Vec<u8>),
+        ("LZ4*", gpzip::fast::compress, gpzip::fast::decompress),
+    ] {
+        let t0 = Instant::now();
+        let z = comp(&raw);
+        let c = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let back = dec(&z);
+        let d = t0.elapsed().as_secs_f64();
+        if back != raw {
+            return Err(format!("{name} roundtrip failed").into());
+        }
+        println!(
+            "{:<10} {:>11.2} {:>12.0} {:>12.0}",
+            name,
+            z.len() as f64 * 8.0 / data.len() as f64,
+            mb / c,
+            mb / d
+        );
+    }
+    Ok(())
+}
+
+fn verify(a: &[f64], b: &[f64], name: &str) -> Result<()> {
+    if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()) {
+        return Err(format!("{name} roundtrip failed").into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("alp_cli_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn compress_decompress_cycle() {
+        let input = tmp("cycle.f64");
+        let packed = tmp("cycle.alp");
+        let restored = tmp("cycle_restored.f64");
+        let data: Vec<f64> = (0..50_000).map(|i| (i % 777) as f64 / 4.0).collect();
+        write_f64(&input, &data).unwrap();
+        compress(&input, &packed, false).unwrap();
+        decompress(&packed, &restored).unwrap();
+        assert_eq!(read_f64(&restored).unwrap(), data);
+    }
+
+    #[test]
+    fn inspect_reports_structure() {
+        let input = tmp("inspect.f64");
+        let packed = tmp("inspect.alp");
+        let data: Vec<f64> = (0..120_000).map(|i| (i % 100) as f64).collect();
+        write_f64(&input, &data).unwrap();
+        compress(&input, &packed, false).unwrap();
+        inspect(&packed).unwrap();
+    }
+
+    #[test]
+    fn gen_then_stats() {
+        let out = tmp("gen.f64");
+        generate("City-Temp", "20000", &out).unwrap();
+        assert_eq!(read_f64(&out).unwrap().len(), 20_000);
+        stats(&out, false).unwrap();
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        assert!(generate("Nope", "10", &tmp("x.f64")).is_err());
+    }
+
+    #[test]
+    fn bad_file_length_is_an_error() {
+        let p = tmp("bad.f64");
+        fs::write(&p, [1, 2, 3]).unwrap();
+        assert!(read_f64(&p).is_err());
+        assert!(read_f32(&p).is_err());
+    }
+
+    #[test]
+    fn f32_compress_cycle() {
+        let input = tmp("c32.f32");
+        let packed = tmp("c32.alp");
+        let restored = tmp("c32_restored.f32");
+        let data: Vec<f32> = (0..30_000).map(|i| (i % 300) as f32 / 2.0).collect();
+        let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        fs::write(&input, raw).unwrap();
+        compress(&input, &packed, true).unwrap();
+        decompress(&packed, &restored).unwrap();
+        assert_eq!(read_f32(&restored).unwrap(), data);
+    }
+}

@@ -1,0 +1,58 @@
+//! `alp` — command-line front end for the ALP compression library.
+//!
+//! ```text
+//! alp compress   <in.f64> <out.alp> [--f32]     raw LE floats -> ALP column
+//! alp decompress <in.alp> <out.f64>             ALP column -> raw LE floats
+//! alp inspect    <in.alp>                       header, row-groups, schemes
+//! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
+//! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
+//! alp shootout   <in.f64>                       ratio/speed of every codec
+//! alp datasets                                  list generatable datasets
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.starts_with("--"));
+    let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
+    if let Some(unknown) = flags.iter().find(|f| f.as_str() != "--f32") {
+        eprintln!("unknown flag {unknown}");
+        return usage();
+    }
+
+    let result = match positional.split_first() {
+        Some((cmd, rest)) => {
+            let rest: Vec<&str> = rest.iter().map(|s| s.as_str()).collect();
+            match (cmd.as_str(), rest.as_slice()) {
+                ("compress", [input, output]) => commands::compress(input, output, f32_mode),
+                ("decompress", [input, output]) => commands::decompress(input, output),
+                ("inspect", [input]) => commands::inspect(input),
+                ("stats", [input]) => commands::stats(input, f32_mode),
+                ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
+                ("shootout", [input]) => commands::shootout(input),
+                ("datasets", []) => commands::list_datasets(),
+                _ => return usage(),
+            }
+        }
+        None => return usage(),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets"
+    );
+    ExitCode::FAILURE
+}

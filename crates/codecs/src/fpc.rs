@@ -1,0 +1,215 @@
+//! FPC (Burtscher & Ratanaworabhan, *IEEE Trans. Computers* 2009) — the
+//! predictive scheme the paper's Related Work (§5) positions the XOR family
+//! against. Included as an extra baseline beyond the paper's six.
+//!
+//! FPC predicts each double twice — with an **FCM** (finite context method)
+//! hash table and a **DFCM** (differential FCM) table — XORs the value with
+//! the closer prediction, and encodes the result as:
+//!
+//! * a header nibble: 1 selector bit (which predictor) + a 3-bit code for the
+//!   number of leading **zero bytes**, mapping to {0,1,2,3,5,6,7,8} (4 is
+//!   folded to 3, exactly as in the original — a perfect prediction costs no
+//!   payload byte);
+//! * the remaining non-zero bytes of the XOR, verbatim.
+//!
+//! Two headers share one byte, making the stream byte-aligned like Patas.
+//! Table size is [`TABLE_BITS`] (the original tunes this per memory budget).
+
+/// log2 of the predictor table size.
+pub const TABLE_BITS: u32 = 16;
+const TABLE_SIZE: usize = 1 << TABLE_BITS;
+
+struct Predictor {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+}
+
+impl Predictor {
+    fn new() -> Self {
+        Self {
+            fcm: vec![0; TABLE_SIZE],
+            dfcm: vec![0; TABLE_SIZE],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+        }
+    }
+
+    /// Returns (fcm prediction, dfcm prediction) for the next value.
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+    }
+
+    /// Feeds the actual value, updating both tables (identical on the encode
+    /// and decode sides — the tables are never transmitted).
+    #[inline]
+    fn update(&mut self, value: u64) {
+        self.fcm[self.fcm_hash] = value;
+        self.fcm_hash = (((self.fcm_hash << 6) as u64) ^ (value >> 48)) as usize & (TABLE_SIZE - 1);
+        let delta = value.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash =
+            (((self.dfcm_hash << 2) as u64) ^ (delta >> 40)) as usize & (TABLE_SIZE - 1);
+        self.last = value;
+    }
+}
+
+/// Number of leading zero *bytes* of `x` (0..=8), with 4 folded to 3 so it
+/// fits the 3-bit header code {0,1,2,3,5,6,7,8}.
+#[inline]
+fn leading_zero_bytes(x: u64) -> u32 {
+    let lzb = x.leading_zeros() / 8;
+    if lzb == 4 {
+        3
+    } else {
+        lzb
+    }
+}
+
+/// Header code for a (folded) zero-byte count.
+#[inline]
+fn lzb_code(lzb: u32) -> u8 {
+    if lzb > 4 {
+        (lzb - 1) as u8
+    } else {
+        lzb as u8
+    }
+}
+
+/// Inverse of [`lzb_code`].
+#[inline]
+fn code_lzb(code: u8) -> u32 {
+    if code > 3 {
+        code as u32 + 1
+    } else {
+        code as u32
+    }
+}
+
+/// Compresses a column of doubles.
+pub fn compress(data: &[f64]) -> Vec<u8> {
+    let mut predictor = Predictor::new();
+    let mut headers: Vec<u8> = Vec::with_capacity(data.len() / 2 + 1);
+    let mut payload: Vec<u8> = Vec::with_capacity(data.len() * 8);
+
+    let mut pending: Option<u8> = None;
+    for &v in data {
+        let bits = v.to_bits();
+        let (p_fcm, p_dfcm) = predictor.predict();
+        let x_fcm = bits ^ p_fcm;
+        let x_dfcm = bits ^ p_dfcm;
+        // Choose the predictor whose XOR has more leading zero bytes.
+        let (selector, xor) = if leading_zero_bytes(x_fcm) >= leading_zero_bytes(x_dfcm) {
+            (0u8, x_fcm)
+        } else {
+            (1u8, x_dfcm)
+        };
+        let lzb = leading_zero_bytes(xor);
+        let nibble = (selector << 3) | lzb_code(lzb);
+        match pending.take() {
+            None => pending = Some(nibble),
+            Some(first) => headers.push((first << 4) | nibble),
+        }
+        let bytes = 8 - lzb as usize;
+        payload.extend_from_slice(&xor.to_be_bytes()[8 - bytes..]);
+        predictor.update(bits);
+    }
+    if let Some(first) = pending {
+        headers.push(first << 4);
+    }
+
+    let mut out = Vec::with_capacity(8 + headers.len() + payload.len());
+    out.extend_from_slice(&(headers.len() as u64).to_le_bytes());
+    out.extend_from_slice(&headers);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses `count` doubles.
+pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    let header_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let headers = &bytes[8..8 + header_len];
+    let mut payload = &bytes[8 + header_len..];
+
+    let mut predictor = Predictor::new();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let byte = headers[i / 2];
+        let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0xF };
+        let selector = nibble >> 3;
+        let lzb = code_lzb(nibble & 0x7) as usize;
+        let n_bytes = 8 - lzb;
+        let mut be = [0u8; 8];
+        be[8 - n_bytes..].copy_from_slice(&payload[..n_bytes]);
+        payload = &payload[n_bytes..];
+        let xor = u64::from_be_bytes(be);
+        let (p_fcm, p_dfcm) = predictor.predict();
+        let prediction = if selector == 0 { p_fcm } else { p_dfcm };
+        let bits = xor ^ prediction;
+        out.push(f64::from_bits(bits));
+        predictor.update(bits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f64]) -> usize {
+        let bytes = compress(data);
+        let back = decompress(&bytes, data.len());
+        for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "idx {i}");
+        }
+        bytes.len()
+    }
+
+    #[test]
+    fn timeseries_roundtrip_and_compresses() {
+        let data: Vec<f64> = (0..20_000).map(|i| 50.0 + ((i as f64) * 0.001).sin()).collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len() * 8, "{size}");
+    }
+
+    #[test]
+    fn repeated_values_predict_perfectly() {
+        let data = vec![7.25f64; 10_000];
+        let size = roundtrip(&data);
+        // Half a header byte per value once the tables warm up.
+        assert!(size < 10_000, "{size}");
+    }
+
+    #[test]
+    fn specials_roundtrip() {
+        roundtrip(&[f64::NAN, -0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY, 5e-324, f64::MAX]);
+    }
+
+    #[test]
+    fn random_bits_roundtrip() {
+        let data: Vec<f64> = (0..5000)
+            .map(|i| f64::from_bits((i as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)))
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn empty_and_odd_lengths() {
+        roundtrip(&[]);
+        roundtrip(&[1.5]);
+        roundtrip(&[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn dfcm_helps_on_linear_ramps() {
+        // A pure arithmetic ramp: the differential predictor should lock on
+        // and compress far below raw size.
+        let data: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len() * 4, "{size}");
+    }
+}

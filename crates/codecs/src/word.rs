@@ -1,0 +1,103 @@
+//! The machine-word abstraction the XOR-family codecs are generic over:
+//! `u64` carries `f64` bit patterns, `u32` carries `f32` patterns.
+
+use core::fmt::Debug;
+use core::ops::BitXor;
+
+/// A fixed-width unsigned word holding a float's bit pattern.
+pub trait Word: Copy + Eq + Debug + BitXor<Output = Self> + 'static {
+    /// Width in bits (64 or 32).
+    const BITS: u32;
+    /// The all-zero word.
+    const ZERO: Self;
+    /// Leading zero count.
+    fn leading_zeros(self) -> u32;
+    /// Trailing zero count.
+    fn trailing_zeros(self) -> u32;
+    /// Widen to `u64` (zero-extending).
+    fn to_u64(self) -> u64;
+    /// Truncate from `u64`.
+    fn from_u64(v: u64) -> Self;
+}
+
+impl Word for u64 {
+    const BITS: u32 = 64;
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn leading_zeros(self) -> u32 {
+        u64::leading_zeros(self)
+    }
+    #[inline(always)]
+    fn trailing_zeros(self) -> u32 {
+        u64::trailing_zeros(self)
+    }
+    #[inline(always)]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline(always)]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl Word for u32 {
+    const BITS: u32 = 32;
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn leading_zeros(self) -> u32 {
+        u32::leading_zeros(self)
+    }
+    #[inline(always)]
+    fn trailing_zeros(self) -> u32 {
+        u32::trailing_zeros(self)
+    }
+    #[inline(always)]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+}
+
+/// Maps a float slice to its bit-pattern words.
+pub fn f64_bits(data: &[f64]) -> Vec<u64> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Maps a float slice to its bit-pattern words.
+pub fn f32_bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Maps bit-pattern words back to floats.
+pub fn bits_f64(words: &[u64]) -> Vec<f64> {
+    words.iter().map(|&b| f64::from_bits(b)).collect()
+}
+
+/// Maps bit-pattern words back to floats.
+pub fn bits_f32(words: &[u32]) -> Vec<f32> {
+    words.iter().map(|&b| f32::from_bits(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_constants() {
+        assert_eq!(<u64 as Word>::BITS, 64);
+        assert_eq!(<u32 as Word>::BITS, 32);
+    }
+
+    #[test]
+    fn bit_mapping_is_exact_for_specials() {
+        let vals = vec![f64::NAN, -0.0, f64::INFINITY, 1.5e-310];
+        let back = bits_f64(&f64_bits(&vals));
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Bit-packing of 1024-value `u64` vectors to any width `0..=64`.
+//!
+//! Values are laid out LSB-first within consecutive little-endian words: value
+//! `i` occupies bits `[i*W, (i+1)*W)` of the packed stream. The unpack kernel
+//! is branch-free — it unconditionally reads the word pair straddling each
+//! value, which is why packed buffers carry one zeroed pad word (see
+//! [`crate::packed_len`]).
+
+use crate::dispatch::{width_mask, with_width, WidthKernel};
+use crate::{packed_len, VECTOR_SIZE};
+
+/// Packs `input` (exactly 1024 values, each already `< 2^width`) into a fresh
+/// buffer of [`packed_len`]`(width)` words.
+///
+/// Values wider than `width` bits are truncated (callers compute the width
+/// from the data, so this only matters for deliberately lossy use).
+pub fn pack(input: &[u64], width: usize) -> Vec<u64> {
+    assert_eq!(input.len(), VECTOR_SIZE);
+    let mut out = vec![0u64; packed_len(width)];
+    with_width(width, PackKernel { input, out: &mut out });
+    out
+}
+
+/// Unpacks a 1024-value vector of `width`-bit values from `packed` into `out`.
+///
+/// `packed` must hold at least [`packed_len`]`(width)` words (the final word
+/// being padding that is read but ignored).
+pub fn unpack(packed: &[u64], width: usize, out: &mut [u64]) {
+    assert_eq!(out.len(), VECTOR_SIZE);
+    assert!(packed.len() >= packed_len(width));
+    with_width(width, UnpackKernel { packed, out });
+}
+
+struct PackKernel<'a> {
+    input: &'a [u64],
+    out: &'a mut [u64],
+}
+
+impl WidthKernel for PackKernel<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        pack_const::<W>(self.input, self.out);
+    }
+}
+
+struct UnpackKernel<'a> {
+    packed: &'a [u64],
+    out: &'a mut [u64],
+}
+
+impl WidthKernel for UnpackKernel<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        unpack_const::<W>(self.packed, self.out);
+    }
+}
+
+/// Monomorphized packing loop. Public so sibling crates can build fused
+/// kernels at a fixed width without re-dispatching.
+///
+/// Like the unpack kernel, packing proceeds in 16 independent blocks of 64
+/// values (64 values fill exactly `W` words), so the accumulator dependency
+/// chain is per-block and the compiler can overlap blocks.
+#[inline]
+pub fn pack_const<const W: usize>(input: &[u64], out: &mut [u64]) {
+    if W == 0 {
+        return;
+    }
+    if W == 64 {
+        out[..VECTOR_SIZE].copy_from_slice(&input[..VECTOR_SIZE]);
+        return;
+    }
+    let mask = width_mask::<W>();
+    for block in 0..VECTOR_SIZE / 64 {
+        let values = &input[block * 64..block * 64 + 64];
+        let words = &mut out[block * W..block * W + W];
+        let mut acc: u64 = 0;
+        let mut filled: usize = 0;
+        let mut word = 0usize;
+        for &raw in values.iter() {
+            let v = raw & mask;
+            acc |= v << filled;
+            filled += W;
+            if filled >= 64 {
+                words[word] = acc;
+                word += 1;
+                filled -= 64;
+                // Bits of `v` that did not fit go to the next word's bottom.
+                acc = if filled > 0 { v >> (W - filled) } else { 0 };
+            }
+        }
+        debug_assert_eq!(filled, 0);
+        debug_assert_eq!(word, W);
+    }
+}
+
+/// Monomorphized branch-free unpacking loop; reads one word past the last
+/// value, which [`packed_len`] reserves.
+///
+/// The loop is structured as 16 blocks of 64 values: within a block every
+/// value's word index and bit offset is an affine function of the (fully
+/// unrollable) inner index with `W` a compile-time constant, so LLVM turns
+/// the whole block into straight-line constant-shift code — the property
+/// FastLanes' layout is designed around.
+#[inline]
+#[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+pub fn unpack_const<const W: usize>(packed: &[u64], out: &mut [u64]) {
+    if W == 0 {
+        out[..VECTOR_SIZE].fill(0);
+        return;
+    }
+    if W == 64 {
+        out[..VECTOR_SIZE].copy_from_slice(&packed[..VECTOR_SIZE]);
+        return;
+    }
+    let mask = width_mask::<W>();
+    // 64 consecutive values span exactly W words.
+    for block in 0..VECTOR_SIZE / 64 {
+        let words = &packed[block * W..block * W + W + 1];
+        let out_block = &mut out[block * 64..block * 64 + 64];
+        for j in 0..64 {
+            let bit = j * W;
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            let lo = words[word] >> off;
+            // `(hi << 1) << (63 - off)` == `hi << (64 - off)` without the
+            // undefined shift-by-64 when off == 0 (it then yields 0).
+            let hi = (words[word + 1] << 1) << (63 - off);
+            out_block[j] = (lo | hi) & mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(width: usize) -> Vec<u64> {
+        let mask = if width == 64 { u64::MAX } else if width == 0 { 0 } else { (1 << width) - 1 };
+        (0..VECTOR_SIZE as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_every_width() {
+        for width in 0..=64 {
+            let input = sample(width);
+            let packed = pack(&input, width);
+            assert_eq!(packed.len(), packed_len(width));
+            let mut out = vec![0u64; VECTOR_SIZE];
+            unpack(&packed, width, &mut out);
+            assert_eq!(out, input, "width {width}");
+        }
+    }
+
+    #[test]
+    fn packing_truncates_to_width() {
+        let input = vec![u64::MAX; VECTOR_SIZE];
+        let packed = pack(&input, 3);
+        let mut out = vec![0u64; VECTOR_SIZE];
+        unpack(&packed, 3, &mut out);
+        assert!(out.iter().all(|&v| v == 0b111));
+    }
+
+    #[test]
+    fn width_zero_is_all_zeros() {
+        let input = sample(0);
+        let packed = pack(&input, 0);
+        assert_eq!(packed.len(), 1);
+        let mut out = vec![1u64; VECTOR_SIZE];
+        unpack(&packed, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn max_values_at_each_width_survive() {
+        for width in 1..=64usize {
+            let max = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let input = vec![max; VECTOR_SIZE];
+            let packed = pack(&input, width);
+            let mut out = vec![0u64; VECTOR_SIZE];
+            unpack(&packed, width, &mut out);
+            assert!(out.iter().all(|&v| v == max), "width {width}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Native `u32` bit-packing (widths `0..=32`) over 1024-value vectors.
+//!
+//! The `u64` kernels in [`crate::bitpack`] serve 32-bit data correctly but
+//! waste half of every lane; 32-bit pipelines (ALP for `f32`, packed
+//! dictionary codes, PDE exponents) get twice the values per SIMD register
+//! from a native kernel. The `codec_speed`/`layout_ablation` benches compare
+//! the two.
+//!
+//! Layout mirrors the 64-bit kernels: 32 blocks of 32 values, each block
+//! filling exactly `W` consecutive `u32` words, LSB-first.
+
+use crate::dispatch::{with_width, WidthKernel};
+use crate::VECTOR_SIZE;
+
+/// Words (u32) a packed 1024-value vector of `width` bits occupies, including
+/// one pad word.
+#[inline]
+pub const fn packed_len32(width: usize) -> usize {
+    width * (VECTOR_SIZE / 32) + 1
+}
+
+/// Mask with the low `W` bits set (u32 domain).
+#[inline]
+const fn mask32<const W: usize>() -> u32 {
+    if W >= 32 {
+        u32::MAX
+    } else if W == 0 {
+        0
+    } else {
+        (1u32 << W) - 1
+    }
+}
+
+/// Packs 1024 `u32` values at `width` bits each.
+///
+/// # Panics
+/// Panics if `width > 32` or `input.len() != 1024`.
+pub fn pack(input: &[u32], width: usize) -> Vec<u32> {
+    assert!(width <= 32, "u32 kernels support widths 0..=32");
+    assert_eq!(input.len(), VECTOR_SIZE);
+    let mut out = vec![0u32; packed_len32(width)];
+    with_width(width, Pack32 { input, out: &mut out });
+    out
+}
+
+/// Unpacks a 1024-value `u32` vector.
+pub fn unpack(packed: &[u32], width: usize, out: &mut [u32]) {
+    assert!(width <= 32);
+    assert_eq!(out.len(), VECTOR_SIZE);
+    assert!(packed.len() >= packed_len32(width));
+    with_width(width, Unpack32 { packed, out });
+}
+
+struct Pack32<'a> {
+    input: &'a [u32],
+    out: &'a mut [u32],
+}
+
+impl WidthKernel for Pack32<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        pack_const::<W>(self.input, self.out);
+    }
+}
+
+struct Unpack32<'a> {
+    packed: &'a [u32],
+    out: &'a mut [u32],
+}
+
+impl WidthKernel for Unpack32<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        unpack_const::<W>(self.packed, self.out);
+    }
+}
+
+/// Monomorphized u32 pack (blocks of 32 values → exactly `W` words).
+#[inline]
+pub fn pack_const<const W: usize>(input: &[u32], out: &mut [u32]) {
+    if W == 0 {
+        return;
+    }
+    if W == 32 {
+        out[..VECTOR_SIZE].copy_from_slice(&input[..VECTOR_SIZE]);
+        return;
+    }
+    let mask = mask32::<W>();
+    for block in 0..VECTOR_SIZE / 32 {
+        let values = &input[block * 32..block * 32 + 32];
+        let words = &mut out[block * W..block * W + W];
+        let mut acc: u32 = 0;
+        let mut filled: usize = 0;
+        let mut word = 0usize;
+        for &raw in values.iter() {
+            let v = raw & mask;
+            acc |= v << filled;
+            filled += W;
+            if filled >= 32 {
+                words[word] = acc;
+                word += 1;
+                filled -= 32;
+                acc = if filled > 0 { v >> (W - filled) } else { 0 };
+            }
+        }
+        debug_assert_eq!(filled, 0);
+    }
+}
+
+/// Monomorphized u32 unpack (branch-free; reads the pad word).
+#[inline]
+#[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+pub fn unpack_const<const W: usize>(packed: &[u32], out: &mut [u32]) {
+    if W == 0 {
+        out[..VECTOR_SIZE].fill(0);
+        return;
+    }
+    if W == 32 {
+        out[..VECTOR_SIZE].copy_from_slice(&packed[..VECTOR_SIZE]);
+        return;
+    }
+    let mask = mask32::<W>();
+    for block in 0..VECTOR_SIZE / 32 {
+        let words = &packed[block * W..block * W + W + 1];
+        let out_block = &mut out[block * 32..block * 32 + 32];
+        for j in 0..32 {
+            let bit = j * W;
+            let word = bit >> 5;
+            let off = (bit & 31) as u32;
+            let lo = words[word] >> off;
+            let hi = (words[word + 1] << 1) << (31 - off);
+            out_block[j] = (lo | hi) & mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(width: usize) -> Vec<u32> {
+        let mask = if width == 32 {
+            u32::MAX
+        } else if width == 0 {
+            0
+        } else {
+            (1u32 << width) - 1
+        };
+        (0..VECTOR_SIZE as u32).map(|i| i.wrapping_mul(0x9E37_79B1) & mask).collect()
+    }
+
+    #[test]
+    fn roundtrip_every_width() {
+        for width in 0..=32 {
+            let input = sample(width);
+            let packed = pack(&input, width);
+            assert_eq!(packed.len(), packed_len32(width));
+            let mut out = vec![0u32; VECTOR_SIZE];
+            unpack(&packed, width, &mut out);
+            assert_eq!(out, input, "width {width}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_u64_kernel_semantics() {
+        for width in [1usize, 5, 11, 17, 23, 31] {
+            let input = sample(width);
+            let wide: Vec<u64> = input.iter().map(|&v| v as u64).collect();
+            let packed64 = crate::bitpack::pack(&wide, width);
+            let mut out64 = vec![0u64; VECTOR_SIZE];
+            crate::bitpack::unpack(&packed64, width, &mut out64);
+            let packed32 = pack(&input, width);
+            let mut out32 = vec![0u32; VECTOR_SIZE];
+            unpack(&packed32, width, &mut out32);
+            assert!(out64.iter().zip(&out32).all(|(&a, &b)| a == b as u64), "width {width}");
+            // Native kernel halves the payload footprint.
+            assert!(packed32.len() * 4 < packed64.len() * 8);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_width_over_32() {
+        pack(&vec![0u32; VECTOR_SIZE], 33);
+    }
+
+    #[test]
+    fn max_values_survive() {
+        for width in [1usize, 16, 32] {
+            let max = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let input = vec![max; VECTOR_SIZE];
+            let packed = pack(&input, width);
+            let mut out = vec![0u32; VECTOR_SIZE];
+            unpack(&packed, width, &mut out);
+            assert!(out.iter().all(|&v| v == max), "width {width}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Frame-Of-Reference encoding fused with bit-packing — the paper's **FFOR**.
+//!
+//! FOR subtracts a per-vector base (the minimum) from every value so the
+//! residuals need few bits; FFOR fuses the subtraction into the packing loop
+//! (and the addition into the unpacking loop), saving a round trip through a
+//! temporary buffer. The *unfused* variants are kept deliberately: the Figure 5
+//! ablation of the paper measures exactly this fusion.
+//!
+//! Bases are `i64` (ALP's encoded integers are signed); residuals are computed
+//! with wrapping two's-complement arithmetic, which is order-preserving for
+//! `v >= base`, so any `i64` range — including ones spanning more than
+//! `i64::MAX` — packs correctly into `u64` residuals.
+
+use crate::dispatch::{width_mask, with_width, WidthKernel};
+use crate::{bits_needed, packed_len, VECTOR_SIZE};
+
+/// Smallest width (bits per residual) that losslessly frames `input` against
+/// its minimum. Returns `(base, width)`.
+pub fn frame_of(input: &[i64]) -> (i64, usize) {
+    assert!(!input.is_empty());
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    for &v in input {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let range = (max as u64).wrapping_sub(min as u64);
+    (min, bits_needed(range))
+}
+
+/// Fused subtract-base + bit-pack of a 1024-value vector.
+pub fn ffor_pack(input: &[i64], base: i64, width: usize) -> Vec<u64> {
+    assert_eq!(input.len(), VECTOR_SIZE);
+    let mut out = vec![0u64; packed_len(width)];
+    with_width(width, FforPack { input, base, out: &mut out });
+    out
+}
+
+/// Fused bit-unpack + add-base of a 1024-value vector.
+pub fn ffor_unpack(packed: &[u64], base: i64, width: usize, out: &mut [i64]) {
+    assert_eq!(out.len(), VECTOR_SIZE);
+    assert!(packed.len() >= packed_len(width));
+    with_width(width, FforUnpack { packed, base, out });
+}
+
+/// Unfused FOR encode: writes residuals to `residuals`, then the caller packs
+/// them with [`crate::bitpack::pack`]. Exists for the kernel-fusion ablation.
+pub fn for_encode(input: &[i64], base: i64, residuals: &mut [u64]) {
+    assert_eq!(input.len(), residuals.len());
+    for (r, &v) in residuals.iter_mut().zip(input) {
+        *r = (v as u64).wrapping_sub(base as u64);
+    }
+}
+
+/// Unfused FOR decode: adds the base back onto unpacked residuals.
+pub fn for_decode(residuals: &[u64], base: i64, out: &mut [i64]) {
+    assert_eq!(residuals.len(), out.len());
+    for (o, &r) in out.iter_mut().zip(residuals) {
+        *o = r.wrapping_add(base as u64) as i64;
+    }
+}
+
+struct FforPack<'a> {
+    input: &'a [i64],
+    base: i64,
+    out: &'a mut [u64],
+}
+
+impl WidthKernel for FforPack<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        ffor_pack_const::<W>(self.input, self.base, self.out);
+    }
+}
+
+struct FforUnpack<'a> {
+    packed: &'a [u64],
+    base: i64,
+    out: &'a mut [i64],
+}
+
+impl WidthKernel for FforUnpack<'_> {
+    type Out = ();
+    fn run<const W: usize>(self) {
+        ffor_unpack_const::<W>(self.packed, self.base, self.out);
+    }
+}
+
+/// Monomorphized fused pack. Public for fixed-width fused kernels downstream.
+#[inline]
+pub fn ffor_pack_const<const W: usize>(input: &[i64], base: i64, out: &mut [u64]) {
+    if W == 64 {
+        // Residuals occupy full words; no masking needed.
+        for i in 0..VECTOR_SIZE {
+            out[i] = (input[i] as u64).wrapping_sub(base as u64);
+        }
+        return;
+    }
+    if W == 0 {
+        return;
+    }
+    let mask = width_mask::<W>();
+    let base_u = base as u64;
+    // Per-block accumulator chains (see `bitpack::pack_const`).
+    for block in 0..VECTOR_SIZE / 64 {
+        let values = &input[block * 64..block * 64 + 64];
+        let words = &mut out[block * W..block * W + W];
+        let mut acc: u64 = 0;
+        let mut filled: usize = 0;
+        let mut word = 0usize;
+        for &raw in values.iter() {
+            let v = (raw as u64).wrapping_sub(base_u) & mask;
+            acc |= v << filled;
+            filled += W;
+            if filled >= 64 {
+                words[word] = acc;
+                word += 1;
+                filled -= 64;
+                acc = if filled > 0 { v >> (W - filled) } else { 0 };
+            }
+        }
+        debug_assert_eq!(filled, 0);
+    }
+}
+
+/// Monomorphized fused unpack. Public for fixed-width fused kernels downstream.
+#[inline]
+#[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+pub fn ffor_unpack_const<const W: usize>(packed: &[u64], base: i64, out: &mut [i64]) {
+    if W == 0 {
+        out[..VECTOR_SIZE].fill(base);
+        return;
+    }
+    if W == 64 {
+        for i in 0..VECTOR_SIZE {
+            out[i] = packed[i].wrapping_add(base as u64) as i64;
+        }
+        return;
+    }
+    let mask = width_mask::<W>();
+    let base_u = base as u64;
+    // Block structure mirrors `bitpack::unpack_const`: constant shifts after
+    // unrolling, so the loop auto-vectorizes.
+    for block in 0..VECTOR_SIZE / 64 {
+        let words = &packed[block * W..block * W + W + 1];
+        let out_block = &mut out[block * 64..block * 64 + 64];
+        for j in 0..64 {
+            let bit = j * W;
+            let word = bit >> 6;
+            let off = (bit & 63) as u32;
+            let lo = words[word] >> off;
+            let hi = (words[word + 1] << 1) << (63 - off);
+            out_block[j] = ((lo | hi) & mask).wrapping_add(base_u) as i64;
+        }
+    }
+}
+
+/// Convenience: frame, fuse-pack, and return `(base, width, packed)`.
+pub fn ffor(input: &[i64]) -> (i64, usize, Vec<u64>) {
+    let (base, width) = frame_of(input);
+    let packed = ffor_pack(input, base, width);
+    (base, width, packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitpack;
+
+    fn vec_of(f: impl Fn(usize) -> i64) -> Vec<i64> {
+        (0..VECTOR_SIZE).map(f).collect()
+    }
+
+    #[test]
+    fn roundtrip_small_range() {
+        let input = vec_of(|i| 1000 + (i as i64 % 37));
+        let (base, width, packed) = ffor(&input);
+        assert_eq!(base, 1000);
+        assert_eq!(width, 6); // 36 needs 6 bits
+        let mut out = vec![0i64; VECTOR_SIZE];
+        ffor_unpack(&packed, base, width, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn roundtrip_negative_values() {
+        let input = vec_of(|i| -5000 + (i as i64 * 3));
+        let (base, width, packed) = ffor(&input);
+        assert_eq!(base, -5000);
+        let mut out = vec![0i64; VECTOR_SIZE];
+        ffor_unpack(&packed, base, width, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn roundtrip_full_i64_range() {
+        let mut input = vec_of(|i| (i as i64).wrapping_mul(0x5DEE_CE66_D1CE_4E85));
+        input[0] = i64::MIN;
+        input[1] = i64::MAX;
+        let (base, width, packed) = ffor(&input);
+        assert_eq!(width, 64);
+        let mut out = vec![0i64; VECTOR_SIZE];
+        ffor_unpack(&packed, base, width, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn constant_vector_needs_zero_bits() {
+        let input = vec![42i64; VECTOR_SIZE];
+        let (base, width, packed) = ffor(&input);
+        assert_eq!((base, width), (42, 0));
+        assert_eq!(packed.len(), 1);
+        let mut out = vec![0i64; VECTOR_SIZE];
+        ffor_unpack(&packed, base, width, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn fused_and_unfused_agree() {
+        let input = vec_of(|i| 7_000_000 + (i as i64 * i as i64 % 9999));
+        let (base, width) = frame_of(&input);
+        let fused = ffor_pack(&input, base, width);
+
+        let mut residuals = vec![0u64; VECTOR_SIZE];
+        for_encode(&input, base, &mut residuals);
+        let unfused = bitpack::pack(&residuals, width);
+        assert_eq!(fused, unfused);
+
+        let mut out_fused = vec![0i64; VECTOR_SIZE];
+        ffor_unpack(&fused, base, width, &mut out_fused);
+
+        let mut unpacked = vec![0u64; VECTOR_SIZE];
+        bitpack::unpack(&unfused, width, &mut unpacked);
+        let mut out_unfused = vec![0i64; VECTOR_SIZE];
+        for_decode(&unpacked, base, &mut out_unfused);
+
+        assert_eq!(out_fused, input);
+        assert_eq!(out_unfused, input);
+    }
+}

@@ -1,0 +1,239 @@
+//! **Fast mode** — an LZ4-class byte-oriented compressor: greedy single-probe
+//! hash matching, no entropy stage. This is the paper's "LZ4 and Snappy trade
+//! compression ratio for speed" point in the general-purpose spectrum
+//! (§1), complementing the deflate-class default mode.
+//!
+//! Sequence format (LZ4-flavored):
+//!
+//! ```text
+//! token: high nibble = literal length (15 = extended), low nibble = match
+//!        length - MIN_MATCH (15 = extended)
+//! [extended literal length bytes (255-terminated)] [literal bytes]
+//! [2-byte LE match offset] [extended match length bytes]
+//! ```
+//!
+//! The final sequence carries only literals (offset omitted).
+
+/// Minimum match length.
+pub const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 14;
+const WINDOW: usize = 65_535;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn write_len(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+fn read_len(bytes: &[u8], pos: &mut usize) -> usize {
+    let mut len = 0usize;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        len += b as usize;
+        if b != 255 {
+            return len;
+        }
+    }
+}
+
+/// Compresses `data` (single frame, unframed length — callers prepend one).
+pub fn compress_block(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut anchor = 0usize; // start of the pending literal run
+    let mut i = 0usize;
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let cand = table[h] as usize;
+        table[h] = i as u32;
+        let good = cand < i
+            && i - cand <= WINDOW
+            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH];
+        if !good {
+            i += 1;
+            continue;
+        }
+        // Extend the match.
+        let mut len = MIN_MATCH;
+        while i + len < data.len() && data[cand + len] == data[i + len] {
+            len += 1;
+        }
+
+        // Emit sequence: literals [anchor..i] + match (len, dist).
+        let lit_len = i - anchor;
+        let match_code = len - MIN_MATCH;
+        let token = ((lit_len.min(15) as u8) << 4) | (match_code.min(15) as u8);
+        out.push(token);
+        if lit_len >= 15 {
+            write_len(&mut out, lit_len - 15);
+        }
+        out.extend_from_slice(&data[anchor..i]);
+        out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+        if match_code >= 15 {
+            write_len(&mut out, match_code - 15);
+        }
+
+        // Index a couple of covered positions to keep the table warm.
+        let end = i + len;
+        let mut j = i + 1;
+        while j + MIN_MATCH <= data.len() && j < end {
+            table[hash4(data, j)] = j as u32;
+            j += 7;
+        }
+        i = end;
+        anchor = end;
+    }
+
+    // Trailing literals-only sequence.
+    let lit_len = data.len() - anchor;
+    let token = (lit_len.min(15) as u8) << 4;
+    out.push(token | 0x0F); // low nibble 15 marks "no match follows"
+    if lit_len >= 15 {
+        write_len(&mut out, lit_len - 15);
+    }
+    out.extend_from_slice(&data[anchor..]);
+    out
+}
+
+/// Decompresses a block produced by [`compress_block`] into `out` until
+/// `expected` bytes have been produced.
+pub fn decompress_block(bytes: &[u8], expected: usize, out: &mut Vec<u8>) {
+    let start = out.len();
+    let mut pos = 0usize;
+    loop {
+        let token = bytes[pos];
+        pos += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_len(bytes, &mut pos);
+        }
+        out.extend_from_slice(&bytes[pos..pos + lit_len]);
+        pos += lit_len;
+        if out.len() - start >= expected {
+            return;
+        }
+        let match_nibble = (token & 0x0F) as usize;
+        if match_nibble == 0x0F && out.len() - start >= expected {
+            return;
+        }
+        let dist = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        pos += 2;
+        let mut mlen = match_nibble + MIN_MATCH;
+        if match_nibble == 15 {
+            mlen += read_len(bytes, &mut pos);
+        }
+        let from = out.len() - dist;
+        for k in 0..mlen {
+            let b = out[from + k];
+            out.push(b);
+        }
+        if out.len() - start >= expected {
+            return;
+        }
+    }
+}
+
+/// Compresses with framing: `u64` total length, then per-block `u32` sizes.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for block in data.chunks(crate::BLOCK_SIZE) {
+        let payload = compress_block(block);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decompresses a frame produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+    let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(total);
+    let mut pos = 8usize;
+    while out.len() < total {
+        let clen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let raw = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        decompress_block(&bytes[pos..pos + clen], raw, &mut out);
+        pos += clen;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        assert_eq!(decompress(&c), data, "len {}", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"abcd");
+        roundtrip(b"aaaaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"compress me, compress me again! ".repeat(3000);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 5, "{size} of {}", data.len());
+    }
+
+    #[test]
+    fn float_columns_compress_somewhat() {
+        let values: Vec<u8> = (0..50_000u64)
+            .flat_map(|i| (((i % 997) as f64) / 100.0).to_bits().to_le_bytes())
+            .collect();
+        let size = roundtrip(&values);
+        assert!(size < values.len(), "{size}");
+    }
+
+    #[test]
+    fn incompressible_overhead_is_small() {
+        let data: Vec<u8> = (0..200_000u64)
+            .flat_map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes())
+            .collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len() + data.len() / 16 + 64);
+    }
+
+    #[test]
+    fn long_literal_runs_use_extended_lengths() {
+        let mut data: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+        data.extend_from_slice(&vec![42u8; 5000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let data: Vec<u8> = (0..(crate::BLOCK_SIZE * 2 + 999)).map(|i| (i % 119) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn fast_mode_is_faster_but_larger_than_default() {
+        let values: Vec<u8> = (0..100_000u64)
+            .flat_map(|i| (((i % 3163) as f64) / 100.0).to_bits().to_le_bytes())
+            .collect();
+        let fast = compress(&values).len();
+        let full = crate::compress(&values).len();
+        assert!(fast >= full, "fast {fast} vs full {full}");
+    }
+}

@@ -1,0 +1,642 @@
+//! A minimal vectorized query engine in the style of Tectorwise (Kersten et
+//! al., VLDB'18), built for the paper's §4.3 end-to-end experiments.
+//!
+//! The engine stores one `f64` column in row-groups of 100 × 1024 values,
+//! compressed with a selectable [`Format`]. Operators pull data
+//! **vector-at-a-time** (1024 values) through a reusable buffer:
+//!
+//! * [`Column::scan`] — decompress every vector (the SCAN query);
+//! * [`Column::sum`] — SCAN plus a vectorized SUM aggregation;
+//! * [`Column::par_scan`] / [`Column::par_sum`] — the same with morsel-driven
+//!   parallelism (each morsel = one row-group, claimed from an atomic
+//!   counter).
+//!
+//! Block-granularity matters: ALP and the per-value codecs decompress a
+//! single vector at a time; GPZip (the Zstd stand-in) must inflate an entire
+//! row-group block to read anything inside it — the skipping disadvantage the
+//! paper highlights.
+
+pub mod table;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fastlanes::VECTOR_SIZE;
+
+/// Row-group size in vectors (matches the ALP compressor's default).
+pub const ROWGROUP_VECTORS: usize = 100;
+/// Row-group size in values.
+pub const ROWGROUP_VALUES: usize = ROWGROUP_VECTORS * VECTOR_SIZE;
+
+/// Storage format of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Plain `f64` array (the paper's "Uncompressed" baseline).
+    Uncompressed,
+    /// ALP (this paper).
+    Alp,
+    /// One of the per-value float codecs, compressed per 1024-value vector.
+    Codec(codecs::Codec),
+    /// GPZip general-purpose compression, one block per row-group.
+    Gpzip,
+}
+
+impl Format {
+    /// Display name for benchmark tables.
+    pub fn name(&self) -> String {
+        match self {
+            Format::Uncompressed => "Uncompressed".into(),
+            Format::Alp => "ALP".into(),
+            Format::Codec(c) => c.name().into(),
+            Format::Gpzip => "GPZip(zstd-sub)".into(),
+        }
+    }
+}
+
+enum Storage {
+    Uncompressed(Vec<f64>),
+    Alp(alp::Compressed<f64>),
+    /// `(compressed bytes, value count)` per vector.
+    Codec(codecs::Codec, Vec<(Vec<u8>, usize)>),
+    /// `(compressed bytes, value count)` per row-group block.
+    Gpzip(Vec<(Vec<u8>, usize)>),
+}
+
+/// Per-vector min/max statistics enabling predicate push-down: a vector whose
+/// range is disjoint from the predicate is skipped without decompression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMap {
+    /// Minimum finite value in the vector (`+inf` if none).
+    pub min: f64,
+    /// Maximum finite value in the vector (`-inf` if none).
+    pub max: f64,
+}
+
+impl ZoneMap {
+    fn of(values: &[f64]) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            // NaNs never match a range predicate; exclude them from the map.
+            if !v.is_nan() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        Self { min, max }
+    }
+
+    /// Whether any value in the zone could fall inside `[lo, hi]`.
+    #[inline]
+    pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
+        self.min <= hi && self.max >= lo
+    }
+}
+
+/// Result of a predicated aggregation, including push-down effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilteredSum {
+    /// Sum of values inside the predicate range.
+    pub sum: f64,
+    /// Number of matching values.
+    pub matches: usize,
+    /// Vectors whose payload was actually decompressed.
+    pub vectors_scanned: usize,
+    /// Vectors skipped purely from their zone map.
+    pub vectors_skipped: usize,
+}
+
+/// A single compressed column plus scan/aggregate operators.
+pub struct Column {
+    storage: Storage,
+    len: usize,
+    /// One entry per 1024-value vector.
+    zone_maps: Vec<ZoneMap>,
+}
+
+impl Column {
+    /// Compresses `data` into the requested format (the COMP query measures
+    /// this constructor).
+    pub fn from_f64(data: &[f64], format: Format) -> Self {
+        let storage = match format {
+            Format::Uncompressed => Storage::Uncompressed(data.to_vec()),
+            Format::Alp => Storage::Alp(alp::Compressor::new().compress(data)),
+            Format::Codec(codec) => {
+                let blocks = data
+                    .chunks(VECTOR_SIZE)
+                    .map(|chunk| (codec.compress_f64(chunk), chunk.len()))
+                    .collect();
+                Storage::Codec(codec, blocks)
+            }
+            Format::Gpzip => {
+                let blocks = data
+                    .chunks(ROWGROUP_VALUES)
+                    .map(|chunk| {
+                        let bytes: Vec<u8> =
+                            chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        (gpzip::compress(&bytes), chunk.len())
+                    })
+                    .collect();
+                Storage::Gpzip(blocks)
+            }
+        };
+        let zone_maps = data.chunks(VECTOR_SIZE).map(ZoneMap::of).collect();
+        Self { storage, len: data.len(), zone_maps }
+    }
+
+    /// The per-vector zone maps.
+    pub fn zone_maps(&self) -> &[ZoneMap] {
+        &self.zone_maps
+    }
+
+    /// `SELECT sum(x) WHERE lo <= x <= hi` with zone-map push-down.
+    ///
+    /// Vector-granular formats (ALP, the per-value codecs, uncompressed) skip
+    /// non-overlapping vectors without touching their payload. GPZip can only
+    /// skip a whole row-group block when *every* vector inside it is
+    /// disjoint — the skipping disadvantage of block-based compression the
+    /// paper describes.
+    pub fn sum_where(&self, lo: f64, hi: f64) -> FilteredSum {
+        let mut result =
+            FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        match &self.storage {
+            Storage::Gpzip(blocks) => {
+                let mut vector_idx = 0usize;
+                for (m, (_, count)) in blocks.iter().enumerate() {
+                    let n_vectors = count.div_ceil(VECTOR_SIZE);
+                    let zones = &self.zone_maps[vector_idx..vector_idx + n_vectors];
+                    if zones.iter().any(|z| z.overlaps(lo, hi)) {
+                        // Must inflate the whole block even for one vector.
+                        let mut local = vector_idx;
+                        self.for_each_vector_in_morsel(m, &mut |v| {
+                            result.vectors_scanned += 1;
+                            if self.zone_maps[local].overlaps(lo, hi) {
+                                accumulate(v, lo, hi, &mut result);
+                            }
+                            local += 1;
+                        });
+                    } else {
+                        result.vectors_skipped += n_vectors;
+                    }
+                    vector_idx += n_vectors;
+                }
+            }
+            _ => {
+                let mut vector_idx = 0usize;
+                for m in 0..self.morsel_count() {
+                    // Fast path: skip the whole morsel when fully disjoint.
+                    self.for_each_vector_in_morsel_filtered(
+                        m,
+                        &mut vector_idx,
+                        lo,
+                        hi,
+                        &mut result,
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    /// Vector-granular filtered scan of one morsel, consulting the zone map
+    /// *before* decompressing each vector.
+    fn for_each_vector_in_morsel_filtered(
+        &self,
+        m: usize,
+        vector_idx: &mut usize,
+        lo: f64,
+        hi: f64,
+        result: &mut FilteredSum,
+    ) {
+        match &self.storage {
+            Storage::Uncompressed(values) => {
+                let start = m * ROWGROUP_VALUES;
+                let end = (start + ROWGROUP_VALUES).min(values.len());
+                for chunk in values[start..end].chunks(VECTOR_SIZE) {
+                    if self.zone_maps[*vector_idx].overlaps(lo, hi) {
+                        result.vectors_scanned += 1;
+                        accumulate(chunk, lo, hi, result);
+                    } else {
+                        result.vectors_skipped += 1;
+                    }
+                    *vector_idx += 1;
+                }
+            }
+            Storage::Alp(c) => {
+                let mut buf = vec![0.0f64; VECTOR_SIZE];
+                for v in 0..c.rowgroups[m].vector_count() {
+                    if self.zone_maps[*vector_idx].overlaps(lo, hi) {
+                        result.vectors_scanned += 1;
+                        let n = c.decompress_vector(m, v, &mut buf);
+                        accumulate(&buf[..n], lo, hi, result);
+                    } else {
+                        result.vectors_skipped += 1;
+                    }
+                    *vector_idx += 1;
+                }
+            }
+            Storage::Codec(codec, blocks) => {
+                let start = m * ROWGROUP_VECTORS;
+                let end = (start + ROWGROUP_VECTORS).min(blocks.len());
+                for (bytes, count) in &blocks[start..end] {
+                    if self.zone_maps[*vector_idx].overlaps(lo, hi) {
+                        result.vectors_scanned += 1;
+                        let decoded = codec.decompress_f64(bytes, *count);
+                        accumulate(&decoded, lo, hi, result);
+                    } else {
+                        result.vectors_skipped += 1;
+                    }
+                    *vector_idx += 1;
+                }
+            }
+            Storage::Gpzip(_) => unreachable!("handled by sum_where"),
+        }
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed footprint in bytes (payload only, as stored).
+    pub fn compressed_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Uncompressed(v) => v.len() * 8,
+            Storage::Alp(c) => c.compressed_bits() / 8,
+            Storage::Codec(_, blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
+            Storage::Gpzip(blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
+        }
+    }
+
+    /// Number of morsels (parallel work units).
+    fn morsel_count(&self) -> usize {
+        match &self.storage {
+            Storage::Uncompressed(v) => v.len().div_ceil(ROWGROUP_VALUES),
+            Storage::Alp(c) => c.rowgroups.len(),
+            Storage::Codec(_, blocks) => blocks.len().div_ceil(ROWGROUP_VECTORS),
+            Storage::Gpzip(blocks) => blocks.len(),
+        }
+    }
+
+    /// Runs `consume` on every decompressed vector of morsel `m`.
+    fn for_each_vector_in_morsel(&self, m: usize, consume: &mut dyn FnMut(&[f64])) {
+        match &self.storage {
+            Storage::Uncompressed(values) => {
+                let start = m * ROWGROUP_VALUES;
+                let end = (start + ROWGROUP_VALUES).min(values.len());
+                for chunk in values[start..end].chunks(VECTOR_SIZE) {
+                    consume(chunk);
+                }
+            }
+            Storage::Alp(c) => {
+                let mut buf = vec![0.0f64; VECTOR_SIZE];
+                let n_vectors = c.rowgroups[m].vector_count();
+                for v in 0..n_vectors {
+                    let n = c.decompress_vector(m, v, &mut buf);
+                    consume(&buf[..n]);
+                }
+            }
+            Storage::Codec(codec, blocks) => {
+                let start = m * ROWGROUP_VECTORS;
+                let end = (start + ROWGROUP_VECTORS).min(blocks.len());
+                for (bytes, count) in &blocks[start..end] {
+                    let decoded = codec.decompress_f64(bytes, *count);
+                    consume(&decoded);
+                }
+            }
+            Storage::Gpzip(blocks) => {
+                // Block-based: the whole row-group inflates before any vector
+                // can be delivered.
+                let (bytes, count) = &blocks[m];
+                let raw = gpzip::decompress(bytes);
+                debug_assert_eq!(raw.len(), count * 8);
+                let mut vector = [0.0f64; VECTOR_SIZE];
+                for chunk in raw.chunks(VECTOR_SIZE * 8) {
+                    let n = chunk.len() / 8;
+                    for (i, b) in chunk.chunks_exact(8).enumerate() {
+                        vector[i] = f64::from_le_bytes(b.try_into().unwrap());
+                    }
+                    consume(&vector[..n]);
+                }
+            }
+        }
+    }
+
+    /// SCAN: decompresses every vector, returns the number of tuples
+    /// delivered. Every delivered value is read (folded into a checksum that
+    /// is black-boxed), so the uncompressed path is honestly memory-bound —
+    /// without the fold a slice of raw data could be "scanned" without
+    /// touching a byte.
+    pub fn scan(&self) -> usize {
+        let mut tuples = 0usize;
+        let mut checksum = 0u64;
+        for m in 0..self.morsel_count() {
+            self.for_each_vector_in_morsel(m, &mut |v| {
+                checksum ^= fold_bits(v);
+                tuples += v.len();
+            });
+        }
+        std::hint::black_box(checksum);
+        tuples
+    }
+
+    /// SUM: scan plus vectorized aggregation.
+    pub fn sum(&self) -> f64 {
+        let mut total = 0.0f64;
+        for m in 0..self.morsel_count() {
+            self.for_each_vector_in_morsel(m, &mut |v| {
+                total += v.iter().sum::<f64>();
+            });
+        }
+        total
+    }
+
+    /// Parallel SCAN over `threads` workers (morsel-driven). Returns total
+    /// tuples scanned.
+    pub fn par_scan(&self, threads: usize) -> usize {
+        self.parallel(threads, |col, m| {
+            let mut tuples = 0usize;
+            let mut checksum = 0u64;
+            col.for_each_vector_in_morsel(m, &mut |v| {
+                checksum ^= fold_bits(v);
+                tuples += v.len();
+            });
+            std::hint::black_box(checksum);
+            tuples as f64
+        }) as usize
+    }
+
+    /// Parallel SUM over `threads` workers.
+    pub fn par_sum(&self, threads: usize) -> f64 {
+        self.parallel(threads, |col, m| {
+            let mut total = 0.0;
+            col.for_each_vector_in_morsel(m, &mut |v| {
+                total += v.iter().sum::<f64>();
+            });
+            total
+        })
+    }
+
+    /// Decompresses the vector with global index `vector_idx` into `out`
+    /// (≥ 1024 elements); returns the live count. For block-based storage
+    /// (GPZip) this inflates the whole containing block — the penalty the
+    /// paper attributes to general-purpose compression.
+    pub fn decompress_vector_at(&self, vector_idx: usize, out: &mut [f64]) -> usize {
+        assert!(out.len() >= VECTOR_SIZE);
+        match &self.storage {
+            Storage::Uncompressed(values) => {
+                let start = vector_idx * VECTOR_SIZE;
+                let end = (start + VECTOR_SIZE).min(values.len());
+                out[..end - start].copy_from_slice(&values[start..end]);
+                end - start
+            }
+            Storage::Alp(c) => {
+                c.decompress_vector(vector_idx / ROWGROUP_VECTORS, vector_idx % ROWGROUP_VECTORS, out)
+            }
+            Storage::Codec(codec, blocks) => {
+                let (bytes, count) = &blocks[vector_idx];
+                let decoded = codec.decompress_f64(bytes, *count);
+                out[..decoded.len()].copy_from_slice(&decoded);
+                decoded.len()
+            }
+            Storage::Gpzip(blocks) => {
+                let block_idx = vector_idx / ROWGROUP_VECTORS;
+                let within = vector_idx % ROWGROUP_VECTORS;
+                let (bytes, _) = &blocks[block_idx];
+                let raw = gpzip::decompress(bytes);
+                let start = within * VECTOR_SIZE * 8;
+                let end = (start + VECTOR_SIZE * 8).min(raw.len());
+                let n = (end - start) / 8;
+                for (i, chunk) in raw[start..end].chunks_exact(8).enumerate() {
+                    out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+                }
+                n
+            }
+        }
+    }
+
+    /// `SELECT row_ids WHERE lo <= x <= hi` with zone-map push-down: returns
+    /// global row indices of matching values.
+    pub fn filter_indices(&self, lo: f64, hi: f64) -> Vec<u64> {
+        let mut ids = Vec::new();
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        for (v_idx, zm) in self.zone_maps.iter().enumerate() {
+            if !zm.overlaps(lo, hi) {
+                continue;
+            }
+            let n = self.decompress_vector_at(v_idx, &mut buf);
+            let base = (v_idx * VECTOR_SIZE) as u64;
+            for (i, &x) in buf[..n].iter().enumerate() {
+                if x >= lo && x <= hi {
+                    ids.push(base + i as u64);
+                }
+            }
+        }
+        ids
+    }
+
+    /// Morsel scheduler: workers claim row-groups from a shared counter and
+    /// accumulate a partial result; partials are added at the barrier.
+    fn parallel(&self, threads: usize, work: impl Fn(&Column, usize) -> f64 + Sync) -> f64 {
+        let threads = threads.max(1);
+        let next = AtomicUsize::new(0);
+        let morsels = self.morsel_count();
+        if threads == 1 {
+            let mut total = 0.0;
+            for m in 0..morsels {
+                total += work(self, m);
+            }
+            return total;
+        }
+        let work = &work;
+        let next = &next;
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move |_| {
+                        let mut partial = 0.0f64;
+                        loop {
+                            let m = next.fetch_add(1, Ordering::Relaxed);
+                            if m >= morsels {
+                                break;
+                            }
+                            partial += work(self, m);
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap()
+    }
+}
+
+/// XOR-fold of a vector's bit patterns — the cheapest possible consumer that
+/// still forces every value to be read.
+#[inline]
+fn fold_bits(v: &[f64]) -> u64 {
+    let mut acc = 0u64;
+    for &x in v {
+        acc ^= x.to_bits();
+    }
+    acc
+}
+
+/// Adds the in-range values of `v` into `result` (branch-predictable
+/// predicated accumulation).
+#[inline]
+fn accumulate(v: &[f64], lo: f64, hi: f64, result: &mut FilteredSum) {
+    let mut sum = 0.0;
+    let mut matches = 0usize;
+    for &x in v {
+        let hit = x >= lo && x <= hi;
+        sum += if hit { x } else { 0.0 };
+        matches += hit as usize;
+    }
+    result.sum += sum;
+    result.matches += matches;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORMATS: [Format; 5] = [
+        Format::Uncompressed,
+        Format::Alp,
+        Format::Codec(codecs::Codec::Gorilla),
+        Format::Codec(codecs::Codec::Patas),
+        Format::Gpzip,
+    ];
+
+    fn sample_data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i % 5000) as f64) / 100.0).collect()
+    }
+
+    #[test]
+    fn scan_counts_all_tuples_in_every_format() {
+        let data = sample_data(250_000);
+        for fmt in FORMATS {
+            let col = Column::from_f64(&data, fmt);
+            assert_eq!(col.scan(), data.len(), "{}", fmt.name());
+        }
+    }
+
+    #[test]
+    fn sum_agrees_across_formats() {
+        let data = sample_data(123_456);
+        let expected: f64 = data.iter().sum();
+        for fmt in FORMATS {
+            let col = Column::from_f64(&data, fmt);
+            let got = col.sum();
+            assert!(
+                (got - expected).abs() <= expected.abs() * 1e-12,
+                "{}: {got} vs {expected}",
+                fmt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = sample_data(300_000);
+        for fmt in [Format::Alp, Format::Uncompressed] {
+            let col = Column::from_f64(&data, fmt);
+            assert_eq!(col.par_scan(4), col.scan());
+            let serial = col.sum();
+            let parallel = col.par_sum(4);
+            assert!((serial - parallel).abs() <= serial.abs() * 1e-9);
+        }
+    }
+
+    #[test]
+    fn compressed_sizes_are_sane() {
+        let data = sample_data(200_000);
+        let raw = Column::from_f64(&data, Format::Uncompressed).compressed_bytes();
+        let alp = Column::from_f64(&data, Format::Alp).compressed_bytes();
+        let zstd_sub = Column::from_f64(&data, Format::Gpzip).compressed_bytes();
+        assert_eq!(raw, data.len() * 8);
+        assert!(alp < raw / 2, "alp {alp} raw {raw}");
+        assert!(zstd_sub < raw, "gpzip {zstd_sub} raw {raw}");
+    }
+
+    #[test]
+    fn empty_column_works() {
+        for fmt in FORMATS {
+            let col = Column::from_f64(&[], fmt);
+            assert!(col.is_empty());
+            assert_eq!(col.scan(), 0);
+            assert_eq!(col.sum(), 0.0);
+            assert_eq!(col.par_sum(4), 0.0);
+        }
+    }
+
+    #[test]
+    fn zone_maps_match_data() {
+        let data = sample_data(5000);
+        let col = Column::from_f64(&data, Format::Alp);
+        assert_eq!(col.zone_maps().len(), 5);
+        for (i, zm) in col.zone_maps().iter().enumerate() {
+            let chunk = &data[i * VECTOR_SIZE..((i + 1) * VECTOR_SIZE).min(data.len())];
+            assert_eq!(zm.min, chunk.iter().copied().fold(f64::INFINITY, f64::min));
+            assert_eq!(zm.max, chunk.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+
+    #[test]
+    fn sum_where_agrees_with_reference_in_every_format() {
+        // Sorted-ish data so zone maps actually prune.
+        let data: Vec<f64> = (0..300_000).map(|i| (i / 10) as f64 / 100.0).collect();
+        let (lo, hi) = (50.0, 80.0);
+        let reference: f64 = data.iter().filter(|&&x| (lo..=hi).contains(&x)).sum();
+        let ref_matches = data.iter().filter(|&&x| (lo..=hi).contains(&x)).count();
+        for fmt in FORMATS {
+            let col = Column::from_f64(&data, fmt);
+            let r = col.sum_where(lo, hi);
+            assert_eq!(r.matches, ref_matches, "{}", fmt.name());
+            assert!((r.sum - reference).abs() <= reference.abs() * 1e-12, "{}", fmt.name());
+            assert!(r.vectors_skipped > 0, "{} should prune", fmt.name());
+        }
+    }
+
+    #[test]
+    fn pushdown_prunes_more_at_vector_granularity_than_blocks() {
+        let data: Vec<f64> = (0..500_000).map(|i| i as f64).collect();
+        // A range covering ~2 vectors.
+        let (lo, hi) = (250_000.0, 252_000.0);
+        let alp = Column::from_f64(&data, Format::Alp).sum_where(lo, hi);
+        let gz = Column::from_f64(&data, Format::Gpzip).sum_where(lo, hi);
+        assert_eq!(alp.matches, gz.matches);
+        assert!(alp.vectors_scanned <= 4, "alp scanned {}", alp.vectors_scanned);
+        // GPZip had to inflate its whole 100-vector block.
+        assert!(gz.vectors_scanned >= 100, "gpzip scanned {}", gz.vectors_scanned);
+    }
+
+    #[test]
+    fn sum_where_ignores_nans_and_handles_empty_range() {
+        let mut data = sample_data(10_000);
+        data[5] = f64::NAN;
+        for fmt in [Format::Alp, Format::Uncompressed] {
+            let col = Column::from_f64(&data, fmt);
+            let all = col.sum_where(f64::NEG_INFINITY, f64::INFINITY);
+            assert_eq!(all.matches, data.len() - 1); // NaN never matches
+            let none = col.sum_where(1e18, 2e18);
+            assert_eq!(none.matches, 0);
+            assert_eq!(none.vectors_scanned, 0);
+        }
+    }
+
+    #[test]
+    fn short_tail_vectors_are_delivered() {
+        let data = sample_data(ROWGROUP_VALUES + 700);
+        for fmt in FORMATS {
+            let col = Column::from_f64(&data, fmt);
+            assert_eq!(col.scan(), data.len(), "{}", fmt.name());
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Multi-column tables and general aggregation — enough relational surface to
+//! express the paper's end-to-end queries plus the selective scans that
+//! motivate vector-granular compression.
+
+use fastlanes::VECTOR_SIZE;
+
+use crate::{Column, Format};
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Sum of values (NaNs propagate, as in IEEE).
+    Sum,
+    /// Minimum value (NaNs skipped).
+    Min,
+    /// Maximum value (NaNs skipped).
+    Max,
+    /// Number of values.
+    Count,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl Column {
+    /// Computes an aggregate over the whole column, vector-at-a-time.
+    pub fn aggregate(&self, agg: Aggregate) -> f64 {
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut count = 0usize;
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        for v_idx in 0..self.zone_maps().len() {
+            let n = self.decompress_vector_at(v_idx, &mut buf);
+            count += n;
+            match agg {
+                Aggregate::Sum | Aggregate::Avg => sum += buf[..n].iter().sum::<f64>(),
+                Aggregate::Min => {
+                    min = buf[..n].iter().copied().filter(|v| !v.is_nan()).fold(min, f64::min)
+                }
+                Aggregate::Max => {
+                    max = buf[..n].iter().copied().filter(|v| !v.is_nan()).fold(max, f64::max)
+                }
+                Aggregate::Count => {}
+            }
+        }
+        match agg {
+            Aggregate::Sum => sum,
+            Aggregate::Min => min,
+            Aggregate::Max => max,
+            Aggregate::Count => count as f64,
+            Aggregate::Avg => {
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            }
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+pub struct Table {
+    columns: Vec<(String, Column)>,
+    rows: usize,
+}
+
+/// Errors from table construction and queries.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// Column lengths differ.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        len: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// No column with the requested name.
+    NoSuchColumn(String),
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::LengthMismatch { column, len, expected } => {
+                write!(f, "column {column:?} has {len} rows, expected {expected}")
+            }
+            TableError::NoSuchColumn(name) => write!(f, "no column named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    /// Builds a table, compressing each `(name, data)` pair with `format`.
+    pub fn from_columns(
+        columns: Vec<(&str, Vec<f64>, Format)>,
+    ) -> Result<Self, TableError> {
+        let rows = columns.first().map(|(_, d, _)| d.len()).unwrap_or(0);
+        let mut built = Vec::with_capacity(columns.len());
+        for (name, data, format) in columns {
+            if data.len() != rows {
+                return Err(TableError::LengthMismatch {
+                    column: name.to_string(),
+                    len: data.len(),
+                    expected: rows,
+                });
+            }
+            built.push((name.to_string(), Column::from_f64(&data, format)));
+        }
+        Ok(Self { columns: built, rows })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, TableError> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| TableError::NoSuchColumn(name.to_string()))
+    }
+
+    /// `SELECT agg(target) WHERE lo <= filter <= hi` — filter on one column,
+    /// aggregate another, touching only the target vectors that contain
+    /// matches (vector-granular push-down across columns).
+    pub fn aggregate_where(
+        &self,
+        target: &str,
+        agg: Aggregate,
+        filter: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<FilteredAggregate, TableError> {
+        let filter_col = self.column(filter)?;
+        let target_col = self.column(target)?;
+
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut count = 0usize;
+        let mut vectors_touched = 0usize;
+
+        let mut fbuf = vec![0.0f64; VECTOR_SIZE];
+        let mut tbuf = vec![0.0f64; VECTOR_SIZE];
+        for (v_idx, zm) in filter_col.zone_maps().iter().enumerate() {
+            if !zm.overlaps(lo, hi) {
+                continue;
+            }
+            let n = filter_col.decompress_vector_at(v_idx, &mut fbuf);
+            // Find matches; decompress the target vector only if any exist.
+            let mut any = false;
+            for &x in &fbuf[..n] {
+                if x >= lo && x <= hi {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                continue;
+            }
+            vectors_touched += 1;
+            let tn = target_col.decompress_vector_at(v_idx, &mut tbuf);
+            debug_assert_eq!(n, tn);
+            for i in 0..n {
+                let x = fbuf[i];
+                if x >= lo && x <= hi {
+                    let t = tbuf[i];
+                    count += 1;
+                    sum += t;
+                    if !t.is_nan() {
+                        min = min.min(t);
+                        max = max.max(t);
+                    }
+                }
+            }
+        }
+
+        let value = match agg {
+            Aggregate::Sum => sum,
+            Aggregate::Min => min,
+            Aggregate::Max => max,
+            Aggregate::Count => count as f64,
+            Aggregate::Avg => {
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            }
+        };
+        Ok(FilteredAggregate { value, matches: count, vectors_touched })
+    }
+}
+
+/// Result of [`Table::aggregate_where`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilteredAggregate {
+    /// The aggregate value.
+    pub value: f64,
+    /// Matching rows.
+    pub matches: usize,
+    /// Target-column vectors that were actually decompressed.
+    pub vectors_touched: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_table() -> Table {
+        let n = 300_000;
+        let time: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let price: Vec<f64> = (0..n).map(|i| ((i * 7) % 1000) as f64 / 100.0).collect();
+        Table::from_columns(vec![
+            ("time", time, Format::Alp),
+            ("price", price, Format::Alp),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_match_reference() {
+        let data: Vec<f64> = (0..50_000).map(|i| ((i % 997) as f64) / 10.0).collect();
+        let col = Column::from_f64(&data, Format::Alp);
+        assert_eq!(col.aggregate(Aggregate::Count), data.len() as f64);
+        let sum: f64 = data.iter().sum();
+        assert!((col.aggregate(Aggregate::Sum) - sum).abs() < sum.abs() * 1e-12);
+        assert_eq!(col.aggregate(Aggregate::Min), 0.0);
+        assert_eq!(col.aggregate(Aggregate::Max), 99.6);
+        let avg = sum / data.len() as f64;
+        assert!((col.aggregate(Aggregate::Avg) - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rejects_mismatched_lengths() {
+        let result = Table::from_columns(vec![
+            ("a", vec![1.0; 10], Format::Alp),
+            ("b", vec![1.0; 11], Format::Alp),
+        ]);
+        assert!(matches!(result, Err(TableError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn aggregate_where_filters_on_sorted_column() {
+        let t = test_table();
+        // Rows 100_000..=100_999 selected via the sorted time column.
+        let r = t.aggregate_where("price", Aggregate::Count, "time", 100_000.0, 100_999.0).unwrap();
+        assert_eq!(r.matches, 1000);
+        // Sorted filter + vector granularity: only 1-2 vectors touched.
+        assert!(r.vectors_touched <= 2, "{}", r.vectors_touched);
+
+        let reference: f64 = (100_000..=100_999).map(|i| ((i * 7) % 1000) as f64 / 100.0).sum();
+        let s = t.aggregate_where("price", Aggregate::Sum, "time", 100_000.0, 100_999.0).unwrap();
+        assert!((s.value - reference).abs() < 1e-9, "{} vs {reference}", s.value);
+    }
+
+    #[test]
+    fn aggregate_where_unknown_column() {
+        let t = test_table();
+        assert!(matches!(
+            t.aggregate_where("nope", Aggregate::Sum, "time", 0.0, 1.0),
+            Err(TableError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn filter_indices_match_predicate() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let col = Column::from_f64(&data, Format::Alp);
+        let ids = col.filter_indices(5000.0, 5004.0);
+        assert_eq!(ids, vec![5000, 5001, 5002, 5003, 5004]);
+    }
+
+    #[test]
+    fn decompress_vector_at_every_format() {
+        let data: Vec<f64> = (0..250_000).map(|i| (i % 333) as f64 / 4.0).collect();
+        for fmt in [
+            Format::Uncompressed,
+            Format::Alp,
+            Format::Codec(codecs::Codec::Patas),
+            Format::Gpzip,
+        ] {
+            let col = Column::from_f64(&data, fmt);
+            let mut buf = vec![0.0f64; VECTOR_SIZE];
+            for v_idx in [0usize, 101, 207, 244] {
+                let n = col.decompress_vector_at(v_idx, &mut buf);
+                let start = v_idx * VECTOR_SIZE;
+                let end = (start + VECTOR_SIZE).min(data.len());
+                assert_eq!(n, end - start, "{} v{}", fmt.name(), v_idx);
+                assert_eq!(&buf[..n], &data[start..end], "{} v{}", fmt.name(), v_idx);
+            }
+        }
+    }
+}

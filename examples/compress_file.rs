@@ -1,0 +1,82 @@
+//! A small CLI: compress a raw little-endian `f64` binary file into an `.alp`
+//! column file, or decompress one back.
+//!
+//! ```sh
+//! # generate a demo input, compress, decompress, verify
+//! cargo run --release --example compress_file -- demo
+//!
+//! # compress your own file of little-endian f64s
+//! cargo run --release --example compress_file -- compress input.f64 output.alp
+//! cargo run --release --example compress_file -- decompress output.alp restored.f64
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use alp::{format, Compressor};
+
+fn read_f64(path: &str) -> Vec<f64> {
+    let bytes = fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert!(bytes.len().is_multiple_of(8), "{path} is not a whole number of f64s");
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+fn write_f64(path: &str, data: &[f64]) {
+    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    fs::write(path, bytes).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+fn compress(input: &str, output: &str) {
+    let data = read_f64(input);
+    let compressed = Compressor::new().compress(&data);
+    let bytes = format::to_bytes(&compressed);
+    fs::write(output, &bytes).unwrap_or_else(|e| panic!("write {output}: {e}"));
+    println!(
+        "{input}: {} values, {:.2} bits/value -> {output} ({} bytes, {:.1}x)",
+        data.len(),
+        compressed.bits_per_value(),
+        bytes.len(),
+        (data.len() * 8) as f64 / bytes.len() as f64
+    );
+}
+
+fn decompress(input: &str, output: &str) {
+    let bytes = fs::read(input).unwrap_or_else(|e| panic!("read {input}: {e}"));
+    let compressed = format::from_bytes::<f64>(&bytes).expect("valid .alp file");
+    let data = compressed.decompress();
+    write_f64(output, &data);
+    println!("{input} -> {output}: {} values", data.len());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("compress") if args.len() == 4 => {
+            compress(&args[2], &args[3]);
+            ExitCode::SUCCESS
+        }
+        Some("decompress") if args.len() == 4 => {
+            decompress(&args[2], &args[3]);
+            ExitCode::SUCCESS
+        }
+        Some("demo") => {
+            let dir = std::env::temp_dir().join("alp_demo");
+            fs::create_dir_all(&dir).unwrap();
+            let input = dir.join("demo.f64");
+            let packed = dir.join("demo.alp");
+            let restored = dir.join("restored.f64");
+            let data = datagen::generate("Stocks-USA", 500_000, 1);
+            write_f64(input.to_str().unwrap(), &data);
+            compress(input.to_str().unwrap(), packed.to_str().unwrap());
+            decompress(packed.to_str().unwrap(), restored.to_str().unwrap());
+            let back = read_f64(restored.to_str().unwrap());
+            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()));
+            println!("verified bit-exact ✓ (files under {})", dir.display());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: compress_file demo | compress <in.f64> <out.alp> | decompress <in.alp> <out.f64>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Streaming compression: write a column to a file row-group by row-group
+//! (bounded memory), then read it back incrementally — the I/O-friendly
+//! surface a big-data-format writer would use.
+//!
+//! ```sh
+//! cargo run --release --example streaming
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use alp::stream::{ColumnReader, ColumnWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("alp_streaming_demo.alps");
+
+    // Feed 2M values in small chunks, as a sensor pipeline would: the writer
+    // holds at most one row-group (100 * 1024 values) in memory regardless of
+    // the column's total size.
+    let total = 2_000_000usize;
+    let source = datagen::generate("Stocks-DE", total, 7);
+    {
+        let mut writer = ColumnWriter::<f64, _>::new(BufWriter::new(File::create(&path)?));
+        for chunk in source.chunks(10_000) {
+            writer.push(chunk)?;
+        }
+        let summary = writer.finish()?;
+        println!(
+            "wrote {} values in {} row-groups, {} compressed bytes ({:.2} bits/value)",
+            summary.values,
+            summary.rowgroups,
+            summary.compressed_bytes,
+            summary.compressed_bytes as f64 * 8.0 / summary.values as f64
+        );
+    }
+
+    // Read back incrementally; abort-early readers only pay for what they read.
+    let mut reader = ColumnReader::<f64, _>::new(BufReader::new(File::open(&path)?))?;
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    let mut rowgroups = 0usize;
+    while let Some(values) = reader.next_rowgroup()? {
+        count += values.len();
+        sum += values.iter().sum::<f64>();
+        rowgroups += 1;
+    }
+    println!("read back {count} values from {rowgroups} row-groups, mean = {:.4}", sum / count as f64);
+    assert_eq!(count, total);
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

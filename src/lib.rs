@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the public surface of the ALP reproduction workspace.
+//!
+//! Most users want [`alp`] directly; the other crates are the substrates and baselines
+//! the paper's evaluation requires. See `DESIGN.md` for the full system inventory.
+
+pub use alp;
+pub use bitstream;
+pub use codecs;
+pub use datagen;
+pub use fastlanes;
+pub use gpzip;
+pub use vectorq;

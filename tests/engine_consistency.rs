@@ -1,0 +1,64 @@
+//! Integration: the vectorized engine must produce identical query answers
+//! over every storage format and at every parallelism level.
+
+use vectorq::{Column, Format};
+
+fn all_formats() -> Vec<Format> {
+    let mut f = vec![Format::Uncompressed, Format::Alp, Format::Gpzip];
+    f.extend(codecs::Codec::ALL.iter().map(|&c| Format::Codec(c)));
+    f
+}
+
+#[test]
+fn sums_agree_across_formats_on_diverse_datasets() {
+    for name in ["City-Temp", "Gov/26", "Blockchain", "POI-lat", "CMS/9"] {
+        let data = datagen::generate(name, 150_000, 5);
+        let reference: f64 = data.iter().sum();
+        for fmt in all_formats() {
+            let col = Column::from_f64(&data, fmt);
+            let got = col.sum();
+            let tolerance = reference.abs().max(1.0) * 1e-9;
+            assert!(
+                (got - reference).abs() <= tolerance,
+                "{name} via {}: {got} vs {reference}",
+                fmt.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scan_counts_are_exact() {
+    let data = datagen::generate("Stocks-DE", 123_457, 5); // deliberately odd length
+    for fmt in all_formats() {
+        let col = Column::from_f64(&data, fmt);
+        assert_eq!(col.scan(), data.len(), "{}", fmt.name());
+    }
+}
+
+#[test]
+fn parallelism_does_not_change_answers() {
+    let data = datagen::generate("Food-prices", 400_000, 5);
+    let col = Column::from_f64(&data, Format::Alp);
+    let serial = col.sum();
+    for threads in [2, 3, 4, 8] {
+        let parallel = col.par_sum(threads);
+        assert!(
+            (serial - parallel).abs() <= serial.abs() * 1e-9,
+            "threads {threads}: {parallel} vs {serial}"
+        );
+        assert_eq!(col.par_scan(threads), data.len());
+    }
+}
+
+#[test]
+fn compressed_footprints_rank_sensibly_on_decimals() {
+    // On a classic decimal dataset ALP must compress, and must beat the
+    // XOR codecs clearly (the paper's Table 4 shape).
+    let data = datagen::generate("City-Temp", 300_000, 5);
+    let raw = Column::from_f64(&data, Format::Uncompressed).compressed_bytes();
+    let alp = Column::from_f64(&data, Format::Alp).compressed_bytes();
+    let gorilla = Column::from_f64(&data, Format::Codec(codecs::Codec::Gorilla)).compressed_bytes();
+    assert!(alp * 3 < raw, "ALP {alp} vs raw {raw}");
+    assert!(alp < gorilla, "ALP {alp} vs Gorilla {gorilla}");
+}

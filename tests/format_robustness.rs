@@ -1,0 +1,74 @@
+//! Adversarial-input robustness of the serialized column format: arbitrary
+//! byte mutations and truncations must never panic, never allocate
+//! unboundedly, and a successful parse must decompress safely.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sample_column() -> Vec<u8> {
+    let mut data: Vec<f64> = (0..5000).map(|i| (i as f64) / 8.0).collect();
+    // Mix in an ALP_rd row-group too.
+    data.extend((0..3000).map(|i| ((i as f64) * 0.377).sin() * 1e-4));
+    let compressed = alp::Compressor::new().compress(&data);
+    alp::format::to_bytes(&compressed)
+}
+
+#[test]
+fn lying_length_header_is_rejected() {
+    let mut bytes = sample_column();
+    // len lives at offset 5..13 (after magic + bits byte).
+    bytes[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        alp::format::from_bytes::<f64>(&bytes),
+        Err(alp::format::FormatError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn every_truncation_point_fails_cleanly() {
+    let bytes = sample_column();
+    for cut in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+        // Must return an error (or, for prefixes that happen to end on a
+        // boundary, a shorter valid column) without panicking.
+        let _ = alp::format::from_bytes::<f64>(&bytes[..cut]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_single_byte_corruptions_never_panic(
+        pos_frac in 0.0f64..1.0,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = sample_column();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = val;
+        if let Ok(col) = alp::format::from_bytes::<f64>(&bytes) {
+            // A parse that survives validation must decode without panicking.
+            let _ = col.decompress();
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in vec(any::<u8>(), 0..4096)) {
+        if let Ok(col) = alp::format::from_bytes::<f64>(&bytes) {
+            let _ = col.decompress();
+        }
+    }
+
+    #[test]
+    fn random_multi_corruptions_never_panic(
+        seed_bytes in vec((0.0f64..1.0, any::<u8>()), 1..8),
+    ) {
+        let mut bytes = sample_column();
+        for (frac, val) in seed_bytes {
+            let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+            bytes[pos] ^= val;
+        }
+        if let Ok(col) = alp::format::from_bytes::<f64>(&bytes) {
+            let _ = col.decompress();
+        }
+    }
+}
