@@ -145,12 +145,9 @@ pub fn dataset_metrics(data: &[f64]) -> DatasetMetrics {
     }
 
     // C11: per-value visible precision as the exponent.
-    let penc_per_value = data
-        .iter()
-        .zip(&precisions)
-        .filter(|&(&v, &p)| penc_roundtrips(v, p))
-        .count() as f64
-        / data.len() as f64;
+    let penc_per_value =
+        data.iter().zip(&precisions).filter(|&(&v, &p)| penc_roundtrips(v, p)).count() as f64
+            / data.len() as f64;
 
     // C12: best single exponent for the whole dataset.
     let (best_e, best_count) = (0..=22u32)

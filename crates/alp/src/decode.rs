@@ -35,7 +35,11 @@ pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
 /// Unfused decode: unFFOR into an integer scratch vector, then a separate
 /// multiply loop. Exists for the Figure 5 kernel-fusion ablation.
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
-pub fn decode_vector_unfused<F: AlpFloat>(v: &AlpVector, scratch: &mut [i64], out: &mut [F]) -> usize {
+pub fn decode_vector_unfused<F: AlpFloat>(
+    v: &AlpVector,
+    scratch: &mut [i64],
+    out: &mut [F],
+) -> usize {
     assert!(scratch.len() >= VECTOR_SIZE && out.len() >= VECTOR_SIZE);
     ffor::ffor_unpack(&v.packed, v.for_base, v.bit_width as usize, &mut scratch[..VECTOR_SIZE]);
     let mul_f = F::f10(v.factor);

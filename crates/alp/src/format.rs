@@ -7,23 +7,34 @@
 //!
 //! Layout (all integers little-endian):
 //! ```text
-//! "ALP1" | bits:u8 | len:u64 | rowgroups:u32
-//! per row-group: scheme:u8 (0=ALP, 1=ALP_rd) | vectors:u32 | ...
+//! "ALP2" | bits:u8 | len:u64 | rowgroups:u32
+//! per row-group: rg_len:u32 | checksum:u64 (XXH64 of the rg_len body bytes)
+//!   body: scheme:u8 (0=ALP, 1=ALP_rd) | vectors:u32 | ...
 //!   ALP vector : e:u8 f:u8 width:u8 len:u16 base:i64 exc:u16
 //!                packed[16*width] exc_pos[exc] exc_val[exc]
 //!   RD header  : left_width:u8 code_width:u8 dict_len:u8 dict[dict_len]:u16
 //!   RD vector  : len:u16 exc:u16 packed_codes packed_right exc_pos exc_left
 //! ```
-
-use bytes::{Buf, BufMut};
+//!
+//! The legacy `ALP1` layout — identical except row-group bodies follow each
+//! other directly, with no length/checksum frame — is still accepted by
+//! [`from_bytes`]. The per-row-group frame serves two purposes: bit-rot in a
+//! payload is *detected* (a flipped packed bit otherwise decodes to plausible
+//! garbage), and [`from_bytes_salvage`] can resync past a damaged row-group
+//! using the length prefix and recover the rest of the column.
 
 use crate::encode::AlpVector;
+use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::rd::{RdMeta, RdVector};
 use crate::rowgroup::{Compressed, RowGroup};
 use crate::traits::AlpFloat;
+use crate::wire::{GetExt, PutExt};
 
-/// Magic bytes identifying a serialized ALP column.
-pub const MAGIC: &[u8; 4] = b"ALP1";
+/// Magic bytes identifying a checksummed (current) serialized ALP column.
+pub const MAGIC: &[u8; 4] = b"ALP2";
+
+/// Magic bytes of the legacy, checksum-less column layout (still readable).
+pub const MAGIC_V1: &[u8; 4] = b"ALP1";
 
 /// Errors produced when decoding a serialized column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +52,15 @@ pub enum FormatError {
     },
     /// A structural field held an impossible value.
     Corrupt(&'static str),
+    /// A row-group's stored checksum does not match its bytes (bit-rot).
+    ChecksumMismatch {
+        /// Index of the damaged row-group within the column.
+        rowgroup: usize,
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum computed over the bytes actually present.
+        computed: u64,
+    },
 }
 
 impl core::fmt::Display for FormatError {
@@ -52,16 +72,40 @@ impl core::fmt::Display for FormatError {
                 write!(f, "column stores {found}-bit floats, caller expected {expected}-bit")
             }
             FormatError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            FormatError::ChecksumMismatch { rowgroup, stored, computed } => write!(
+                f,
+                "row-group {rowgroup} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for FormatError {}
 
-/// Serializes a compressed column to bytes.
+/// Serializes a compressed column to bytes (current `ALP2` layout: every
+/// row-group body is length-prefixed and XXH64-checksummed).
 pub fn to_bytes<F: AlpFloat>(c: &Compressed<F>) -> Vec<u8> {
     let mut out = Vec::with_capacity(c.compressed_bits() / 8 + 64);
     out.put_slice(MAGIC);
+    out.put_u8(F::BITS as u8);
+    out.put_u64_le(c.len as u64);
+    out.put_u32_le(c.rowgroups.len() as u32);
+    let mut body = Vec::new();
+    for rg in &c.rowgroups {
+        body.clear();
+        write_rowgroup::<F>(&mut body, rg);
+        out.put_u32_le(body.len() as u32);
+        out.put_u64_le(xxh64(&body, CHECKSUM_SEED));
+        out.put_slice(&body);
+    }
+    out
+}
+
+/// Serializes a compressed column in the legacy `ALP1` layout (no per-row-group
+/// checksums). Kept for interoperability tests and old readers.
+pub fn to_bytes_v1<F: AlpFloat>(c: &Compressed<F>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(c.compressed_bits() / 8 + 64);
+    out.put_slice(MAGIC_V1);
     out.put_u8(F::BITS as u8);
     out.put_u64_le(c.len as u64);
     out.put_u32_le(c.rowgroups.len() as u32);
@@ -136,35 +180,177 @@ fn write_rd_vector(out: &mut Vec<u8>, v: &RdVector, right_width: usize) {
     }
 }
 
-/// Deserializes a column previously produced by [`to_bytes`].
-pub fn from_bytes<F: AlpFloat>(mut buf: &[u8]) -> Result<Compressed<F>, FormatError> {
-    let need = |buf: &[u8], n: usize| if buf.len() < n { Err(FormatError::Truncated) } else { Ok(()) };
+/// On-disk layout version, decided by the magic bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    /// Legacy: bare row-group bodies, no integrity frames.
+    V1,
+    /// Current: each row-group body is `rg_len:u32 | checksum:u64 | body`.
+    V2,
+}
 
-    need(buf, 4)?;
-    if &buf[..4] != MAGIC {
-        return Err(FormatError::BadMagic);
+/// Parsed column header (shared by strict and salvage readers).
+struct Header {
+    version: Version,
+    len: usize,
+    rg_count: usize,
+}
+
+fn read_header<F: AlpFloat>(buf: &mut &[u8]) -> Result<Header, FormatError> {
+    if buf.len() < 4 {
+        return Err(FormatError::Truncated);
     }
+    let version = match &buf[..4] {
+        m if m == MAGIC => Version::V2,
+        m if m == MAGIC_V1 => Version::V1,
+        _ => return Err(FormatError::BadMagic),
+    };
     buf.advance(4);
-    need(buf, 1 + 8 + 4)?;
+    if buf.len() < 1 + 8 + 4 {
+        return Err(FormatError::Truncated);
+    }
     let bits = buf.get_u8();
     if bits as u32 != F::BITS {
         return Err(FormatError::WidthMismatch { found: bits, expected: F::BITS as u8 });
     }
     let len = buf.get_u64_le() as usize;
     let rg_count = buf.get_u32_le() as usize;
+    Ok(Header { version, len, rg_count })
+}
 
-    let mut rowgroups = Vec::with_capacity(rg_count);
-    for _ in 0..rg_count {
-        rowgroups.push(read_rowgroup::<F>(&mut buf)?);
+/// Reads one `ALP2` integrity frame: verifies the checksum, parses the body,
+/// and requires the body length to match the frame exactly. On success the
+/// cursor sits on the next frame.
+fn read_framed_rowgroup<F: AlpFloat>(
+    buf: &mut &[u8],
+    index: usize,
+) -> Result<RowGroup, FormatError> {
+    if buf.len() < 4 + 8 {
+        return Err(FormatError::Truncated);
+    }
+    let rg_len = buf.get_u32_le() as usize;
+    let stored = buf.get_u64_le();
+    if buf.len() < rg_len {
+        return Err(FormatError::Truncated);
+    }
+    let body = &buf[..rg_len];
+    let computed = xxh64(body, CHECKSUM_SEED);
+    if computed != stored {
+        return Err(FormatError::ChecksumMismatch { rowgroup: index, stored, computed });
+    }
+    let mut cursor = body;
+    let rg = read_rowgroup::<F>(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Corrupt("row-group frame length"));
+    }
+    buf.advance(rg_len);
+    Ok(rg)
+}
+
+/// Deserializes a column previously produced by [`to_bytes`] (or the legacy
+/// [`to_bytes_v1`]). Strict: any damage — structural or checksum — is an error.
+pub fn from_bytes<F: AlpFloat>(mut buf: &[u8]) -> Result<Compressed<F>, FormatError> {
+    let header = read_header::<F>(&mut buf)?;
+    let mut rowgroups = Vec::with_capacity(header.rg_count.min(1 << 20));
+    for i in 0..header.rg_count {
+        let rg = match header.version {
+            Version::V2 => read_framed_rowgroup::<F>(&mut buf, i)?,
+            Version::V1 => read_rowgroup::<F>(&mut buf)?,
+        };
+        rowgroups.push(rg);
     }
 
     // The recorded length must equal the vectors' actual content — a lying
     // header would otherwise drive a giant allocation in `decompress`.
     let actual: usize = rowgroups.iter().map(|rg| rg.len()).sum();
-    if actual != len {
+    if actual != header.len {
         return Err(FormatError::Corrupt("column length"));
     }
-    Ok(Compressed::from_rowgroups(rowgroups, len))
+    Ok(Compressed::from_rowgroups(rowgroups, header.len))
+}
+
+/// Result of a salvage read: whatever survived, plus a damage report.
+#[derive(Debug)]
+pub struct Salvage<F: AlpFloat> {
+    /// The recoverable column — surviving row-groups in file order. Its `len`
+    /// is the surviving value count, not the original header length.
+    pub column: Compressed<F>,
+    /// Indices (in file order) of row-groups that were lost to corruption.
+    pub lost_rowgroups: Vec<usize>,
+    /// Row-group count the header promised.
+    pub total_rowgroups: usize,
+    /// Value count the header promised (what `len` would be undamaged).
+    pub expected_len: usize,
+}
+
+impl<F: AlpFloat> Salvage<F> {
+    /// True when every row-group survived.
+    pub fn is_complete(&self) -> bool {
+        self.lost_rowgroups.is_empty() && self.column.len == self.expected_len
+    }
+}
+
+/// Best-effort deserialization: skips damaged row-groups instead of failing,
+/// returning the survivors and exactly which row-groups were lost.
+///
+/// With the `ALP2` layout the length prefix of each integrity frame allows
+/// resyncing past a damaged body, so one flipped bit costs one row-group. A
+/// frame whose *length field itself* is implausible (runs past the buffer)
+/// ends recovery — everything from that frame on is reported lost. Legacy
+/// `ALP1` columns have no frames, so the first damaged row-group ends
+/// recovery the same way. A damaged header is unrecoverable and returns
+/// `Err` like [`from_bytes`].
+pub fn from_bytes_salvage<F: AlpFloat>(mut buf: &[u8]) -> Result<Salvage<F>, FormatError> {
+    let header = read_header::<F>(&mut buf)?;
+    // A corrupt header can claim billions of row-groups; clamp the loss report
+    // to what the buffer could physically hold (smallest body is 5 bytes).
+    let min_frame = match header.version {
+        Version::V2 => 4 + 8 + 5,
+        Version::V1 => 5,
+    };
+    let rg_count = header.rg_count.min(buf.len() / min_frame + 1);
+    let mut rowgroups = Vec::new();
+    let mut lost = Vec::new();
+    let mut i = 0;
+    while i < rg_count {
+        match header.version {
+            Version::V2 => {
+                if buf.len() < 4 + 8 {
+                    break; // truncated mid-frame: the rest is lost
+                }
+                let mut peek = buf;
+                let rg_len = peek.get_u32_le() as usize;
+                let _stored = peek.get_u64_le();
+                if peek.len() < rg_len {
+                    break; // cannot trust the length field: resync impossible
+                }
+                match read_framed_rowgroup::<F>(&mut buf, i) {
+                    Ok(rg) => rowgroups.push(rg),
+                    Err(_) => {
+                        // Frame is self-delimiting: skip the damaged body and
+                        // continue with the next row-group.
+                        lost.push(i);
+                        buf = &peek[rg_len..];
+                    }
+                }
+            }
+            Version::V1 => match read_rowgroup::<F>(&mut buf) {
+                Ok(rg) => rowgroups.push(rg),
+                // No framing: a parse failure loses byte alignment for good.
+                Err(_) => break,
+            },
+        }
+        i += 1;
+    }
+    lost.extend(i..rg_count);
+
+    let salvaged_len: usize = rowgroups.iter().map(|rg| rg.len()).sum();
+    Ok(Salvage {
+        column: Compressed::from_rowgroups(rowgroups, salvaged_len),
+        lost_rowgroups: lost,
+        total_rowgroups: rg_count,
+        expected_len: header.len,
+    })
 }
 
 /// Deserializes one row-group (inverse of [`write_rowgroup`]).
@@ -361,5 +547,110 @@ mod tests {
         let back = from_bytes::<f64>(&bytes).unwrap();
         assert_eq!(back.len, 0);
         assert!(back.decompress().is_empty());
+    }
+
+    /// Three-row-group column (default row-group is 100 × 1024 values).
+    fn multi_rowgroup_bytes() -> (Vec<f64>, Vec<u8>) {
+        let data: Vec<f64> = (0..250_000).map(|i| ((i % 901) as f64) * 0.05).collect();
+        let bytes = to_bytes(&Compressor::new().compress(&data));
+        (data, bytes)
+    }
+
+    #[test]
+    fn current_magic_is_alp2() {
+        let (_, bytes) = multi_rowgroup_bytes();
+        assert_eq!(&bytes[..4], MAGIC);
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let (_, mut bytes) = multi_rowgroup_bytes();
+        // Flip one bit deep inside the second row-group's packed payload.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        match from_bytes::<f64>(&bytes) {
+            Err(FormatError::ChecksumMismatch { stored, computed, .. }) => {
+                assert_ne!(stored, computed)
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_all_but_damaged_rowgroup() {
+        let (data, mut bytes) = multi_rowgroup_bytes();
+        let clean = from_bytes::<f64>(&bytes).unwrap();
+        let rg_count = clean.rowgroups.len();
+        assert!(rg_count >= 2, "need multiple row-groups, got {rg_count}");
+        let rg_len: usize = clean.rowgroups[0].len();
+
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert_eq!(salvage.lost_rowgroups.len(), 1);
+        assert_eq!(salvage.total_rowgroups, rg_count);
+        assert_eq!(salvage.expected_len, data.len());
+        assert!(!salvage.is_complete());
+
+        // Surviving row-groups decode bit-exactly to the data outside the
+        // damaged row-group.
+        let lost = salvage.lost_rowgroups[0];
+        let decoded = salvage.column.decompress();
+        let expected: Vec<f64> = data
+            .chunks(rg_len)
+            .enumerate()
+            .filter(|(i, _)| *i != lost)
+            .flat_map(|(_, c)| c.iter().copied())
+            .collect();
+        assert_eq!(salvage.column.len, expected.len());
+        assert_eq!(decoded.len(), expected.len());
+        for (a, b) in decoded.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn salvage_on_clean_column_is_complete() {
+        let (data, bytes) = multi_rowgroup_bytes();
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert!(salvage.is_complete());
+        assert!(salvage.lost_rowgroups.is_empty());
+        assert_eq!(salvage.column.len, data.len());
+    }
+
+    #[test]
+    fn legacy_v1_columns_still_roundtrip() {
+        let data: Vec<f64> = (0..120_000).map(|i| ((i % 511) as f64) * 0.25).collect();
+        let c = Compressor::new().compress(&data);
+        let v1 = to_bytes_v1(&c);
+        assert_eq!(&v1[..4], MAGIC_V1);
+        let back = from_bytes::<f64>(&v1).unwrap();
+        let decoded = back.decompress();
+        for (a, b) in data.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Salvage accepts v1 too, but without frames damage ends recovery.
+        let mut damaged = v1.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x01;
+        let salvage = from_bytes_salvage::<f64>(&damaged).unwrap();
+        assert!(salvage.column.len <= data.len());
+    }
+
+    #[test]
+    fn salvage_of_truncated_column_reports_tail_lost() {
+        let (_, bytes) = multi_rowgroup_bytes();
+        let clean = from_bytes::<f64>(&bytes).unwrap();
+        let cut = bytes.len() - bytes.len() / 3;
+        let salvage = from_bytes_salvage::<f64>(&bytes[..cut]).unwrap();
+        assert!(!salvage.lost_rowgroups.is_empty());
+        assert!(salvage.column.rowgroups.len() < clean.rowgroups.len());
+    }
+
+    #[test]
+    fn salvage_rejects_damaged_header() {
+        let (_, mut bytes) = multi_rowgroup_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes_salvage::<f64>(&bytes), Err(FormatError::BadMagic)));
     }
 }

@@ -38,13 +38,15 @@ pub mod cascade;
 pub mod decode;
 pub mod encode;
 pub mod format;
+pub mod hash;
 pub mod rd;
 pub mod rowgroup;
 pub mod sampler;
 pub mod stream;
 pub mod traits;
+pub(crate) mod wire;
 
-pub use encode::{encode_one, decode_one, fast_round, AlpVector};
+pub use encode::{decode_one, encode_one, fast_round, AlpVector};
 pub use rowgroup::{Compressed, Compressor, RowGroup, Scheme};
 pub use sampler::{Combination, SamplerParams, SamplerStats};
 pub use traits::AlpFloat;

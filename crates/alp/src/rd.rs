@@ -99,7 +99,11 @@ pub fn choose_cut<F: AlpFloat>(rowgroup: &[F], sample_size: usize) -> RdMeta {
 
 /// Builds the dictionary and estimated footprint for one forced left width
 /// (used by [`choose_cut`] and by the cut-position ablation bench).
-pub fn meta_for_width<F: AlpFloat>(rowgroup: &[F], sample_size: usize, left_width: usize) -> RdMeta {
+pub fn meta_for_width<F: AlpFloat>(
+    rowgroup: &[F],
+    sample_size: usize,
+    left_width: usize,
+) -> RdMeta {
     assert!((1..=MAX_LEFT_WIDTH.min(F::BITS as usize - 1)).contains(&left_width));
     let sample = sample_bits(rowgroup, sample_size);
     score_cut::<F>(&sample, left_width).1

@@ -76,15 +76,9 @@ pub fn score_sample<F: AlpFloat>(sample: &[F], e: u8, f: u8) -> SampleScore {
             exceptions += 1;
         }
     }
-    let width = if ok > 0 {
-        fastlanes::bits_needed((max as u64).wrapping_sub(min as u64))
-    } else {
-        0
-    };
-    SampleScore {
-        bits: sample.len() * width + exceptions * (F::BITS as usize + 16),
-        exceptions,
-    }
+    let width =
+        if ok > 0 { fastlanes::bits_needed((max as u64).wrapping_sub(min as u64)) } else { 0 };
+    SampleScore { bits: sample.len() * width + exceptions * (F::BITS as usize + 16), exceptions }
 }
 
 /// Brute-force search over the full `(e, f)` space; ties prefer higher `e`,
@@ -191,21 +185,14 @@ pub fn first_level<F: AlpFloat>(rowgroup: &[F], params: &SamplerParams) -> First
             None => counts.push((w, 1)),
         }
     }
-    counts.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(b.0.e.cmp(&a.0.e))
-            .then(b.0.f.cmp(&a.0.f))
-    });
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.e.cmp(&a.0.e)).then(b.0.f.cmp(&a.0.f)));
     counts.truncate(params.max_combinations);
     let combinations: Vec<Combination> = counts.into_iter().map(|(c, _)| c).collect();
 
     let (est_bits, exc_frac) = if sampled_values == 0 {
         (0.0, 0.0)
     } else {
-        (
-            best_bits as f64 / sampled_values as f64,
-            best_exceptions as f64 / sampled_values as f64,
-        )
+        (best_bits as f64 / sampled_values as f64, best_exceptions as f64 / sampled_values as f64)
     };
 
     FirstLevelOutcome {
@@ -364,7 +351,8 @@ mod tests {
     #[test]
     fn first_level_flags_real_doubles_for_rd() {
         // Full-precision values: essentially nothing round-trips.
-        let rowgroup: Vec<f64> = (0..8192).map(|i| ((i as f64) + 0.1).sqrt().sin() * 1e-3).collect();
+        let rowgroup: Vec<f64> =
+            (0..8192).map(|i| ((i as f64) + 0.1).sqrt().sin() * 1e-3).collect();
         let outcome = first_level(&rowgroup, &SamplerParams::default());
         assert!(outcome.should_use_rd::<f64>(), "{outcome:?}");
     }
@@ -397,7 +385,13 @@ mod tests {
     fn paper_defaults() {
         let p = SamplerParams::default();
         assert_eq!(
-            (p.vectors_per_rowgroup, p.sample_vectors, p.sample_values, p.max_combinations, p.second_level_values),
+            (
+                p.vectors_per_rowgroup,
+                p.sample_vectors,
+                p.sample_values,
+                p.max_combinations,
+                p.second_level_values
+            ),
             (100, 8, 32, 5, 32)
         );
     }

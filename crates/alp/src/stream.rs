@@ -4,11 +4,19 @@
 //! The stream format is a sequence of self-contained frames:
 //!
 //! ```text
-//! "ALPS" | bits:u8 | { frame_len:u32 | row-group bytes }* | frame_len = 0
+//! "ALPT" | bits:u8 | { frame_len:u32 | xxh64:u64 | row-group bytes }* | frame_len = 0
 //! ```
 //!
-//! Each frame holds one serialized row-group (see [`crate::format`]), so a
-//! reader needs only one row-group of memory at a time and can stop early.
+//! Each frame holds one serialized row-group (see [`crate::format`]) plus the
+//! [XXH64](crate::hash) checksum of its bytes, so a reader needs only one
+//! row-group of memory at a time, can stop early, and detects payload
+//! corruption before handing data out. Because every frame is
+//! length-prefixed, a reader can also *resync* past a damaged frame — see
+//! [`ColumnReader::next_rowgroup_salvaged`] — losing exactly the row-groups
+//! whose frames were hit.
+//!
+//! Legacy `"ALPS"` streams (the pre-checksum layout, identical but with no
+//! `xxh64` field) are still read transparently.
 //!
 //! # Example
 //! ```
@@ -35,12 +43,25 @@ use std::io::{self, Read, Write};
 use fastlanes::VECTOR_SIZE;
 
 use crate::format::{read_rowgroup, write_rowgroup, FormatError};
+use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::rowgroup::{Compressor, RowGroup};
 use crate::sampler::SamplerParams;
 use crate::traits::AlpFloat;
 
-/// Magic bytes of a streamed column.
-pub const STREAM_MAGIC: &[u8; 4] = b"ALPS";
+/// Magic bytes of a streamed column (current, checksummed format).
+pub const STREAM_MAGIC: &[u8; 4] = b"ALPT";
+
+/// Magic bytes of the legacy, pre-checksum stream format.
+pub const STREAM_MAGIC_V1: &[u8; 4] = b"ALPS";
+
+/// On-disk stream flavor, decided by the magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamVersion {
+    /// `"ALPS"`: bare length-prefixed frames.
+    V1,
+    /// `"ALPT"`: every frame carries an XXH64 checksum of its body.
+    V2,
+}
 
 /// Statistics returned by [`ColumnWriter::finish`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +84,7 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
     header_written: bool,
     summary: StreamSummary,
     scratch: Vec<u8>,
+    version: StreamVersion,
 }
 
 impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
@@ -73,6 +95,16 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
 
     /// Writer with custom sampling parameters.
     pub fn with_params(sink: W, params: SamplerParams) -> Self {
+        Self::build(sink, params, StreamVersion::V2)
+    }
+
+    /// Writer emitting the legacy pre-checksum `"ALPS"` layout, for
+    /// interoperability with readers that predate frame checksums.
+    pub fn legacy(sink: W) -> Self {
+        Self::build(sink, SamplerParams::default(), StreamVersion::V1)
+    }
+
+    fn build(sink: W, params: SamplerParams, version: StreamVersion) -> Self {
         let rowgroup_values = params.vectors_per_rowgroup * VECTOR_SIZE;
         Self {
             sink,
@@ -82,6 +114,7 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             header_written: false,
             summary: StreamSummary { values: 0, rowgroups: 0, compressed_bytes: 0 },
             scratch: Vec::new(),
+            version,
         }
     }
 
@@ -113,7 +146,11 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
 
     fn ensure_header(&mut self) -> io::Result<()> {
         if !self.header_written {
-            self.sink.write_all(STREAM_MAGIC)?;
+            let magic = match self.version {
+                StreamVersion::V1 => STREAM_MAGIC_V1,
+                StreamVersion::V2 => STREAM_MAGIC,
+            };
+            self.sink.write_all(magic)?;
             self.sink.write_all(&[F::BITS as u8])?;
             self.header_written = true;
         }
@@ -131,9 +168,15 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             self.scratch.clear();
             write_rowgroup::<F>(&mut self.scratch, rg);
             self.sink.write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+            let mut frame_overhead = 4;
+            if self.version == StreamVersion::V2 {
+                let checksum = xxh64(&self.scratch, CHECKSUM_SEED);
+                self.sink.write_all(&checksum.to_le_bytes())?;
+                frame_overhead += 8;
+            }
             self.sink.write_all(&self.scratch)?;
             self.summary.rowgroups += 1;
-            self.summary.compressed_bytes += 4 + self.scratch.len();
+            self.summary.compressed_bytes += frame_overhead + self.scratch.len();
         }
         Ok(())
     }
@@ -144,6 +187,11 @@ pub struct ColumnReader<F: AlpFloat, R: Read> {
     source: R,
     frame: Vec<u8>,
     done: bool,
+    version: StreamVersion,
+    /// Index of the next frame to be read (== frames consumed so far).
+    next_index: usize,
+    /// Row-group indices skipped by the salvage path.
+    lost: Vec<usize>,
     _marker: core::marker::PhantomData<F>,
 }
 
@@ -180,20 +228,33 @@ impl From<FormatError> for StreamError {
 }
 
 impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
-    /// Opens a stream, validating the header.
+    /// Opens a stream, validating the header. Accepts both the current
+    /// checksummed `"ALPT"` format and the legacy `"ALPS"` one.
     pub fn new(mut source: R) -> Result<Self, StreamError> {
         let mut header = [0u8; 5];
         source.read_exact(&mut header)?;
-        if &header[..4] != STREAM_MAGIC {
+        let version = if &header[..4] == STREAM_MAGIC {
+            StreamVersion::V2
+        } else if &header[..4] == STREAM_MAGIC_V1 {
+            StreamVersion::V1
+        } else {
             return Err(StreamError::Format(FormatError::BadMagic));
-        }
+        };
         if header[4] as u32 != F::BITS {
             return Err(StreamError::Format(FormatError::WidthMismatch {
                 found: header[4],
                 expected: F::BITS as u8,
             }));
         }
-        Ok(Self { source, frame: Vec::new(), done: false, _marker: core::marker::PhantomData })
+        Ok(Self {
+            source,
+            frame: Vec::new(),
+            done: false,
+            version,
+            next_index: 0,
+            lost: Vec::new(),
+            _marker: core::marker::PhantomData,
+        })
     }
 
     /// Reads and decompresses the next row-group; `None` at end of stream.
@@ -202,8 +263,7 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
             None => Ok(None),
             Some(rg) => {
                 let len = rg.len();
-                let compressed =
-                    crate::rowgroup::Compressed::<F>::from_rowgroups(vec![rg], len);
+                let compressed = crate::rowgroup::Compressed::<F>::from_rowgroups(vec![rg], len);
                 Ok(Some(compressed.decompress()))
             }
         }
@@ -211,6 +271,10 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
 
     /// Reads the next row-group without decompressing it (for servers that
     /// relay or selectively decode).
+    ///
+    /// Errors after the frame was consumed in full (checksum mismatch, body
+    /// parse failure) leave the source positioned at the next frame, which is
+    /// what lets [`ColumnReader::next_rowgroup_salvaged`] resync.
     pub fn next_rowgroup_compressed(&mut self) -> Result<Option<RowGroup>, StreamError> {
         if self.done {
             return Ok(None);
@@ -222,11 +286,61 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
             self.done = true;
             return Ok(None);
         }
+        let mut stored_checksum = 0u64;
+        if self.version == StreamVersion::V2 {
+            let mut checksum_bytes = [0u8; 8];
+            self.source.read_exact(&mut checksum_bytes)?;
+            stored_checksum = u64::from_le_bytes(checksum_bytes);
+        }
         self.frame.resize(len, 0);
         self.source.read_exact(&mut self.frame)?;
+        // The frame is fully consumed from here on: every error below is
+        // recoverable by reading the next frame.
+        let index = self.next_index;
+        self.next_index += 1;
+        if self.version == StreamVersion::V2 {
+            let computed = xxh64(&self.frame, CHECKSUM_SEED);
+            if computed != stored_checksum {
+                return Err(StreamError::Format(FormatError::ChecksumMismatch {
+                    rowgroup: index,
+                    stored: stored_checksum,
+                    computed,
+                }));
+            }
+        }
         let mut slice: &[u8] = &self.frame;
         let rg = read_rowgroup::<F>(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(StreamError::Format(FormatError::Corrupt("row-group frame length")));
+        }
         Ok(Some(rg))
+    }
+
+    /// Like [`ColumnReader::next_rowgroup`], but skips damaged frames instead
+    /// of failing, recording their indices in
+    /// [`ColumnReader::lost_rowgroups`]. Only I/O errors (including a
+    /// truncated source, where resync is impossible because the next frame
+    /// boundary is gone) still surface as `Err`.
+    pub fn next_rowgroup_salvaged(&mut self) -> Result<Option<Vec<F>>, StreamError> {
+        loop {
+            let before = self.next_index;
+            match self.next_rowgroup() {
+                Ok(result) => return Ok(result),
+                Err(StreamError::Io(e)) => return Err(StreamError::Io(e)),
+                Err(StreamError::Format(_)) if self.next_index > before => {
+                    // The frame was consumed but its contents were bad: note
+                    // the loss and resync at the next length prefix.
+                    self.lost.push(before);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Row-group indices skipped so far by
+    /// [`ColumnReader::next_rowgroup_salvaged`].
+    pub fn lost_rowgroups(&self) -> &[usize] {
+        &self.lost
     }
 }
 
@@ -304,6 +418,93 @@ mod tests {
             ColumnReader::<f64, _>::new(&file[..]),
             Err(StreamError::Format(FormatError::WidthMismatch { .. }))
         ));
+    }
+
+    #[test]
+    fn current_streams_use_checksummed_magic() {
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut file);
+        writer.push(&[1.0, 2.0, 3.0]).unwrap();
+        writer.finish().unwrap();
+        assert_eq!(&file[..4], STREAM_MAGIC);
+        assert_eq!(&file[..4], b"ALPT");
+    }
+
+    /// Byte offset of the first frame's body (after the 5-byte stream header
+    /// and the frame's 4-byte length + 8-byte checksum).
+    const FIRST_BODY: usize = 5 + 4 + 8;
+
+    fn two_rowgroup_stream() -> (Vec<f64>, Vec<u8>) {
+        let data: Vec<f64> = (0..150_000).map(|i| ((i % 777) as f64) / 8.0).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut file);
+        writer.push(&data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.rowgroups, 2);
+        (data, file)
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_caught_by_frame_checksum() {
+        let (_, mut file) = two_rowgroup_stream();
+        file[FIRST_BODY + 100] ^= 0x10;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        match reader.next_rowgroup() {
+            Err(StreamError::Format(FormatError::ChecksumMismatch { rowgroup, .. })) => {
+                assert_eq!(rowgroup, 0);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_reader_skips_damaged_frame_and_reports_it() {
+        let (data, mut file) = two_rowgroup_stream();
+        let rowgroup_len = 102_400; // default vectors_per_rowgroup * VECTOR_SIZE
+        file[FIRST_BODY + 100] ^= 0x10;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(reader.lost_rowgroups(), &[0]);
+        // Everything except the damaged first row-group comes back bit-exact.
+        assert_eq!(restored.len(), data.len() - rowgroup_len);
+        for (a, b) in data[rowgroup_len..].iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn salvage_on_clean_stream_loses_nothing() {
+        let (data, file) = two_rowgroup_stream();
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert!(reader.lost_rowgroups().is_empty());
+        assert_eq!(restored.len(), data.len());
+    }
+
+    #[test]
+    fn legacy_v1_streams_still_read() {
+        let data: Vec<f64> = (0..150_000).map(|i| (i % 333) as f64 / 2.0).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::legacy(&mut file);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+        assert_eq!(&file[..4], b"ALPS");
+
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -49,15 +49,15 @@ pub trait AlpFloat:
 
 /// `10^e` for `e ∈ 0..=22`, all exactly representable as doubles.
 const F10_F64: [f64; 23] = [
-    1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13,
-    1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+    1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14,
+    1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
 ];
 
 /// `10^-e` for `e ∈ 0..=22`. Most are inexact; ALP relies on the inexactness
 /// being too small to disturb the rounded integer (§2.6).
 const IF10_F64: [f64; 23] = [
-    1.0, 0.1, 0.01, 0.001, 0.0001, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12, 1e-13,
-    1e-14, 1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20, 1e-21, 1e-22,
+    1.0, 0.1, 0.01, 0.001, 0.0001, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12, 1e-13, 1e-14,
+    1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20, 1e-21, 1e-22,
 ];
 
 impl AlpFloat for f64 {
@@ -94,13 +94,9 @@ impl AlpFloat for f64 {
 
 /// `10^e` for `e ∈ 0..=10`, all exactly representable as `f32`
 /// (`5^10 = 9765625 < 2^24`).
-const F10_F32: [f32; 11] = [
-    1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7, 1e8, 1e9, 1e10,
-];
+const F10_F32: [f32; 11] = [1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7, 1e8, 1e9, 1e10];
 
-const IF10_F32: [f32; 11] = [
-    1.0, 0.1, 0.01, 0.001, 0.0001, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10,
-];
+const IF10_F32: [f32; 11] = [1.0, 0.1, 0.01, 0.001, 0.0001, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10];
 
 impl AlpFloat for f32 {
     const BITS: u32 = 32;

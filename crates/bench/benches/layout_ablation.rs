@@ -8,9 +8,7 @@ use fastlanes::{bitpack, bitpack32, interleaved, VECTOR_SIZE};
 
 fn values(width: usize) -> Vec<u64> {
     let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
-    (0..VECTOR_SIZE as u64)
-        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
-        .collect()
+    (0..VECTOR_SIZE as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect()
 }
 
 fn bench_layouts(c: &mut Criterion) {

@@ -61,7 +61,10 @@ fn main() {
     // A sorted column: the case the paper's cascade discussion reserves Delta for.
     let sorted: Vec<f64> = (0..262_144).map(|i| (i as f64) / 100.0).collect();
     let (f, d) = for_vs_delta(&sorted);
-    t.row("sorted (synthetic)", vec![format!("{f:.1}"), format!("{d:.1}"), if f <= d { "FOR" } else { "Delta" }.into()]);
+    t.row(
+        "sorted (synthetic)",
+        vec![format!("{f:.1}"), format!("{d:.1}"), if f <= d { "FOR" } else { "Delta" }.into()],
+    );
     t.print();
     println!("FOR wins on {for_wins}/{rows} datasets; Delta wins on sorted data — supporting FOR as the fixed default with Delta reserved for cascades.");
     t.write_csv("ablation_for_vs_delta").ok();

@@ -62,8 +62,7 @@ fn main() {
         &["bits/value", "vs 32", "comp time", "vs 32"],
     );
     for s in [8usize, 16, 32, 64, 128] {
-        let (bpv, secs) =
-            run(SamplerParams { sample_values: s, second_level_values: s, ..base });
+        let (bpv, secs) = run(SamplerParams { sample_values: s, second_level_values: s, ..base });
         s_table.row(
             format!("{s} samples"),
             vec![

@@ -59,15 +59,15 @@ fn main() {
         };
         let (f, u) = bench_vector(&vector, batch_ms);
         speedups.push(f / u);
-        table.row(
-            ds.name,
-            vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)],
-        );
+        table.row(ds.name, vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)]);
     }
     table.print();
     speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
     if !speedups.is_empty() {
-        println!("median fusion speedup: {:.2}x (paper: ~1.4x median)", speedups[speedups.len() / 2]);
+        println!(
+            "median fusion speedup: {:.2}x (paper: ~1.4x median)",
+            speedups[speedups.len() / 2]
+        );
     }
     table.write_csv("fig5_fusion_datasets").ok();
 

@@ -15,8 +15,21 @@ use bench::tables::Table;
 
 fn main() {
     let headers = [
-        "prec.max", "prec.min", "prec.avg", "prec.std", "nonuniq%", "val.avg", "val.std",
-        "exp.avg", "exp.std", "penc.val%", "best.e", "penc.ds%", "penc.vec%", "xor.lz", "xor.tz",
+        "prec.max",
+        "prec.min",
+        "prec.avg",
+        "prec.std",
+        "nonuniq%",
+        "val.avg",
+        "val.std",
+        "exp.avg",
+        "exp.std",
+        "penc.val%",
+        "best.e",
+        "penc.ds%",
+        "penc.vec%",
+        "xor.lz",
+        "xor.tz",
     ];
     let headers: Vec<&str> = headers.into();
     let mut table = Table::new("Table 2: dataset metrics", &headers);

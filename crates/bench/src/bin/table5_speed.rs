@@ -42,12 +42,11 @@ fn main() {
     for ((scheme, cs), (_, ds_)) in comp_avg.iter().zip(&dec_avg) {
         let c = bench::mean(cs);
         let d = bench::mean(ds_);
-        let speedup_c = if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_c / c) };
-        let speedup_d = if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_d / d) };
-        table.row(
-            scheme.name(),
-            vec![format!("{c:.3}"), speedup_c, format!("{d:.3}"), speedup_d],
-        );
+        let speedup_c =
+            if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_c / c) };
+        let speedup_d =
+            if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_d / d) };
+        table.row(scheme.name(), vec![format!("{c:.3}"), speedup_c, format!("{d:.3}"), speedup_d]);
     }
     table.print();
     if let Ok(p) = table.write_csv("table5_speed") {

@@ -25,11 +25,14 @@ fn main() {
         let n = weights.len() as f64;
 
         let mut row: Vec<f64> = Vec::new();
-        for codec in
-            [codecs::Codec::Gorilla, codecs::Codec::Chimp, codecs::Codec::Chimp128, codecs::Codec::Patas]
-        {
-            let bytes = codec.compress_f32(&weights);
-            let back = codec.decompress_f32(&bytes, weights.len());
+        for codec in [
+            codecs::Codec::Gorilla,
+            codecs::Codec::Chimp,
+            codecs::Codec::Chimp128,
+            codecs::Codec::Patas,
+        ] {
+            let bytes = codec.compress_f32(&weights).unwrap();
+            let back = codec.decompress_f32(&bytes, weights.len()).unwrap();
             assert!(back.iter().zip(&weights).all(|(a, b)| a.to_bits() == b.to_bits()));
             row.push(bytes.len() as f64 * 8.0 / n);
         }

@@ -32,13 +32,7 @@ impl Table {
 
     /// Renders to stdout.
     pub fn print(&self) {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([8])
-            .max()
-            .unwrap();
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([8]).max().unwrap();
         let col_w: Vec<usize> = self
             .headers
             .iter()
@@ -96,9 +90,9 @@ impl Table {
 
 /// Directory benchmark CSVs are written to.
 pub fn results_dir() -> PathBuf {
-    std::env::var("ALP_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
-    })
+    std::env::var("ALP_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"))
 }
 
 #[cfg(test)]

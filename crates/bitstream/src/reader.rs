@@ -2,7 +2,11 @@
 ///
 /// Reading past the end of the slice yields zero bits rather than panicking;
 /// codecs detect end-of-stream from their own value counts, and tolerating
-/// over-reads keeps the hot decode loops branch-light.
+/// over-reads keeps the hot decode loops branch-light. The reader *tracks*
+/// such over-reads: once [`overrun`](Self::overrun) returns true, some bits
+/// handed out were zero-fill rather than data, and fallible decoders treat
+/// the stream as truncated. The check costs nothing on the hot path — it
+/// compares two counters already maintained for [`bit_pos`](Self::bit_pos).
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
@@ -18,19 +22,33 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader positioned at the first bit of `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self {
-            bytes,
-            next: 0,
-            acc: 0,
-            filled: 0,
-            consumed: 0,
-        }
+        Self { bytes, next: 0, acc: 0, filled: 0, consumed: 0 }
     }
 
     /// Number of bits consumed so far.
     #[inline]
     pub fn bit_pos(&self) -> u64 {
         self.consumed
+    }
+
+    /// Total number of real bits in the underlying slice.
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    /// Bits of real data left (0 once the slice is exhausted).
+    #[inline]
+    pub fn remaining_bits(&self) -> u64 {
+        self.len_bits().saturating_sub(self.consumed)
+    }
+
+    /// True if any read so far went past the end of the slice — i.e. some
+    /// returned bits were zero-fill, not data. Fallible decoders check this
+    /// after (or during) decoding to report truncation.
+    #[inline]
+    pub fn overrun(&self) -> bool {
+        self.consumed > self.len_bits()
     }
 
     /// Reads one bit.

@@ -20,11 +20,7 @@ impl BitWriter {
 
     /// Creates an empty writer with room for `bytes` output bytes.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self {
-            bytes: Vec::with_capacity(bytes),
-            acc: 0,
-            filled: 0,
-        }
+        Self { bytes: Vec::with_capacity(bytes), acc: 0, filled: 0 }
     }
 
     /// Total number of bits written so far.
@@ -48,11 +44,7 @@ impl BitWriter {
         if width == 0 {
             return;
         }
-        let value = if width == 64 {
-            value
-        } else {
-            value & ((1u64 << width) - 1)
-        };
+        let value = if width == 64 { value } else { value & ((1u64 << width) - 1) };
         let mut remaining = width;
         // Fill the staging byte; spill full bytes to the buffer.
         while remaining > 0 {

@@ -92,7 +92,10 @@ pub fn inspect(input: &str) -> Result<()> {
 }
 
 fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_bytes: usize) {
-    println!("ALP column: {len} values of f{bits}, {} row-groups, {file_bytes} bytes", rowgroups.len());
+    println!(
+        "ALP column: {len} values of f{bits}, {} row-groups, {file_bytes} bytes",
+        rowgroups.len()
+    );
     println!("{:<6} {:<8} {:>8} {:>10} {:>12}", "rg", "scheme", "vectors", "values", "exceptions");
     for (i, rg) in rowgroups.iter().enumerate() {
         let (scheme, exceptions) = match rg {
@@ -104,6 +107,61 @@ fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_byte
             }
         };
         println!("{i:<6} {scheme:<8} {:>8} {:>10} {exceptions:>12}", rg.vector_count(), rg.len());
+    }
+}
+
+/// `alp verify <in.alp>` — integrity-check a stored column without writing
+/// anything: validates the header, every row-group checksum (`ALP2`), and the
+/// declared value count, then reports what a salvage pass could recover if
+/// the strict read fails. Exits non-zero on any damage.
+pub fn verify_column(input: &str) -> Result<()> {
+    let bytes = fs::read(input)?;
+    let bits = *bytes.get(4).ok_or("file too short")?;
+    match bits {
+        64 => verify_typed::<f64>(input, &bytes),
+        32 => verify_typed::<f32>(input, &bytes),
+        other => Err(format!("unsupported float width {other}").into()),
+    }
+}
+
+fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8]) -> Result<()> {
+    let layout = if bytes.starts_with(alp::format::MAGIC) {
+        "ALP2 (per-row-group checksums)"
+    } else if bytes.starts_with(alp::format::MAGIC_V1) {
+        "ALP1 (legacy, no checksums)"
+    } else {
+        "unrecognized"
+    };
+    match alp::format::from_bytes::<F>(bytes) {
+        Ok(col) => {
+            // A column that parses strictly must also decode; do so to prove
+            // the payload is usable, not just well-framed.
+            let values = col.decompress();
+            println!(
+                "{input}: OK — {layout}, {} values of f{}, {} row-groups",
+                values.len(),
+                F::BITS,
+                col.rowgroups.len()
+            );
+            Ok(())
+        }
+        Err(e) => {
+            println!("{input}: CORRUPT — {layout}: {e}");
+            match alp::format::from_bytes_salvage::<F>(bytes) {
+                Ok(s) => {
+                    println!(
+                        "  salvageable: {} of {} values ({} of {} row-groups; lost {:?})",
+                        s.column.len,
+                        s.expected_len,
+                        s.total_rowgroups - s.lost_rowgroups.len(),
+                        s.total_rowgroups,
+                        s.lost_rowgroups
+                    );
+                }
+                Err(_) => println!("  salvageable: nothing (header damaged)"),
+            }
+            Err(format!("{input} failed verification").into())
+        }
     }
 }
 
@@ -119,15 +177,25 @@ pub fn stats(input: &str, f32_mode: bool) -> Result<()> {
     }
     let m = alp::analysis::dataset_metrics(&data);
     println!("values                 : {}", data.len());
-    println!("decimal precision      : max {} min {} avg {:.1}", m.precision.max, m.precision.min, m.precision.mean);
+    println!(
+        "decimal precision      : max {} min {} avg {:.1}",
+        m.precision.max, m.precision.min, m.precision.mean
+    );
     println!("per-vector prec stddev : {:.2}", m.precision.std_dev);
     println!("non-unique per vector  : {:.1}%", m.non_unique_fraction * 100.0);
     println!("value mean / std       : {:.4} / {:.4}", m.magnitude.mean, m.magnitude.std_dev);
     println!("IEEE exponent mean/std : {:.1} / {:.1}", m.ieee_exponent_mean, m.ieee_exponent_std);
     println!("P_enc per-value        : {:.1}%", m.penc_per_value * 100.0);
-    println!("P_enc best exponent    : e={} ({:.1}%)", m.penc_best_exponent, m.penc_per_dataset * 100.0);
+    println!(
+        "P_enc best exponent    : e={} ({:.1}%)",
+        m.penc_best_exponent,
+        m.penc_per_dataset * 100.0
+    );
     println!("P_enc per-vector       : {:.1}%", m.penc_per_vector * 100.0);
-    println!("XOR leading/trailing 0 : {:.1} / {:.1} bits", m.xor_leading_zeros, m.xor_trailing_zeros);
+    println!(
+        "XOR leading/trailing 0 : {:.1} / {:.1} bits",
+        m.xor_leading_zeros, m.xor_trailing_zeros
+    );
     Ok(())
 }
 
@@ -169,7 +237,13 @@ pub fn shootout(input: &str) -> Result<()> {
     let back = compressed.decompress();
     let d = t0.elapsed().as_secs_f64();
     verify(&data, &back, "ALP")?;
-    println!("{:<10} {:>11.2} {:>12.0} {:>12.0}", "ALP", compressed.bits_per_value(), mb / c, mb / d);
+    println!(
+        "{:<10} {:>11.2} {:>12.0} {:>12.0}",
+        "ALP",
+        compressed.bits_per_value(),
+        mb / c,
+        mb / d
+    );
 
     for codec in codecs::Codec::EXTENDED {
         let t0 = Instant::now();
@@ -190,7 +264,11 @@ pub fn shootout(input: &str) -> Result<()> {
 
     let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
     for (name, comp, dec) in [
-        ("Zstd*", gpzip::compress as fn(&[u8]) -> Vec<u8>, gpzip::decompress as fn(&[u8]) -> Vec<u8>),
+        (
+            "Zstd*",
+            gpzip::compress as fn(&[u8]) -> Vec<u8>,
+            gpzip::decompress as fn(&[u8]) -> Vec<u8>,
+        ),
         ("LZ4*", gpzip::fast::compress, gpzip::fast::decompress),
     ] {
         let t0 = Instant::now();
@@ -271,6 +349,23 @@ mod tests {
         fs::write(&p, [1, 2, 3]).unwrap();
         assert!(read_f64(&p).is_err());
         assert!(read_f32(&p).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_clean_and_rejects_flipped_bit() {
+        let input = tmp("verify.f64");
+        let packed = tmp("verify.alp");
+        let data: Vec<f64> = (0..120_000).map(|i| (i % 500) as f64 / 4.0).collect();
+        write_f64(&input, &data).unwrap();
+        compress(&input, &packed, false).unwrap();
+        verify_column(&packed).unwrap();
+
+        let mut bytes = fs::read(&packed).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let damaged = tmp("verify_damaged.alp");
+        fs::write(&damaged, &bytes).unwrap();
+        assert!(verify_column(&damaged).is_err());
     }
 
     #[test]

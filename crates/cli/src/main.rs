@@ -4,6 +4,7 @@
 //! alp compress   <in.f64> <out.alp> [--f32]     raw LE floats -> ALP column
 //! alp decompress <in.alp> <out.f64>             ALP column -> raw LE floats
 //! alp inspect    <in.alp>                       header, row-groups, schemes
+//! alp verify     <in.alp>                       checksum + salvage report
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64>                       ratio/speed of every codec
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
                 ("compress", [input, output]) => commands::compress(input, output, f32_mode),
                 ("decompress", [input, output]) => commands::decompress(input, output),
                 ("inspect", [input]) => commands::inspect(input),
+                ("verify", [input]) => commands::verify_column(input),
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
                 ("shootout", [input]) => commands::shootout(input),
@@ -52,7 +54,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets"
     );
     ExitCode::FAILURE
 }

@@ -15,23 +15,26 @@
 
 use bitstream::{BitReader, BitWriter};
 
+use crate::error::CodecError;
 use crate::word::{bits_f32, bits_f64, f32_bits, f64_bits, Word};
+
+const NAME: &str = "chimp";
 
 /// Trailing zeros beyond this trigger the center-bits mode (`01`).
 pub const TZ_THRESHOLD: u32 = 6;
 
 /// Rounded leading-zero value for each raw count 0..=64 (reference table).
 pub(crate) const LEADING_ROUND: [u32; 65] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 8, 8, 8, 8, 12, 12, 12, 12, 16, 16, 18, 18, 20, 20, 22, 22, 24, 24,
-    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
-    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    0, 0, 0, 0, 0, 0, 0, 0, 8, 8, 8, 8, 12, 12, 12, 12, 16, 16, 18, 18, 20, 20, 22, 22, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
 ];
 
 /// 3-bit code for each rounded leading-zero count.
 pub(crate) const LEADING_REPR: [u64; 65] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 7, 7, 7, 7, 7,
-    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,
-    7, 7, 7,
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 7, 7, 7, 7, 7, 7,
+    7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,
+    7,
 ];
 
 /// Rounded leading-zero count for each 3-bit code.
@@ -87,12 +90,12 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decompresses `count` words.
-pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+/// Decompresses `count` words, validating every field against the input.
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
     let mut r = BitReader::new(bytes);
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     if count == 0 {
-        return out;
+        return Ok(out);
     }
     let mut prev = W::from_u64(r.read_bits(W::BITS));
     out.push(prev);
@@ -107,24 +110,42 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
                 if center == 0 {
                     center = W::BITS;
                 }
-                let tz = W::BITS - lz - center;
+                let tz = W::BITS.checked_sub(lz + center).ok_or(CodecError::Corrupt {
+                    codec: NAME,
+                    what: "center exceeds word width",
+                })?;
                 let xor = W::from_u64(r.read_bits(center) << tz);
                 prev ^ xor
             }
             0b10 => {
-                let xor = W::from_u64(r.read_bits(W::BITS - stored_lz));
+                let len = W::BITS
+                    .checked_sub(stored_lz)
+                    .ok_or(CodecError::Corrupt { codec: NAME, what: "lz exceeds word width" })?;
+                let xor = W::from_u64(r.read_bits(len));
                 prev ^ xor
             }
             _ => {
                 stored_lz = LEADING_DECODE[r.read_bits(3) as usize];
-                let xor = W::from_u64(r.read_bits(W::BITS - stored_lz));
+                let len = W::BITS
+                    .checked_sub(stored_lz)
+                    .ok_or(CodecError::Corrupt { codec: NAME, what: "lz exceeds word width" })?;
+                let xor = W::from_u64(r.read_bits(len));
                 prev ^ xor
             }
         };
         out.push(value);
         prev = value;
     }
-    out
+    if r.overrun() {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
+    Ok(out)
+}
+
+/// Decompresses `count` words. Panics on corrupt input — use
+/// [`try_decompress_words`] for untrusted bytes.
+pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    try_decompress_words(bytes, count).expect("corrupt chimp stream")
 }
 
 /// Compresses doubles.
@@ -137,6 +158,11 @@ pub fn decompress_f64(bytes: &[u8], count: usize) -> Vec<f64> {
     bits_f64(&decompress_words::<u64>(bytes, count))
 }
 
+/// Fallible variant of [`decompress_f64`] for untrusted input.
+pub fn try_decompress_f64(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    Ok(bits_f64(&try_decompress_words::<u64>(bytes, count)?))
+}
+
 /// Compresses 32-bit floats.
 pub fn compress_f32(data: &[f32]) -> Vec<u8> {
     compress_words(&f32_bits(data))
@@ -145,6 +171,11 @@ pub fn compress_f32(data: &[f32]) -> Vec<u8> {
 /// Decompresses `count` 32-bit floats.
 pub fn decompress_f32(bytes: &[u8], count: usize) -> Vec<f32> {
     bits_f32(&decompress_words::<u32>(bytes, count))
+}
+
+/// Fallible variant of [`decompress_f32`] for untrusted input.
+pub fn try_decompress_f32(bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
+    Ok(bits_f32(&try_decompress_words::<u32>(bytes, count)?))
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@
 use bitstream::{BitReader, BitWriter};
 
 use crate::chimp::{LEADING_DECODE, LEADING_REPR, LEADING_ROUND};
+use crate::error::CodecError;
 use crate::word::{bits_f32, bits_f64, f32_bits, f64_bits, Word};
+
+const NAME: &str = "chimp128";
 
 /// Ring-buffer capacity (the "128" in Chimp128).
 pub const PREVIOUS_VALUES: usize = 128;
@@ -113,12 +116,14 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decompresses `count` words.
-pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+/// Decompresses `count` words, validating every field against the input.
+/// (Ring indices are 7-bit reads and cannot exceed the 128-slot buffer; the
+/// center/lz geometry and end-of-stream are the checked hazards.)
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
     let mut r = BitReader::new(bytes);
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     if count == 0 {
-        return out;
+        return Ok(out);
     }
     let mut ring = [W::ZERO; PREVIOUS_VALUES];
     let first = W::from_u64(r.read_bits(W::BITS));
@@ -141,17 +146,26 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
                 if center == 0 {
                     center = W::BITS;
                 }
-                let tz = W::BITS - lz - center;
+                let tz = W::BITS.checked_sub(lz + center).ok_or(CodecError::Corrupt {
+                    codec: NAME,
+                    what: "center exceeds word width",
+                })?;
                 let xor = W::from_u64(r.read_bits(center) << tz);
                 ring[idx] ^ xor
             }
             0b10 => {
-                let xor = W::from_u64(r.read_bits(W::BITS - stored_lz));
+                let len = W::BITS
+                    .checked_sub(stored_lz)
+                    .ok_or(CodecError::Corrupt { codec: NAME, what: "lz exceeds word width" })?;
+                let xor = W::from_u64(r.read_bits(len));
                 prev ^ xor
             }
             _ => {
                 stored_lz = LEADING_DECODE[r.read_bits(3) as usize];
-                let xor = W::from_u64(r.read_bits(W::BITS - stored_lz));
+                let len = W::BITS
+                    .checked_sub(stored_lz)
+                    .ok_or(CodecError::Corrupt { codec: NAME, what: "lz exceeds word width" })?;
+                let xor = W::from_u64(r.read_bits(len));
                 prev ^ xor
             }
         };
@@ -159,7 +173,16 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
         out.push(value);
         prev = value;
     }
-    out
+    if r.overrun() {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
+    Ok(out)
+}
+
+/// Decompresses `count` words. Panics on corrupt input — use
+/// [`try_decompress_words`] for untrusted bytes.
+pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    try_decompress_words(bytes, count).expect("corrupt chimp128 stream")
 }
 
 /// Compresses doubles.
@@ -172,6 +195,11 @@ pub fn decompress_f64(bytes: &[u8], count: usize) -> Vec<f64> {
     bits_f64(&decompress_words::<u64>(bytes, count))
 }
 
+/// Fallible variant of [`decompress_f64`] for untrusted input.
+pub fn try_decompress_f64(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    Ok(bits_f64(&try_decompress_words::<u64>(bytes, count)?))
+}
+
 /// Compresses 32-bit floats.
 pub fn compress_f32(data: &[f32]) -> Vec<u8> {
     compress_words(&f32_bits(data))
@@ -180,6 +208,11 @@ pub fn compress_f32(data: &[f32]) -> Vec<u8> {
 /// Decompresses `count` 32-bit floats.
 pub fn decompress_f32(bytes: &[u8], count: usize) -> Vec<f32> {
     bits_f32(&decompress_words::<u32>(bytes, count))
+}
+
+/// Fallible variant of [`decompress_f32`] for untrusted input.
+pub fn try_decompress_f32(bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
+    Ok(bits_f32(&try_decompress_words::<u32>(bytes, count)?))
 }
 
 #[cfg(test)]

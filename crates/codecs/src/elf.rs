@@ -19,7 +19,10 @@
 
 use bitstream::{BitReader, BitWriter};
 
+use crate::error::CodecError;
 use crate::word::Word;
+
+const NAME: &str = "elf";
 
 const MAX_ALPHA: u32 = 14;
 
@@ -102,25 +105,47 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` doubles.
-pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+/// Decompresses `count` doubles, validating every field against the input.
+///
+/// Checked hazards: the flag-stream length prefix (can claim more bytes than
+/// exist), flag-stream exhaustion, precision values past [`MAX_ALPHA`], and
+/// whatever the Chimp back-end detects in the XOR stream.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let flag_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    if bytes.len() - 8 < flag_len {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let flag_bytes = &bytes[8..8 + flag_len];
     let xor_bytes = &bytes[8 + flag_len..];
-    let erased: Vec<u64> = crate::chimp::decompress_words(xor_bytes, count);
+    let erased: Vec<u64> = crate::chimp::try_decompress_words(xor_bytes, count)?;
 
     let mut flags = BitReader::new(flag_bytes);
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     for &bits in &erased {
         let v = f64::from_bits(bits);
         if flags.read_bit() {
             let alpha = flags.read_bits(4) as u32;
+            if alpha > MAX_ALPHA {
+                return Err(CodecError::Corrupt { codec: NAME, what: "precision out of range" });
+            }
             out.push(restore(v, alpha));
         } else {
             out.push(v);
         }
     }
-    out
+    if flags.overrun() {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
+    Ok(out)
+}
+
+/// Decompresses `count` doubles. Panics on corrupt input — use
+/// [`try_decompress`] for untrusted bytes.
+pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    try_decompress(bytes, count).expect("corrupt elf stream")
 }
 
 /// Word-width guard: Elf is only defined for doubles here, as in the paper's

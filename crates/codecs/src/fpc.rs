@@ -15,6 +15,10 @@
 //! Two headers share one byte, making the stream byte-aligned like Patas.
 //! Table size is [`TABLE_BITS`] (the original tunes this per memory budget).
 
+use crate::error::CodecError;
+
+const NAME: &str = "fpc";
+
 /// log2 of the predictor table size.
 pub const TABLE_BITS: u32 = 16;
 const TABLE_SIZE: usize = 1 << TABLE_BITS;
@@ -129,20 +133,37 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` doubles.
-pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+/// Decompresses `count` doubles, validating every field against the input.
+///
+/// Checked hazards: the header-length prefix (can claim more bytes than
+/// exist), a header stream too short for `count` nibbles, and payload
+/// exhaustion. Header nibbles themselves cannot be out of range — every
+/// 4-bit pattern is a valid (selector, zero-byte code) pair.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let header_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    if bytes.len() - 8 < header_len {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let headers = &bytes[8..8 + header_len];
+    if header_len < count.div_ceil(2) {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let mut payload = &bytes[8 + header_len..];
 
     let mut predictor = Predictor::new();
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     for i in 0..count {
         let byte = headers[i / 2];
         let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0xF };
         let selector = nibble >> 3;
         let lzb = code_lzb(nibble & 0x7) as usize;
         let n_bytes = 8 - lzb;
+        if payload.len() < n_bytes {
+            return Err(CodecError::Truncated { codec: NAME });
+        }
         let mut be = [0u8; 8];
         be[8 - n_bytes..].copy_from_slice(&payload[..n_bytes]);
         payload = &payload[n_bytes..];
@@ -153,7 +174,13 @@ pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
         out.push(f64::from_bits(bits));
         predictor.update(bits);
     }
-    out
+    Ok(out)
+}
+
+/// Decompresses `count` doubles. Panics on corrupt input — use
+/// [`try_decompress`] for untrusted bytes.
+pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    try_decompress(bytes, count).expect("corrupt fpc stream")
 }
 
 #[cfg(test)]

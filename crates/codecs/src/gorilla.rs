@@ -15,7 +15,10 @@
 
 use bitstream::{BitReader, BitWriter};
 
+use crate::error::CodecError;
 use crate::word::{bits_f32, bits_f64, f32_bits, f64_bits, Word};
+
+const NAME: &str = "gorilla";
 
 /// Bits used for the leading-zero count field.
 const LZ_FIELD: u32 = 6;
@@ -71,12 +74,16 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decompresses `count` words.
-pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+/// Decompresses `count` words, validating every field against the input.
+///
+/// Returns an error if the stream is truncated (any bit-level read ran past
+/// the end of `bytes`) or a window descriptor is impossible (`lz + len`
+/// exceeding the word width — only corrupt input can produce it).
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
     let mut r = BitReader::new(bytes);
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     if count == 0 {
-        return out;
+        return Ok(out);
     }
     let mut prev = W::from_u64(r.read_bits(W::BITS));
     out.push(prev);
@@ -92,7 +99,10 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
                 if len == 0 {
                     len = W::BITS;
                 }
-                stored_tz = W::BITS - stored_lz - len;
+                stored_tz = W::BITS.checked_sub(stored_lz + len).ok_or(CodecError::Corrupt {
+                    codec: NAME,
+                    what: "window exceeds word width",
+                })?;
             }
             let len = W::BITS - stored_lz - stored_tz;
             let xor = W::from_u64(r.read_bits(len) << stored_tz);
@@ -101,7 +111,16 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
         out.push(value);
         prev = value;
     }
-    out
+    if r.overrun() {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
+    Ok(out)
+}
+
+/// Decompresses `count` words. Panics on corrupt input — use
+/// [`try_decompress_words`] for untrusted bytes.
+pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    try_decompress_words(bytes, count).expect("corrupt gorilla stream")
 }
 
 /// Compresses doubles.
@@ -114,6 +133,11 @@ pub fn decompress_f64(bytes: &[u8], count: usize) -> Vec<f64> {
     bits_f64(&decompress_words::<u64>(bytes, count))
 }
 
+/// Fallible variant of [`decompress_f64`] for untrusted input.
+pub fn try_decompress_f64(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    Ok(bits_f64(&try_decompress_words::<u64>(bytes, count)?))
+}
+
 /// Compresses 32-bit floats (Table 7 variant).
 pub fn compress_f32(data: &[f32]) -> Vec<u8> {
     compress_words(&f32_bits(data))
@@ -122,6 +146,11 @@ pub fn compress_f32(data: &[f32]) -> Vec<u8> {
 /// Decompresses `count` 32-bit floats.
 pub fn decompress_f32(bytes: &[u8], count: usize) -> Vec<f32> {
     bits_f32(&decompress_words::<u32>(bytes, count))
+}
+
+/// Fallible variant of [`decompress_f32`] for untrusted input.
+pub fn try_decompress_f32(bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
+    Ok(bits_f32(&try_decompress_words::<u32>(bytes, count)?))
 }
 
 #[cfg(test)]
@@ -171,7 +200,8 @@ mod tests {
     fn full_window_xor() {
         // Consecutive values whose XOR spans all 64 bits (len == 64 wraps to 0
         // in the length field).
-        let data = vec![f64::from_bits(0x8000_0000_0000_0001), f64::from_bits(0x7FFF_FFFF_FFFF_FFFE)];
+        let data =
+            vec![f64::from_bits(0x8000_0000_0000_0001), f64::from_bits(0x7FFF_FFFF_FFFF_FFFE)];
         roundtrip64(&data);
     }
 

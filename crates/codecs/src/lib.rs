@@ -14,11 +14,14 @@
 pub mod chimp;
 pub mod chimp128;
 pub mod elf;
+pub mod error;
 pub mod fpc;
 pub mod gorilla;
 pub mod patas;
 pub mod pde;
 pub mod word;
+
+pub use error::CodecError;
 
 /// Uniform handle over the six baselines (plus raw storage), used by the
 /// benchmark harnesses to iterate "all schemes".
@@ -83,7 +86,8 @@ impl Codec {
         }
     }
 
-    /// Decompresses `count` doubles from `bytes`.
+    /// Decompresses `count` doubles from `bytes`. Panics on corrupt input —
+    /// use [`Codec::try_decompress_f64`] for untrusted bytes.
     pub fn decompress_f64(&self, bytes: &[u8], count: usize) -> Vec<f64> {
         match self {
             Codec::Gorilla => gorilla::decompress_f64(bytes, count),
@@ -96,32 +100,60 @@ impl Codec {
         }
     }
 
+    /// Decompresses `count` doubles from untrusted `bytes`, returning an
+    /// error instead of panicking on truncated or corrupt input.
+    pub fn try_decompress_f64(&self, bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+        match self {
+            Codec::Gorilla => gorilla::try_decompress_f64(bytes, count),
+            Codec::Chimp => chimp::try_decompress_f64(bytes, count),
+            Codec::Chimp128 => chimp128::try_decompress_f64(bytes, count),
+            Codec::Patas => patas::try_decompress_f64(bytes, count),
+            Codec::Elf => elf::try_decompress(bytes, count),
+            Codec::Pde => pde::try_decompress(bytes, count),
+            Codec::Fpc => fpc::try_decompress(bytes, count),
+        }
+    }
+
     /// Whether a 32-bit float variant exists (Table 7: all XOR codecs do;
     /// Elf/PDE do not, as in the paper).
     pub fn supports_f32(&self) -> bool {
         matches!(self, Codec::Gorilla | Codec::Chimp | Codec::Chimp128 | Codec::Patas)
     }
 
-    /// Compresses a column of 32-bit floats (panics if unsupported).
-    pub fn compress_f32(&self, data: &[f32]) -> Vec<u8> {
+    /// Compresses a column of 32-bit floats. Errs with
+    /// [`CodecError::Unsupported`] for codecs without a 32-bit variant
+    /// (check [`Codec::supports_f32`] first to avoid the `Result`).
+    pub fn compress_f32(&self, data: &[f32]) -> Result<Vec<u8>, CodecError> {
         match self {
-            Codec::Gorilla => gorilla::compress_f32(data),
-            Codec::Chimp => chimp::compress_f32(data),
-            Codec::Chimp128 => chimp128::compress_f32(data),
-            Codec::Patas => patas::compress_f32(data),
-            other => panic!("{} has no 32-bit variant", other.name()),
+            Codec::Gorilla => Ok(gorilla::compress_f32(data)),
+            Codec::Chimp => Ok(chimp::compress_f32(data)),
+            Codec::Chimp128 => Ok(chimp128::compress_f32(data)),
+            Codec::Patas => Ok(patas::compress_f32(data)),
+            other => {
+                Err(CodecError::Unsupported { codec: other.name(), what: "32-bit compression" })
+            }
         }
     }
 
-    /// Decompresses `count` 32-bit floats (panics if unsupported).
-    pub fn decompress_f32(&self, bytes: &[u8], count: usize) -> Vec<f32> {
+    /// Decompresses `count` 32-bit floats from untrusted `bytes`. Errs with
+    /// [`CodecError::Unsupported`] for codecs without a 32-bit variant, and
+    /// with the usual taxonomy on truncated or corrupt input.
+    pub fn decompress_f32(&self, bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
         match self {
-            Codec::Gorilla => gorilla::decompress_f32(bytes, count),
-            Codec::Chimp => chimp::decompress_f32(bytes, count),
-            Codec::Chimp128 => chimp128::decompress_f32(bytes, count),
-            Codec::Patas => patas::decompress_f32(bytes, count),
-            other => panic!("{} has no 32-bit variant", other.name()),
+            Codec::Gorilla => gorilla::try_decompress_f32(bytes, count),
+            Codec::Chimp => chimp::try_decompress_f32(bytes, count),
+            Codec::Chimp128 => chimp128::try_decompress_f32(bytes, count),
+            Codec::Patas => patas::try_decompress_f32(bytes, count),
+            other => {
+                Err(CodecError::Unsupported { codec: other.name(), what: "32-bit decompression" })
+            }
         }
+    }
+
+    /// Alias of [`Codec::decompress_f32`] for symmetry with
+    /// [`Codec::try_decompress_f64`] (the 32-bit path is always fallible).
+    pub fn try_decompress_f32(&self, bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
+        self.decompress_f32(bytes, count)
     }
 }
 
@@ -148,5 +180,29 @@ mod tests {
         assert!(Codec::Patas.supports_f32());
         assert!(!Codec::Elf.supports_f32());
         assert!(!Codec::Pde.supports_f32());
+    }
+
+    #[test]
+    fn f32_on_unsupported_codec_errs_instead_of_panicking() {
+        for codec in [Codec::Elf, Codec::Pde, Codec::Fpc] {
+            assert!(matches!(codec.compress_f32(&[1.0, 2.0]), Err(CodecError::Unsupported { .. })));
+            assert!(matches!(
+                codec.decompress_f32(&[0u8; 16], 2),
+                Err(CodecError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn f32_roundtrips_through_the_fallible_api() {
+        let data: Vec<f32> = (0..2000).map(|i| (i as f32) * 0.125).collect();
+        for codec in Codec::EXTENDED.into_iter().filter(|c| c.supports_f32()) {
+            let bytes = codec.compress_f32(&data).unwrap();
+            let back = codec.decompress_f32(&bytes, data.len()).unwrap();
+            assert_eq!(back.len(), data.len(), "{}", codec.name());
+            for (a, b) in data.iter().zip(&back) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", codec.name());
+            }
+        }
     }
 }

@@ -12,7 +12,10 @@
 //! Everything is byte-aligned, so decoding needs no bit arithmetic at all —
 //! the design point the paper credits for Patas's decompression speed.
 
+use crate::error::CodecError;
 use crate::word::{bits_f32, bits_f64, f32_bits, f64_bits, Word};
+
+const NAME: &str = "patas";
 
 /// Ring-buffer capacity, shared with Chimp128.
 pub const PREVIOUS_VALUES: usize = 128;
@@ -66,12 +69,19 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` words.
-pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+/// Decompresses `count` words, validating every field against the input.
+///
+/// Checked hazards: the verbatim first word, every 2-byte header, the 4-bit
+/// significant-byte count (values 9–15 are unrepresentable in a word), and
+/// each payload slice.
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
     let word_bytes = (W::BITS / 8) as usize;
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 24));
     if count == 0 {
-        return out;
+        return Ok(out);
+    }
+    if bytes.len() < word_bytes {
+        return Err(CodecError::Truncated { codec: NAME });
     }
     let mut ring = [W::ZERO; PREVIOUS_VALUES];
     let mut pos = 0usize;
@@ -83,11 +93,20 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
     out.push(first);
 
     for i in 1..count {
+        if bytes.len() - pos < 2 {
+            return Err(CodecError::Truncated { codec: NAME });
+        }
         let header = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
         pos += 2;
         let ref_index = (header >> 9) as usize;
         let byte_count = ((header >> 5) & 0xF) as usize;
         let tz_bytes = ((header >> 2) & 0x7) as u32;
+        if byte_count > word_bytes {
+            return Err(CodecError::Corrupt { codec: NAME, what: "significant byte count" });
+        }
+        if bytes.len() - pos < byte_count {
+            return Err(CodecError::Truncated { codec: NAME });
+        }
         let mut payload = [0u8; 8];
         payload[..byte_count].copy_from_slice(&bytes[pos..pos + byte_count]);
         pos += byte_count;
@@ -96,7 +115,13 @@ pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
         ring[i % PREVIOUS_VALUES] = value;
         out.push(value);
     }
-    out
+    Ok(out)
+}
+
+/// Decompresses `count` words. Panics on corrupt input — use
+/// [`try_decompress_words`] for untrusted bytes.
+pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    try_decompress_words(bytes, count).expect("corrupt patas stream")
 }
 
 /// Compresses doubles.
@@ -109,6 +134,11 @@ pub fn decompress_f64(bytes: &[u8], count: usize) -> Vec<f64> {
     bits_f64(&decompress_words::<u64>(bytes, count))
 }
 
+/// Fallible variant of [`decompress_f64`] for untrusted input.
+pub fn try_decompress_f64(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    Ok(bits_f64(&try_decompress_words::<u64>(bytes, count)?))
+}
+
 /// Compresses 32-bit floats.
 pub fn compress_f32(data: &[f32]) -> Vec<u8> {
     compress_words(&f32_bits(data))
@@ -117,6 +147,11 @@ pub fn compress_f32(data: &[f32]) -> Vec<u8> {
 /// Decompresses `count` 32-bit floats.
 pub fn decompress_f32(bytes: &[u8], count: usize) -> Vec<f32> {
     bits_f32(&decompress_words::<u32>(bytes, count))
+}
+
+/// Fallible variant of [`decompress_f32`] for untrusted input.
+pub fn try_decompress_f32(bytes: &[u8], count: usize) -> Result<Vec<f32>, CodecError> {
+    Ok(bits_f32(&try_decompress_words::<u32>(bytes, count)?))
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 
 use fastlanes::{bitpack, bits_needed, ffor, VECTOR_SIZE};
 
+use crate::error::CodecError;
+
+const NAME: &str = "pde";
+
 /// Largest exponent tried by the per-value search.
 pub const MAX_EXPONENT: u32 = 22;
 /// Significands are limited to `i32` range, as in BtrBlocks (the ALP paper
@@ -104,18 +108,34 @@ fn compress_block(block: &[f64], out: &mut Vec<u8>) {
     }
 }
 
-/// Decompresses the column (`count` is validated against the header).
-pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+/// Decompresses the column, validating every field against the input.
+///
+/// Checked hazards: the column header, per-block header geometry (widths over
+/// 64 bits, empty or oversized blocks — an empty block would loop forever),
+/// packed-word and patch-stream bounds, exponents past [`MAX_EXPONENT`], and
+/// patch positions outside their block.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    let truncated = || CodecError::Truncated { codec: NAME };
+    let corrupt = |what| CodecError::Corrupt { codec: NAME, what };
+
+    if bytes.len() < 8 {
+        return Err(truncated());
+    }
     let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
-    assert_eq!(total, count, "count mismatch");
+    if total != count {
+        return Err(corrupt("count mismatch"));
+    }
     let mut pos = 8usize;
-    let mut out = Vec::with_capacity(total);
+    let mut out = Vec::with_capacity(total.min(1 << 24));
     let mut sigs = vec![0i64; VECTOR_SIZE];
     let mut exps = vec![0u64; VECTOR_SIZE];
     // Inverse powers of ten indexed by exponent, hoisted out of the hot loop.
     let inv_pow: Vec<f64> = (0..=MAX_EXPONENT).map(|e| 10f64.powi(-(e as i32))).collect();
 
     while out.len() < total {
+        if bytes.len() - pos < 8 + 2 + 2 + 2 {
+            return Err(truncated());
+        }
         let sig_base = i64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
         pos += 8;
         let sig_width = bytes[pos] as usize;
@@ -126,7 +146,24 @@ pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
         let patches = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
         pos += 2;
 
+        if sig_width > 64 || exp_width > 64 {
+            return Err(corrupt("pack width"));
+        }
+        if block_len == 0 || block_len > VECTOR_SIZE {
+            return Err(corrupt("block length"));
+        }
+        if block_len > total - out.len() {
+            return Err(corrupt("blocks exceed column length"));
+        }
+        if patches > block_len {
+            return Err(corrupt("patch count"));
+        }
+
         let sig_words = sig_width * (VECTOR_SIZE / 64);
+        let exp_words = exp_width * (VECTOR_SIZE / 64);
+        if bytes.len() - pos < (sig_words + exp_words) * 8 {
+            return Err(truncated());
+        }
         let mut packed = Vec::with_capacity(sig_words + 1);
         for _ in 0..sig_words {
             packed.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
@@ -135,7 +172,6 @@ pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
         packed.push(0);
         ffor::ffor_unpack(&packed, sig_base, sig_width, &mut sigs);
 
-        let exp_words = exp_width * (VECTOR_SIZE / 64);
         let mut packed_e = Vec::with_capacity(exp_words + 1);
         for _ in 0..exp_words {
             packed_e.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
@@ -146,9 +182,16 @@ pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
 
         let start = out.len();
         for i in 0..block_len {
-            out.push(sigs[i] as f64 * inv_pow[exps[i] as usize]);
+            let e = exps[i] as usize;
+            if e > MAX_EXPONENT as usize {
+                return Err(corrupt("exponent out of range"));
+            }
+            out.push(sigs[i] as f64 * inv_pow[e]);
         }
         // Patch streams: all positions, then all values.
+        if bytes.len() - pos < patches * (2 + 8) {
+            return Err(truncated());
+        }
         let mut positions = Vec::with_capacity(patches);
         for _ in 0..patches {
             positions.push(u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize);
@@ -157,10 +200,19 @@ pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
         for &p in &positions {
             let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
             pos += 8;
+            if p >= block_len {
+                return Err(corrupt("patch position"));
+            }
             out[start + p] = f64::from_bits(v);
         }
     }
-    out
+    Ok(out)
+}
+
+/// Decompresses the column (`count` is validated against the header). Panics
+/// on corrupt input — use [`try_decompress`] for untrusted bytes.
+pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    try_decompress(bytes, count).expect("corrupt pde stream")
 }
 
 #[cfg(test)]

@@ -111,37 +111,153 @@ pub struct Dataset {
 /// The 30 datasets of Table 1, with Table 2-derived parameters.
 pub const DATASETS: [Dataset; 30] = [
     // ---- Time series ----
-    Dataset { name: "Air-Pressure", time_series: true, spec: Spec::Walk { precision: 5, start: 93.4, step: 40, dup: 0.75 } },
-    Dataset { name: "Basel-Temp", time_series: true, spec: Spec::Walk { precision: 6, start: 11.4, step: 90_000, dup: 0.26 } },
-    Dataset { name: "Basel-Wind", time_series: true, spec: Spec::Walk { precision: 6, start: 7.1, step: 70_000, dup: 0.30 } },
-    Dataset { name: "Bird-Mig", time_series: true, spec: Spec::Walk { precision: 5, start: 26.6, step: 9_000, dup: 0.55 } },
-    Dataset { name: "Btc-Price", time_series: true, spec: Spec::Walk { precision: 4, start: 19187.5, step: 120_000, dup: 0.0 } },
-    Dataset { name: "City-Temp", time_series: true, spec: Spec::Walk { precision: 1, start: 56.0, step: 25, dup: 0.60 } },
-    Dataset { name: "Dew-Temp", time_series: true, spec: Spec::Walk { precision: 3, start: 14.4, step: 120, dup: 0.19 } },
-    Dataset { name: "Bio-Temp", time_series: true, spec: Spec::Walk { precision: 2, start: 12.7, step: 18, dup: 0.49 } },
-    Dataset { name: "PM10-dust", time_series: true, spec: Spec::Walk { precision: 3, start: 1.5, step: 4, dup: 0.94 } },
-    Dataset { name: "Stocks-DE", time_series: true, spec: Spec::Walk { precision: 3, start: 63.8, step: 9, dup: 0.89 } },
-    Dataset { name: "Stocks-UK", time_series: true, spec: Spec::Walk { precision: 2, start: 1593.7, step: 35, dup: 0.88 } },
-    Dataset { name: "Stocks-USA", time_series: true, spec: Spec::Walk { precision: 2, start: 146.1, step: 10, dup: 0.91 } },
-    Dataset { name: "Wind-dir", time_series: true, spec: Spec::Walk { precision: 2, start: 192.4, step: 900, dup: 0.04 } },
+    Dataset {
+        name: "Air-Pressure",
+        time_series: true,
+        spec: Spec::Walk { precision: 5, start: 93.4, step: 40, dup: 0.75 },
+    },
+    Dataset {
+        name: "Basel-Temp",
+        time_series: true,
+        spec: Spec::Walk { precision: 6, start: 11.4, step: 90_000, dup: 0.26 },
+    },
+    Dataset {
+        name: "Basel-Wind",
+        time_series: true,
+        spec: Spec::Walk { precision: 6, start: 7.1, step: 70_000, dup: 0.30 },
+    },
+    Dataset {
+        name: "Bird-Mig",
+        time_series: true,
+        spec: Spec::Walk { precision: 5, start: 26.6, step: 9_000, dup: 0.55 },
+    },
+    Dataset {
+        name: "Btc-Price",
+        time_series: true,
+        spec: Spec::Walk { precision: 4, start: 19187.5, step: 120_000, dup: 0.0 },
+    },
+    Dataset {
+        name: "City-Temp",
+        time_series: true,
+        spec: Spec::Walk { precision: 1, start: 56.0, step: 25, dup: 0.60 },
+    },
+    Dataset {
+        name: "Dew-Temp",
+        time_series: true,
+        spec: Spec::Walk { precision: 3, start: 14.4, step: 120, dup: 0.19 },
+    },
+    Dataset {
+        name: "Bio-Temp",
+        time_series: true,
+        spec: Spec::Walk { precision: 2, start: 12.7, step: 18, dup: 0.49 },
+    },
+    Dataset {
+        name: "PM10-dust",
+        time_series: true,
+        spec: Spec::Walk { precision: 3, start: 1.5, step: 4, dup: 0.94 },
+    },
+    Dataset {
+        name: "Stocks-DE",
+        time_series: true,
+        spec: Spec::Walk { precision: 3, start: 63.8, step: 9, dup: 0.89 },
+    },
+    Dataset {
+        name: "Stocks-UK",
+        time_series: true,
+        spec: Spec::Walk { precision: 2, start: 1593.7, step: 35, dup: 0.88 },
+    },
+    Dataset {
+        name: "Stocks-USA",
+        time_series: true,
+        spec: Spec::Walk { precision: 2, start: 146.1, step: 10, dup: 0.91 },
+    },
+    Dataset {
+        name: "Wind-dir",
+        time_series: true,
+        spec: Spec::Walk { precision: 2, start: 192.4, step: 900, dup: 0.04 },
+    },
     // ---- Non time series ----
-    Dataset { name: "Arade/4", time_series: false, spec: Spec::Decimal { precision: 4, jitter: 0, lo: 20.0, hi: 1500.0, dup: 0.0 } },
-    Dataset { name: "Blockchain", time_series: false, spec: Spec::HeavyTail { precision: 4, mu: 6.0, sigma: 3.5, dup: 0.0 } },
-    Dataset { name: "CMS/1", time_series: false, spec: Spec::Decimal { precision: 2, jitter: 8, lo: 5.0, hi: 400.0, dup: 0.55 } },
-    Dataset { name: "CMS/25", time_series: false, spec: Spec::HeavyTail { precision: 9, mu: 1.5, sigma: 1.6, dup: 0.06 } },
+    Dataset {
+        name: "Arade/4",
+        time_series: false,
+        spec: Spec::Decimal { precision: 4, jitter: 0, lo: 20.0, hi: 1500.0, dup: 0.0 },
+    },
+    Dataset {
+        name: "Blockchain",
+        time_series: false,
+        spec: Spec::HeavyTail { precision: 4, mu: 6.0, sigma: 3.5, dup: 0.0 },
+    },
+    Dataset {
+        name: "CMS/1",
+        time_series: false,
+        spec: Spec::Decimal { precision: 2, jitter: 8, lo: 5.0, hi: 400.0, dup: 0.55 },
+    },
+    Dataset {
+        name: "CMS/25",
+        time_series: false,
+        spec: Spec::HeavyTail { precision: 9, mu: 1.5, sigma: 1.6, dup: 0.06 },
+    },
     Dataset { name: "CMS/9", time_series: false, spec: Spec::Counts { max: 12_000, dup: 0.70 } },
-    Dataset { name: "Food-prices", time_series: false, spec: Spec::HeavyTail { precision: 2, mu: 5.0, sigma: 2.4, dup: 0.52 } },
-    Dataset { name: "Gov/10", time_series: false, spec: Spec::HeavyTail { precision: 1, mu: 9.0, sigma: 3.0, dup: 0.26 } },
-    Dataset { name: "Gov/26", time_series: false, spec: Spec::Sparse { zero_frac: 0.995, precision: 2, lo: 1.0, hi: 5_000.0 } },
-    Dataset { name: "Gov/30", time_series: false, spec: Spec::Sparse { zero_frac: 0.89, precision: 2, lo: 1.0, hi: 900_000.0 } },
-    Dataset { name: "Gov/31", time_series: false, spec: Spec::Sparse { zero_frac: 0.94, precision: 2, lo: 1.0, hi: 60_000.0 } },
-    Dataset { name: "Gov/40", time_series: false, spec: Spec::Sparse { zero_frac: 0.99, precision: 2, lo: 1.0, hi: 70_000.0 } },
-    Dataset { name: "Medicare/1", time_series: false, spec: Spec::Decimal { precision: 2, jitter: 8, lo: 5.0, hi: 500.0, dup: 0.41 } },
-    Dataset { name: "Medicare/9", time_series: false, spec: Spec::Counts { max: 14_000, dup: 0.70 } },
-    Dataset { name: "NYC/29", time_series: false, spec: Spec::HighPrecision { precision: 13, center: -73.9, spread: 0.2, dup: 0.51 } },
-    Dataset { name: "POI-lat", time_series: false, spec: Spec::RealDouble { lo_deg: -60.0, hi_deg: 75.0 } },
-    Dataset { name: "POI-lon", time_series: false, spec: Spec::RealDouble { lo_deg: -180.0, hi_deg: 180.0 } },
-    Dataset { name: "SD-bench", time_series: false, spec: Spec::Decimal { precision: 1, jitter: 0, lo: 8.0, hi: 2000.0, dup: 0.92 } },
+    Dataset {
+        name: "Food-prices",
+        time_series: false,
+        spec: Spec::HeavyTail { precision: 2, mu: 5.0, sigma: 2.4, dup: 0.52 },
+    },
+    Dataset {
+        name: "Gov/10",
+        time_series: false,
+        spec: Spec::HeavyTail { precision: 1, mu: 9.0, sigma: 3.0, dup: 0.26 },
+    },
+    Dataset {
+        name: "Gov/26",
+        time_series: false,
+        spec: Spec::Sparse { zero_frac: 0.995, precision: 2, lo: 1.0, hi: 5_000.0 },
+    },
+    Dataset {
+        name: "Gov/30",
+        time_series: false,
+        spec: Spec::Sparse { zero_frac: 0.89, precision: 2, lo: 1.0, hi: 900_000.0 },
+    },
+    Dataset {
+        name: "Gov/31",
+        time_series: false,
+        spec: Spec::Sparse { zero_frac: 0.94, precision: 2, lo: 1.0, hi: 60_000.0 },
+    },
+    Dataset {
+        name: "Gov/40",
+        time_series: false,
+        spec: Spec::Sparse { zero_frac: 0.99, precision: 2, lo: 1.0, hi: 70_000.0 },
+    },
+    Dataset {
+        name: "Medicare/1",
+        time_series: false,
+        spec: Spec::Decimal { precision: 2, jitter: 8, lo: 5.0, hi: 500.0, dup: 0.41 },
+    },
+    Dataset {
+        name: "Medicare/9",
+        time_series: false,
+        spec: Spec::Counts { max: 14_000, dup: 0.70 },
+    },
+    Dataset {
+        name: "NYC/29",
+        time_series: false,
+        spec: Spec::HighPrecision { precision: 13, center: -73.9, spread: 0.2, dup: 0.51 },
+    },
+    Dataset {
+        name: "POI-lat",
+        time_series: false,
+        spec: Spec::RealDouble { lo_deg: -60.0, hi_deg: 75.0 },
+    },
+    Dataset {
+        name: "POI-lon",
+        time_series: false,
+        spec: Spec::RealDouble { lo_deg: -180.0, hi_deg: 180.0 },
+    },
+    Dataset {
+        name: "SD-bench",
+        time_series: false,
+        spec: Spec::Decimal { precision: 1, jitter: 0, lo: 8.0, hi: 2000.0, dup: 0.92 },
+    },
 ];
 
 /// Exact power of ten (valid for `p <= 22`).
@@ -274,7 +390,8 @@ pub fn generate_spec(spec: &Spec, n: usize, seed: u64) -> Vec<f64> {
                 if in_zeros {
                     out.push(0.0);
                 } else {
-                    let d = rng.gen_range((lo * pow10(precision)) as i64..=(hi * pow10(precision)) as i64);
+                    let d = rng
+                        .gen_range((lo * pow10(precision)) as i64..=(hi * pow10(precision)) as i64);
                     out.push(decimal(d, precision));
                 }
             }

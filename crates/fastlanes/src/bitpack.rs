@@ -136,10 +136,14 @@ mod tests {
     use super::*;
 
     fn sample(width: usize) -> Vec<u64> {
-        let mask = if width == 64 { u64::MAX } else if width == 0 { 0 } else { (1 << width) - 1 };
-        (0..VECTOR_SIZE as u64)
-            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
-            .collect()
+        let mask = if width == 64 {
+            u64::MAX
+        } else if width == 0 {
+            0
+        } else {
+            (1 << width) - 1
+        };
+        (0..VECTOR_SIZE as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect()
     }
 
     #[test]

@@ -153,9 +153,7 @@ mod tests {
         } else {
             (1 << width) - 1
         };
-        (0..VECTOR_SIZE as u64)
-            .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95) & mask)
-            .collect()
+        (0..VECTOR_SIZE as u64).map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95) & mask).collect()
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!
 //! The final sequence carries only literals (offset omitted).
 
+use codecs::CodecError;
+
+const NAME: &str = "gpzip-fast";
+
 /// Minimum match length.
 pub const MIN_MATCH: usize = 4;
 const HASH_BITS: u32 = 14;
@@ -33,14 +37,14 @@ fn write_len(out: &mut Vec<u8>, mut len: usize) {
     out.push(len as u8);
 }
 
-fn read_len(bytes: &[u8], pos: &mut usize) -> usize {
+fn read_len(bytes: &[u8], pos: &mut usize) -> Option<usize> {
     let mut len = 0usize;
     loop {
-        let b = bytes[*pos];
+        let b = *bytes.get(*pos)?;
         *pos += 1;
         len += b as usize;
         if b != 255 {
-            return len;
+            return Some(len);
         }
     }
 }
@@ -106,31 +110,59 @@ pub fn compress_block(data: &[u8]) -> Vec<u8> {
 }
 
 /// Decompresses a block produced by [`compress_block`] into `out` until
-/// `expected` bytes have been produced.
-pub fn decompress_block(bytes: &[u8], expected: usize, out: &mut Vec<u8>) {
+/// `expected` bytes have been produced, validating every field against the
+/// input.
+///
+/// Checked hazards: token and extended-length bytes past the block end,
+/// literal runs longer than the remaining block, zero or too-far match
+/// distances, and blocks producing more bytes than `expected` (a valid
+/// stream's final sequence lands exactly on the boundary).
+pub fn try_decompress_block(
+    bytes: &[u8],
+    expected: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    let truncated = || CodecError::Truncated { codec: NAME };
+    let corrupt = |what| CodecError::Corrupt { codec: NAME, what };
+
     let start = out.len();
     let mut pos = 0usize;
     loop {
-        let token = bytes[pos];
+        let token = *bytes.get(pos).ok_or_else(truncated)?;
         pos += 1;
         let mut lit_len = (token >> 4) as usize;
         if lit_len == 15 {
-            lit_len += read_len(bytes, &mut pos);
+            lit_len += read_len(bytes, &mut pos).ok_or_else(truncated)?;
+        }
+        if bytes.len() - pos < lit_len {
+            return Err(truncated());
+        }
+        if out.len() - start + lit_len > expected {
+            return Err(corrupt("literal run exceeds block length"));
         }
         out.extend_from_slice(&bytes[pos..pos + lit_len]);
         pos += lit_len;
         if out.len() - start >= expected {
-            return;
+            return Ok(());
         }
         let match_nibble = (token & 0x0F) as usize;
         if match_nibble == 0x0F && out.len() - start >= expected {
-            return;
+            return Ok(());
+        }
+        if bytes.len() - pos < 2 {
+            return Err(truncated());
         }
         let dist = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
         pos += 2;
         let mut mlen = match_nibble + MIN_MATCH;
         if match_nibble == 15 {
-            mlen += read_len(bytes, &mut pos);
+            mlen += read_len(bytes, &mut pos).ok_or_else(truncated)?;
+        }
+        if dist == 0 || dist > out.len() - start {
+            return Err(corrupt("match distance"));
+        }
+        if out.len() - start + mlen > expected {
+            return Err(corrupt("match exceeds block length"));
         }
         let from = out.len() - dist;
         for k in 0..mlen {
@@ -138,9 +170,15 @@ pub fn decompress_block(bytes: &[u8], expected: usize, out: &mut Vec<u8>) {
             out.push(b);
         }
         if out.len() - start >= expected {
-            return;
+            return Ok(());
         }
     }
+}
+
+/// Decompresses a block produced by [`compress_block`]. Panics on corrupt
+/// input — use [`try_decompress_block`] for untrusted bytes.
+pub fn decompress_block(bytes: &[u8], expected: usize, out: &mut Vec<u8>) {
+    try_decompress_block(bytes, expected, out).expect("corrupt gpzip-fast block")
 }
 
 /// Compresses with framing: `u64` total length, then per-block `u32` sizes.
@@ -156,19 +194,41 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses a frame produced by [`compress`].
-pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+/// Decompresses a frame produced by [`compress`], validating every field
+/// against the input (see [`try_decompress_block`] for the per-block checks;
+/// the frame adds total-length, block-size, and raw-size-vs-total hazards).
+pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let truncated = || CodecError::Truncated { codec: NAME };
+
+    if bytes.len() < 8 {
+        return Err(truncated());
+    }
     let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
-    let mut out = Vec::with_capacity(total);
+    let mut out = Vec::with_capacity(total.min(1 << 24));
     let mut pos = 8usize;
     while out.len() < total {
+        if bytes.len() - pos < 8 {
+            return Err(truncated());
+        }
         let clen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         let raw = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
         pos += 8;
-        decompress_block(&bytes[pos..pos + clen], raw, &mut out);
+        if bytes.len() - pos < clen {
+            return Err(truncated());
+        }
+        if raw > total - out.len() {
+            return Err(CodecError::Corrupt { codec: NAME, what: "blocks exceed frame length" });
+        }
+        try_decompress_block(&bytes[pos..pos + clen], raw, &mut out)?;
         pos += clen;
     }
-    out
+    Ok(out)
+}
+
+/// Decompresses a frame produced by [`compress`]. Panics on corrupt input —
+/// use [`try_decompress`] for untrusted bytes.
+pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+    try_decompress(bytes).expect("corrupt gpzip-fast frame")
 }
 
 #[cfg(test)]

@@ -91,19 +91,30 @@ impl Decoder {
         Self { count, first, symbols, offset }
     }
 
-    /// Decodes one symbol, reading bits as needed.
+    /// Decodes one symbol, reading bits as needed. Returns `None` when the
+    /// accumulated bits match no code of any length — which is how a corrupt
+    /// or exhausted stream manifests (the reader zero-fills past its end, so
+    /// callers should also check [`BitReader::overrun`] to distinguish
+    /// truncation from an all-zeros code being decoded forever).
     #[inline]
-    pub fn read_symbol(&self, r: &mut BitReader) -> usize {
+    pub fn try_read_symbol(&self, r: &mut BitReader) -> Option<usize> {
         let mut code = 0u32;
         for len in 1..=15usize {
             code = (code << 1) | r.read_bit() as u32;
             let c = self.count[len];
             if c > 0 && code.wrapping_sub(self.first[len]) < c {
                 let idx = self.offset[len] + (code - self.first[len]);
-                return self.symbols[idx as usize] as usize;
+                return Some(self.symbols[idx as usize] as usize);
             }
         }
-        panic!("invalid Huffman stream");
+        None
+    }
+
+    /// Decodes one symbol. Panics on an invalid stream — use
+    /// [`Decoder::try_read_symbol`] for untrusted bytes.
+    #[inline]
+    pub fn read_symbol(&self, r: &mut BitReader) -> usize {
+        self.try_read_symbol(r).expect("invalid Huffman stream")
     }
 }
 
@@ -174,7 +185,13 @@ fn build_lengths(freq: &[u32]) -> Vec<u8> {
 /// after clamping to [`MAX_LEN`] (the zlib-style fix-up).
 fn enforce_kraft(lengths: &mut [u8]) {
     let unit = 1u64 << MAX_LEN;
-    let weight = |l: u8| -> u64 { if l == 0 { 0 } else { 1u64 << (MAX_LEN - l as u32) } };
+    let weight = |l: u8| -> u64 {
+        if l == 0 {
+            0
+        } else {
+            1u64 << (MAX_LEN - l as u32)
+        }
+    };
     let mut total: u64 = lengths.iter().map(|&l| weight(l)).sum();
     // Over-subscribed: lengthen the longest-but-extendable codes.
     while total > unit {
@@ -282,7 +299,8 @@ mod tests {
     fn kraft_sum_is_satisfied() {
         let freq: Vec<u32> = (1..=286).map(|i| (i * i) as u32 % 1000 + 1).collect();
         let enc = Encoder::from_frequencies(&freq);
-        let sum: u64 = enc.lengths().iter().filter(|&&l| l > 0).map(|&l| 1u64 << (15 - l as u32)).sum();
+        let sum: u64 =
+            enc.lengths().iter().filter(|&&l| l > 0).map(|&l| 1u64 << (15 - l as u32)).sum();
         assert!(sum <= 1 << 15);
     }
 

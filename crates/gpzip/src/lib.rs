@@ -28,6 +28,9 @@ pub mod huffman;
 pub mod lz;
 
 use bitstream::{BitReader, BitWriter};
+use codecs::CodecError;
+
+const NAME: &str = "gpzip";
 
 /// Block granularity (256 KiB, matching the paper's description of Zstd's
 /// block-based operation).
@@ -47,18 +50,41 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses a stream produced by [`compress`].
-pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+/// Decompresses a stream produced by [`compress`], validating every field
+/// against the input.
+///
+/// Checked hazards: the total-length and block-length prefixes (either can
+/// claim more bytes than exist), invalid Huffman codes, bit-stream
+/// exhaustion mid-block (the bit reader zero-fills, which without a check
+/// can decode an all-zeros literal code forever), match distances reaching
+/// before the output start, and blocks emitting more bytes than the header
+/// declared.
+pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated { codec: NAME });
+    }
     let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
-    let mut out = Vec::with_capacity(total);
+    let mut out = Vec::with_capacity(total.min(1 << 24));
     let mut pos = 8usize;
     while out.len() < total {
+        if bytes.len() - pos < 4 {
+            return Err(CodecError::Truncated { codec: NAME });
+        }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
-        decode_block(&bytes[pos..pos + len], &mut out);
+        if bytes.len() - pos < len {
+            return Err(CodecError::Truncated { codec: NAME });
+        }
+        try_decode_block(&bytes[pos..pos + len], &mut out, total)?;
         pos += len;
     }
-    out
+    Ok(out)
+}
+
+/// Decompresses a stream produced by [`compress`]. Panics on corrupt input —
+/// use [`try_decompress`] for untrusted bytes.
+pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+    try_decompress(bytes).expect("corrupt gpzip stream")
 }
 
 /// End-of-block symbol in the literal/length alphabet.
@@ -70,31 +96,69 @@ const DIST_SYMBOLS: usize = 30;
 
 /// Deflate length-code table: `(base, extra_bits)` for codes 257..=285.
 const LEN_CODES: [(u32, u32); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// Deflate distance-code table: `(base, extra_bits)` for codes 0..=29.
 const DIST_CODES: [(u32, u32); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_code(len: u32) -> (usize, u32, u32) {
@@ -182,28 +246,47 @@ fn encode_block(block: &[u8], tokens: &[lz::Token]) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_block(payload: &[u8], out: &mut Vec<u8>) {
+fn try_decode_block(payload: &[u8], out: &mut Vec<u8>, max_total: usize) -> Result<(), CodecError> {
+    let truncated = || CodecError::Truncated { codec: NAME };
+    let corrupt = |what| CodecError::Corrupt { codec: NAME, what };
+
     let mut r = BitReader::new(payload);
     let ll_table = huffman::Decoder::read_lengths(&mut r, LL_SYMBOLS);
     let dist_table = huffman::Decoder::read_lengths(&mut r, DIST_SYMBOLS);
+    if r.overrun() {
+        return Err(truncated());
+    }
     loop {
-        let sym = ll_table.read_symbol(&mut r);
+        let sym = ll_table.try_read_symbol(&mut r).ok_or_else(|| corrupt("Huffman code"))?;
+        // Checking exhaustion per symbol (not once at the end) matters: past
+        // the payload the reader feeds zeros, and an all-zeros code can be a
+        // valid literal — without this check such a block never reaches EOB.
+        if r.overrun() {
+            return Err(truncated());
+        }
         if sym < 256 {
             out.push(sym as u8);
         } else if sym == EOB {
-            break;
+            return Ok(());
         } else {
             let (base, extra) = LEN_CODES[sym - 257];
             let len = base + r.read_bits(extra) as u32;
-            let dsym = dist_table.read_symbol(&mut r);
+            let dsym =
+                dist_table.try_read_symbol(&mut r).ok_or_else(|| corrupt("distance code"))?;
             let (dbase, dextra) = DIST_CODES[dsym];
             let dist = (dbase + r.read_bits(dextra) as u32) as usize;
-            let start = out.len() - dist;
+            if r.overrun() {
+                return Err(truncated());
+            }
+            let start = out.len().checked_sub(dist).ok_or_else(|| corrupt("match distance"))?;
             // Overlapping copies are the LZ idiom for runs; copy byte-wise.
             for i in 0..len as usize {
                 let b = out[start + i];
                 out.push(b);
             }
+        }
+        if out.len() > max_total {
+            return Err(corrupt("block output exceeds declared length"));
         }
     }
 }

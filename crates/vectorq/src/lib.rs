@@ -131,8 +131,7 @@ impl Column {
                 let blocks = data
                     .chunks(ROWGROUP_VALUES)
                     .map(|chunk| {
-                        let bytes: Vec<u8> =
-                            chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        let bytes: Vec<u8> = chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
                         (gpzip::compress(&bytes), chunk.len())
                     })
                     .collect();
@@ -394,9 +393,11 @@ impl Column {
                 out[..end - start].copy_from_slice(&values[start..end]);
                 end - start
             }
-            Storage::Alp(c) => {
-                c.decompress_vector(vector_idx / ROWGROUP_VECTORS, vector_idx % ROWGROUP_VECTORS, out)
-            }
+            Storage::Alp(c) => c.decompress_vector(
+                vector_idx / ROWGROUP_VECTORS,
+                vector_idx % ROWGROUP_VECTORS,
+                out,
+            ),
             Storage::Codec(codec, blocks) => {
                 let (bytes, count) = &blocks[vector_idx];
                 let decoded = codec.decompress_f64(bytes, *count);
@@ -454,10 +455,10 @@ impl Column {
         }
         let work = &work;
         let next = &next;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut partial = 0.0f64;
                         loop {
                             let m = next.fetch_add(1, Ordering::Relaxed);
@@ -472,7 +473,6 @@ impl Column {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
-        .unwrap()
     }
 }
 

@@ -96,9 +96,7 @@ impl std::error::Error for TableError {}
 
 impl Table {
     /// Builds a table, compressing each `(name, data)` pair with `format`.
-    pub fn from_columns(
-        columns: Vec<(&str, Vec<f64>, Format)>,
-    ) -> Result<Self, TableError> {
+    pub fn from_columns(columns: Vec<(&str, Vec<f64>, Format)>) -> Result<Self, TableError> {
         let rows = columns.first().map(|(_, d, _)| d.len()).unwrap_or(0);
         let mut built = Vec::with_capacity(columns.len());
         for (name, data, format) in columns {
@@ -219,11 +217,8 @@ mod tests {
         let n = 300_000;
         let time: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let price: Vec<f64> = (0..n).map(|i| ((i * 7) % 1000) as f64 / 100.0).collect();
-        Table::from_columns(vec![
-            ("time", time, Format::Alp),
-            ("price", price, Format::Alp),
-        ])
-        .unwrap()
+        Table::from_columns(vec![("time", time, Format::Alp), ("price", price, Format::Alp)])
+            .unwrap()
     }
 
     #[test]
@@ -282,12 +277,9 @@ mod tests {
     #[test]
     fn decompress_vector_at_every_format() {
         let data: Vec<f64> = (0..250_000).map(|i| (i % 333) as f64 / 4.0).collect();
-        for fmt in [
-            Format::Uncompressed,
-            Format::Alp,
-            Format::Codec(codecs::Codec::Patas),
-            Format::Gpzip,
-        ] {
+        for fmt in
+            [Format::Uncompressed, Format::Alp, Format::Codec(codecs::Codec::Patas), Format::Gpzip]
+        {
             let col = Column::from_f64(&data, fmt);
             let mut buf = vec![0.0f64; VECTOR_SIZE];
             for v_idx in [0usize, 101, 207, 244] {

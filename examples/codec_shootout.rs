@@ -13,10 +13,7 @@ fn main() {
     let data = datagen::generate(&name, 500_000, 11);
     let mb = data.len() as f64 * 8.0 / 1e6;
     println!("dataset {name}: {} values ({mb:.0} MB)\n", data.len());
-    println!(
-        "{:<10} {:>11} {:>14} {:>14}",
-        "scheme", "bits/value", "comp MB/s", "decomp MB/s"
-    );
+    println!("{:<10} {:>11} {:>14} {:>14}", "scheme", "bits/value", "comp MB/s", "decomp MB/s");
 
     // ALP.
     let t0 = Instant::now();

@@ -52,7 +52,8 @@ fn main() {
     let alp_us = t0.elapsed().as_secs_f64() * 1e6;
     println!("  ALP   : decompress exactly {n} values          -> {alp_us:>8.1} us");
 
-    let block: Vec<u8> = data[..vectorq::ROWGROUP_VALUES].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let block: Vec<u8> =
+        data[..vectorq::ROWGROUP_VALUES].iter().flat_map(|v| v.to_le_bytes()).collect();
     let zblock = gpzip::compress(&block);
     let t0 = Instant::now();
     let raw = gpzip::decompress(&zblock);

@@ -9,7 +9,8 @@ use alp::{format, Compressor};
 
 fn main() {
     // A million "prices": decimals with 2 digits — typical database doubles.
-    let prices: Vec<f64> = (0..1_000_000).map(|i| (1999 + (i * 37) % 100_000) as f64 / 100.0).collect();
+    let prices: Vec<f64> =
+        (0..1_000_000).map(|i| (1999 + (i * 37) % 100_000) as f64 / 100.0).collect();
 
     // Compress. The compressor samples each row-group to pick the scheme and
     // the per-vector (exponent, factor) parameters automatically.
@@ -17,10 +18,7 @@ fn main() {
 
     println!("values            : {}", compressed.len);
     println!("bits per value    : {:.2} (uncompressed: 64)", compressed.bits_per_value());
-    println!(
-        "compression ratio : {:.1}x",
-        64.0 / compressed.bits_per_value()
-    );
+    println!("compression ratio : {:.1}x", 64.0 / compressed.bits_per_value());
     println!(
         "row-groups        : {} ALP, {} ALP_rd",
         compressed.stats.rowgroups_alp, compressed.stats.rowgroups_rd

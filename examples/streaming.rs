@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sum += values.iter().sum::<f64>();
         rowgroups += 1;
     }
-    println!("read back {count} values from {rowgroups} row-groups, mean = {:.4}", sum / count as f64);
+    println!(
+        "read back {count} values from {rowgroups} row-groups, mean = {:.4}",
+        sum / count as f64
+    );
     assert_eq!(count, total);
 
     std::fs::remove_file(&path).ok();

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! subset of Criterion its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput::Elements`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a plain
+//! best-of-samples wall-clock loop — adequate for the relative comparisons the
+//! benches print, with none of upstream's statistics, plotting, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How the measured routine's work scales, for per-element reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs one setup
+/// per measured call regardless, so the variants only mirror upstream's API.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the driver's sample count for this group alone.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Measures `f` and prints one result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self.criterion.measurement_time,
+            best: Duration::MAX,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.best;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+                let secs = per_iter.as_secs_f64();
+                if secs > 0.0 {
+                    format!("  ({:.0} /s)", n as f64 / secs)
+                } else {
+                    String::new()
+                }
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<24} {:>12.1?}{}", self.name, id, per_iter, rate);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best per-iteration sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample's time slice.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let slice = self.measurement_time / self.sample_size as u32;
+        let iters = (slice.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per = start.elapsed() / iters as u32;
+            if per < self.best {
+                self.best = per;
+            }
+        }
+    }
+
+    /// Times `routine` with a fresh `setup` product each call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            let per = start.elapsed();
+            if per < self.best {
+                self.best = per;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions under a name, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        work(&mut c);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        targets = work
+    }
+
+    #[test]
+    fn macro_group_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,184 @@
+//! Reusable corrupt-input fault-injection harness.
+//!
+//! Every decoder in the workspace claims the same contract for untrusted
+//! bytes: *return `Err`, never panic, never read out of bounds, never
+//! allocate unboundedly*. This module generates the adversarial corpus that
+//! the integration suite (`tests/codec_robustness.rs`) runs against each of
+//! them — truncations at boundary classes, single and multi bit-flips, and
+//! random garbage — plus [`assert_decoder_robust`], the standard driver.
+//!
+//! Everything is deterministic: cases derive from a caller-provided seed via
+//! an inline SplitMix64, so a failure reproduces from its printed label.
+
+/// Minimal deterministic generator for corpus construction (SplitMix64).
+/// Self-contained on purpose: the harness must not drag RNG dependencies
+/// into the library build.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// One corrupted input: the mutated bytes plus a label that reproduces it.
+pub struct Case {
+    /// Human-readable description (`"truncate to 17"`, `"flip bit 3 of byte 90"`).
+    pub label: String,
+    /// The corrupted byte stream.
+    pub bytes: Vec<u8>,
+}
+
+/// Truncations at the boundary classes that historically break decoders:
+/// empty input, cuts inside the fixed header (1/4/8/13 bytes), fractional
+/// cuts through the payload, and the off-by-one cut of the last byte.
+pub fn truncations(original: &[u8]) -> Vec<Case> {
+    let n = original.len();
+    let mut cuts = vec![0, 1, 4, 8, 13, n / 4, n / 3, n / 2, 2 * n / 3, 3 * n / 4];
+    cuts.push(n.saturating_sub(1));
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.retain(|&c| c < n);
+    cuts.into_iter()
+        .map(|c| Case { label: format!("truncate to {c} of {n}"), bytes: original[..c].to_vec() })
+        .collect()
+}
+
+/// `count` single-bit flips at seed-derived positions spread over the input.
+pub fn single_bit_flips(original: &[u8], seed: u64, count: usize) -> Vec<Case> {
+    let mut rng = SplitMix64::new(seed);
+    let mut cases = Vec::with_capacity(count);
+    if original.is_empty() {
+        return cases;
+    }
+    for _ in 0..count {
+        let pos = rng.below(original.len());
+        let bit = rng.below(8);
+        let mut bytes = original.to_vec();
+        bytes[pos] ^= 1 << bit;
+        cases.push(Case { label: format!("flip bit {bit} of byte {pos}"), bytes });
+    }
+    cases
+}
+
+/// `count` cases of 2–8 simultaneous bit flips each.
+pub fn multi_bit_flips(original: &[u8], seed: u64, count: usize) -> Vec<Case> {
+    let mut rng = SplitMix64::new(seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let mut cases = Vec::with_capacity(count);
+    if original.is_empty() {
+        return cases;
+    }
+    for _ in 0..count {
+        let flips = 2 + rng.below(7);
+        let mut bytes = original.to_vec();
+        let mut label = String::from("flip bits at");
+        for _ in 0..flips {
+            let pos = rng.below(bytes.len());
+            let bit = rng.below(8);
+            bytes[pos] ^= 1 << bit;
+            label.push_str(&format!(" {pos}.{bit}"));
+        }
+        cases.push(Case { label, bytes });
+    }
+    cases
+}
+
+/// Random garbage buffers of the given sizes — streams that were never valid.
+pub fn garbage(seed: u64, sizes: &[usize]) -> Vec<Case> {
+    let mut rng = SplitMix64::new(seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    sizes
+        .iter()
+        .map(|&len| Case {
+            label: format!("garbage of {len} bytes"),
+            bytes: (0..len).map(|_| rng.next_u64() as u8).collect(),
+        })
+        .collect()
+}
+
+/// The full corpus for one original stream: all of the above.
+pub fn corpus(original: &[u8], seed: u64) -> Vec<Case> {
+    let mut cases = truncations(original);
+    cases.extend(single_bit_flips(original, seed, 64));
+    cases.extend(multi_bit_flips(original, seed, 32));
+    cases.extend(garbage(seed, &[0, 1, 7, 64, 1024, original.len().clamp(1, 1 << 16)]));
+    cases
+}
+
+/// Standard robustness driver. `decode` is run over the whole corpus and must
+/// *return* on every case (a panic fails the test by itself); additionally:
+///
+/// * the pristine input must still decode (`Ok`);
+/// * aggressive truncations — empty input and cuts at 1/3 and 1/2 of the
+///   stream, which provably destroy payload — must be *detected* (`Err`).
+///
+/// Bit-flips are deliberately not required to `Err` here: codecs without
+/// checksums (every XOR baseline) cannot detect a payload flip that decodes
+/// to different-but-well-formed values. Formats with integrity frames get
+/// the stronger every-flip-errs guarantee in their own tests.
+pub fn assert_decoder_robust<T, E: core::fmt::Debug>(
+    original: &[u8],
+    seed: u64,
+    mut decode: impl FnMut(&[u8]) -> Result<T, E>,
+) {
+    assert!(decode(original).is_ok(), "decoder rejects pristine input");
+    for case in corpus(original, seed) {
+        let _ = decode(&case.bytes);
+    }
+    for cut in [0, original.len() / 3, original.len() / 2] {
+        assert!(
+            decode(&original[..cut]).is_err(),
+            "truncation to {cut} of {} bytes went undetected",
+            original.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let original: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        let a = corpus(&original, 7);
+        let b = corpus(&original, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.bytes, y.bytes);
+        }
+    }
+
+    #[test]
+    fn flips_change_exactly_one_bit() {
+        let original = vec![0u8; 64];
+        for case in single_bit_flips(&original, 3, 16) {
+            let flipped: u32 = case.bytes.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(flipped, 1, "{}", case.label);
+        }
+    }
+
+    #[test]
+    fn truncations_cover_empty_and_off_by_one() {
+        let original = vec![9u8; 100];
+        let cuts: Vec<usize> = truncations(&original).iter().map(|c| c.bytes.len()).collect();
+        assert!(cuts.contains(&0));
+        assert!(cuts.contains(&99));
+        assert!(cuts.iter().all(|&c| c < 100));
+    }
+}
