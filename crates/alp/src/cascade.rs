@@ -104,6 +104,8 @@ impl<F: AlpFloat> CascadeCompressed<F> {
                     bitpack::unpack(packed, *code_width as usize, &mut buf);
                     let remaining = *len - out.len();
                     for &code in buf.iter().take(remaining.min(VECTOR_SIZE)) {
+                        // ANALYZER-ALLOW(no-panic): codes come from
+                        // DictEncoded::encode and index its own dictionary.
                         out.push(dict_values[code as usize]);
                     }
                 }
@@ -175,6 +177,7 @@ impl CascadeCompressor {
         let dict = self.inner.compress(&dict_values);
         Some(CascadeCompressed::Dict {
             packed_codes,
+            // ANALYZER-ALLOW(no-panic): cardinality cap above bounds width at 20
             code_width: code_width as u8,
             dict,
             len: data.len(),
@@ -197,7 +200,7 @@ impl CascadeCompressor {
         Some(CascadeCompressed::Rle {
             values,
             lengths: rle.lengths,
-            length_width: length_width as u8,
+            length_width: length_width as u8, // ANALYZER-ALLOW(no-panic): <= 64
             len: data.len(),
         })
     }

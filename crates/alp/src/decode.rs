@@ -34,6 +34,8 @@ pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
 
 /// Unfused decode: unFFOR into an integer scratch vector, then a separate
 /// multiply loop. Exists for the Figure 5 kernel-fusion ablation.
+// ANALYZER-ALLOW(no-panic): fixed 1024-lane kernel geometry; scratch/out
+// lengths are asserted at entry and indices stay below VECTOR_SIZE.
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
 pub fn decode_vector_unfused<F: AlpFloat>(
     v: &AlpVector,
@@ -54,6 +56,9 @@ pub fn decode_vector_unfused<F: AlpFloat>(
 /// Deliberately scalar decode: value-at-a-time with runtime-width bit
 /// arithmetic and a per-value exception branch. Proxy for the paper's
 /// vectorization-disabled builds (Figure 4).
+// ANALYZER-ALLOW(no-panic): out.len() is asserted at entry; v.packed length is
+// validated against bit_width during wire deserialization, and the `as u32`
+// shift cast is bounded by `& 63`.
 #[allow(clippy::needless_range_loop)] // value-at-a-time is the point here
 pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
     assert!(out.len() >= VECTOR_SIZE);
@@ -97,7 +102,11 @@ pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize 
 #[inline]
 pub fn patch_exceptions<F: AlpFloat>(v: &AlpVector, out: &mut [F]) {
     for (&p, &bits) in v.exc_positions.iter().zip(&v.exc_values) {
-        out[p as usize] = F::from_bits_u64(bits);
+        // Positions come off the wire; a corrupt position past the vector end
+        // is dropped rather than allowed to panic the decode path.
+        if let Some(slot) = out.get_mut(p as usize) {
+            *slot = F::from_bits_u64(bits);
+        }
     }
 }
 
@@ -112,6 +121,10 @@ struct FusedDecode<'a, F: AlpFloat> {
 impl<F: AlpFloat> WidthKernel for FusedDecode<'_, F> {
     type Out = ();
     #[inline]
+    // ANALYZER-ALLOW(no-panic): fixed 1024-lane kernel geometry; callers assert
+    // out.len() >= VECTOR_SIZE and packed holds the 16*W+1 words the wire
+    // reader validated, so every block index is in bounds. The `as u32` shift
+    // cast is bounded by `& 63`.
     #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
     fn run<const W: usize>(self) {
         let Self { packed, base, mul_f, mul_e, out } = self;

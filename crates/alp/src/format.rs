@@ -36,6 +36,12 @@ pub const MAGIC: &[u8; 4] = b"ALP2";
 /// Magic bytes of the legacy, checksum-less column layout (still readable).
 pub const MAGIC_V1: &[u8; 4] = b"ALP1";
 
+/// Row-group scheme tag: the body holds plain ALP vectors.
+pub const SCHEME_TAG_ALP: u8 = 0;
+
+/// Row-group scheme tag: the body holds ALP_rd metadata plus vectors.
+pub const SCHEME_TAG_RD: u8 = 1;
+
 /// Errors produced when decoding a serialized column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FormatError {
@@ -119,14 +125,14 @@ pub fn to_bytes_v1<F: AlpFloat>(c: &Compressed<F>) -> Vec<u8> {
 pub fn write_rowgroup<F: AlpFloat>(out: &mut Vec<u8>, rg: &RowGroup) {
     match rg {
         RowGroup::Alp(vectors) => {
-            out.put_u8(0);
+            out.put_u8(SCHEME_TAG_ALP);
             out.put_u32_le(vectors.len() as u32);
             for v in vectors {
                 write_alp_vector(out, v);
             }
         }
         RowGroup::Rd(meta, vectors) => {
-            out.put_u8(1);
+            out.put_u8(SCHEME_TAG_RD);
             out.put_u32_le(vectors.len() as u32);
             out.put_u8(meta.left_width);
             out.put_u8(meta.code_width);
@@ -200,6 +206,7 @@ fn read_header<F: AlpFloat>(buf: &mut &[u8]) -> Result<Header, FormatError> {
     if buf.len() < 4 {
         return Err(FormatError::Truncated);
     }
+    // ANALYZER-ALLOW(no-panic): length checked above
     let version = match &buf[..4] {
         m if m == MAGIC => Version::V2,
         m if m == MAGIC_V1 => Version::V1,
@@ -210,7 +217,8 @@ fn read_header<F: AlpFloat>(buf: &mut &[u8]) -> Result<Header, FormatError> {
         return Err(FormatError::Truncated);
     }
     let bits = buf.get_u8();
-    if bits as u32 != F::BITS {
+    if u32::from(bits) != F::BITS {
+        // ANALYZER-ALLOW(no-panic): F::BITS is 32 or 64, always fits in u8.
         return Err(FormatError::WidthMismatch { found: bits, expected: F::BITS as u8 });
     }
     let len = buf.get_u64_le() as usize;
@@ -233,7 +241,7 @@ fn read_framed_rowgroup<F: AlpFloat>(
     if buf.len() < rg_len {
         return Err(FormatError::Truncated);
     }
-    let body = &buf[..rg_len];
+    let body = &buf[..rg_len]; // ANALYZER-ALLOW(no-panic): length checked above
     let computed = xxh64(body, CHECKSUM_SEED);
     if computed != stored {
         return Err(FormatError::ChecksumMismatch { rowgroup: index, stored, computed });
@@ -330,6 +338,7 @@ pub fn from_bytes_salvage<F: AlpFloat>(mut buf: &[u8]) -> Result<Salvage<F>, For
                         // Frame is self-delimiting: skip the damaged body and
                         // continue with the next row-group.
                         lost.push(i);
+                        // ANALYZER-ALLOW(no-panic): rg_len <= peek.len() checked above
                         buf = &peek[rg_len..];
                     }
                 }
@@ -361,14 +370,14 @@ pub fn read_rowgroup<F: AlpFloat>(buf: &mut &[u8]) -> Result<RowGroup, FormatErr
     let scheme = buf.get_u8();
     let vec_count = buf.get_u32_le() as usize;
     match scheme {
-        0 => {
+        SCHEME_TAG_ALP => {
             let mut vectors = Vec::with_capacity(vec_count.min(1 << 16));
             for _ in 0..vec_count {
                 vectors.push(read_alp_vector(buf)?);
             }
             Ok(RowGroup::Alp(vectors))
         }
-        1 => {
+        SCHEME_TAG_RD => {
             if buf.len() < 3 {
                 return Err(FormatError::Truncated);
             }

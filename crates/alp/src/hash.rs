@@ -17,12 +17,13 @@ pub const CHECKSUM_SEED: u64 = 0;
 
 #[inline]
 fn read_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().unwrap())
+    // Callers always pass >= 8 bytes; map_or keeps the helper panic-free.
+    b.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
 }
 
 #[inline]
 fn read_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().unwrap())
+    b.first_chunk::<4>().map_or(0, |c| u32::from_le_bytes(*c))
 }
 
 #[inline]

@@ -33,6 +33,8 @@
 //! * [`stream`] — incremental `std::io` writer/reader (one row-group in memory).
 //! * [`analysis`] — the dataset statistics of Table 2.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod cascade;
 pub mod decode;

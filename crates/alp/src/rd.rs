@@ -194,6 +194,9 @@ pub fn encode_rd_vector<F: AlpFloat>(input: &[F], meta: &RdMeta) -> RdVector {
 }
 
 /// Decodes one ALP_rd vector into `out[..v.len]` (Algorithm 3, decoding half).
+// ANALYZER-ALLOW(no-panic): fixed 1024-lane kernel geometry; out.len() is
+// asserted at entry, code indices are masked to the padded LUT size, and the
+// exception patch loop goes through checked accessors.
 pub fn decode_rd_vector<F: AlpFloat>(v: &RdVector, meta: &RdMeta, out: &mut [F]) -> usize {
     assert!(out.len() >= VECTOR_SIZE);
     let right_w = meta.right_width::<F>();
@@ -215,10 +218,13 @@ pub fn decode_rd_vector<F: AlpFloat>(v: &RdVector, meta: &RdMeta, out: &mut [F])
         let left = lut[(codes[i] as usize) & (MAX_DICT_SIZE - 1)] as u64;
         out[i] = F::from_bits_u64((left << right_w) | rights[i]);
     }
-    // Patch left-part exceptions.
+    // Patch left-part exceptions. Positions come off the wire; a corrupt
+    // position past the vector end is dropped rather than allowed to panic.
     for (&p, &left) in v.exc_positions.iter().zip(&v.exc_left) {
         let i = p as usize;
-        out[i] = F::from_bits_u64(((left as u64) << right_w) | rights[i]);
+        if let (Some(slot), Some(&right)) = (out.get_mut(i), rights.get(i)) {
+            *slot = F::from_bits_u64(((left as u64) << right_w) | right);
+        }
     }
     v.len as usize
 }

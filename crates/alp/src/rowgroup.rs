@@ -108,6 +108,8 @@ impl<F: AlpFloat> Compressed<F> {
     }
 
     /// Decompresses the whole column.
+    // ANALYZER-ALLOW(no-panic): decode kernels return n <= VECTOR_SIZE, the
+    // exact length of the reused scratch buffer being sliced.
     pub fn decompress(&self) -> Vec<F> {
         let mut out = Vec::with_capacity(self.len);
         let mut buf = vec![F::from_bits_u64(0); VECTOR_SIZE];
@@ -133,6 +135,11 @@ impl<F: AlpFloat> Compressed<F> {
     /// Decompresses a single vector (`rowgroup`, `vector`) into `out`
     /// (≥ 1024 elements); returns the live count. This is the skip-friendly
     /// access path that block-based compressors cannot offer.
+    ///
+    /// # Panics
+    /// Panics if `rowgroup`/`vector` are out of range, like slice indexing.
+    // ANALYZER-ALLOW(no-panic): positional panic is this accessor's documented
+    // contract; counts are available via rowgroups() for callers that check.
     pub fn decompress_vector(&self, rowgroup: usize, vector: usize, out: &mut [F]) -> usize {
         match &self.rowgroups[rowgroup] {
             RowGroup::Alp(vs) => decode_vector(&vs[vector], out),
@@ -142,6 +149,8 @@ impl<F: AlpFloat> Compressed<F> {
 
     /// Same as [`Compressed::decompress`] but through the *unfused* decode
     /// kernels — the Figure 5 baseline.
+    // ANALYZER-ALLOW(no-panic): decode kernels return n <= VECTOR_SIZE, the
+    // exact length of the reused scratch buffer being sliced.
     pub fn decompress_unfused(&self) -> Vec<F> {
         let mut out = Vec::with_capacity(self.len);
         let mut buf = vec![F::from_bits_u64(0); VECTOR_SIZE];

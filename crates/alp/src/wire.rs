@@ -54,34 +54,46 @@ pub(crate) trait GetExt {
 
 impl GetExt for &[u8] {
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn advance(&mut self, n: usize) {
         *self = &self[n..];
     }
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn get_u8(&mut self) -> u8 {
         let v = self[0];
         *self = &self[1..];
         v
     }
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn get_u16_le(&mut self) -> u16 {
         let v = u16::from_le_bytes(self[..2].try_into().unwrap());
         *self = &self[2..];
         v
     }
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn get_u32_le(&mut self) -> u32 {
         let v = u32::from_le_bytes(self[..4].try_into().unwrap());
         *self = &self[4..];
         v
     }
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn get_u64_le(&mut self) -> u64 {
         let v = u64::from_le_bytes(self[..8].try_into().unwrap());
         *self = &self[8..];
         v
     }
     #[inline]
+    // ANALYZER-ALLOW(no-panic): documented cursor contract (see module doc):
+    // callers bounds-check remaining length before reading, as with bytes::Buf.
     fn get_i64_le(&mut self) -> i64 {
         let v = i64::from_le_bytes(self[..8].try_into().unwrap());
         *self = &self[8..];

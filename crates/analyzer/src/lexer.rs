@@ -1,0 +1,319 @@
+//! A minimal Rust lexer that separates *code* from *comments and string
+//! contents*, line by line.
+//!
+//! The rules downstream only need token-level facts (is this `unwrap` real
+//! code or inside a doc comment? does this line carry a `SAFETY:` note?), so
+//! the lexer does not build a token tree. It produces, per source line:
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   *contents* blanked out (delimiters kept, so `"a[b]"` cannot be mistaken
+//!   for an index expression);
+//! * `comment` — the concatenated text of every comment on that line,
+//!   including doc comments and the per-line slices of block comments.
+//!
+//! Handled syntax: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte strings
+//! (`b"…"`, `br#"…"#`), char and byte-char literals, and lifetimes (`'a` is
+//! code, not an unterminated char literal).
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Comment text present on this line (empty if none).
+    pub comment: String,
+}
+
+/// Lexes a whole file into per-line code/comment views.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+
+    // Helpers that always append to the *last* line.
+    fn code(lines: &mut [Line], c: char) {
+        if let Some(l) = lines.last_mut() {
+            l.code.push(c);
+        }
+    }
+    fn comment(lines: &mut [Line], c: char) {
+        if let Some(l) = lines.last_mut() {
+            l.comment.push(c);
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also `///` and `//!` doc comments).
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                comment(&mut lines, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, possibly nested, possibly spanning lines.
+        if c == '/' && next == Some('*') {
+            let mut depth = 1;
+            comment(&mut lines, '/');
+            comment(&mut lines, '*');
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    lines.push(Line::default());
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    comment(&mut lines, '/');
+                    comment(&mut lines, '*');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    comment(&mut lines, '*');
+                    comment(&mut lines, '/');
+                    i += 2;
+                } else {
+                    comment(&mut lines, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw / byte string prefixes. A quote adjacent to a bare `r`, `b`, or
+        // `br` identifier begins a prefixed literal (no valid Rust program
+        // puts any other identifier flush against a quote).
+        if (c == 'r' || c == 'b') && !prev_is_ident(&lines) {
+            let mut j = i;
+            let mut prefix = String::new();
+            while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && prefix.len() < 2 {
+                prefix.push(chars[j]);
+                j += 1;
+            }
+            let raw = prefix.ends_with('r');
+            let mut hashes = 0;
+            while raw && chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') && (prefix == "r" || prefix == "b" || prefix == "br") {
+                for p in prefix.chars() {
+                    code(&mut lines, p);
+                }
+                for _ in 0..hashes {
+                    code(&mut lines, '#');
+                }
+                code(&mut lines, '"');
+                i = j + 1;
+                if raw {
+                    i = consume_raw_string(&chars, i, hashes, &mut lines);
+                } else {
+                    i = consume_string(&chars, i, &mut lines);
+                }
+                continue;
+            }
+            if prefix == "b" && chars.get(j) == Some(&'\'') {
+                code(&mut lines, 'b');
+                code(&mut lines, '\'');
+                i = consume_char_literal(&chars, j + 1, &mut lines);
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+
+        if c == '"' {
+            code(&mut lines, '"');
+            i = consume_string(&chars, i + 1, &mut lines);
+            continue;
+        }
+
+        // `'` begins either a char literal or a lifetime.
+        if c == '\'' {
+            let is_char_literal = match next {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_literal {
+                code(&mut lines, '\'');
+                i = consume_char_literal(&chars, i + 1, &mut lines);
+            } else {
+                code(&mut lines, '\''); // lifetime tick stays as code
+                i += 1;
+            }
+            continue;
+        }
+
+        code(&mut lines, c);
+        i += 1;
+    }
+    lines
+}
+
+fn prev_is_ident(lines: &[Line]) -> bool {
+    lines
+        .last()
+        .and_then(|l| l.code.chars().last())
+        .map(|c| c.is_alphanumeric() || c == '_')
+        .unwrap_or(false)
+}
+
+/// Consumes a normal (escaped) string body starting after the opening quote;
+/// contents are blanked, the closing quote is kept as code.
+fn consume_string(chars: &[char], mut i: usize, lines: &mut Vec<Line>) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                if let Some(l) = lines.last_mut() {
+                    l.code.push(' ');
+                    l.code.push(' ');
+                }
+                i += 2;
+            }
+            '"' => {
+                if let Some(l) = lines.last_mut() {
+                    l.code.push('"');
+                }
+                return i + 1;
+            }
+            '\n' => {
+                lines.push(Line::default());
+                i += 1;
+            }
+            _ => {
+                if let Some(l) = lines.last_mut() {
+                    l.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body until `"` followed by `hashes` hash marks.
+fn consume_raw_string(chars: &[char], mut i: usize, hashes: usize, lines: &mut Vec<Line>) -> usize {
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                if let Some(l) = lines.last_mut() {
+                    l.code.push('"');
+                    for _ in 0..hashes {
+                        l.code.push('#');
+                    }
+                }
+                return i + 1 + hashes;
+            }
+        }
+        if chars[i] == '\n' {
+            lines.push(Line::default());
+        } else if let Some(l) = lines.last_mut() {
+            l.code.push(' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a char (or byte-char) literal body starting after the opening tick.
+fn consume_char_literal(chars: &[char], mut i: usize, lines: &mut [Line]) -> usize {
+    if chars.get(i) == Some(&'\\') {
+        i += 2; // skip the escape introducer and the escaped char
+        if let Some(l) = lines.last_mut() {
+            l.code.push(' ');
+            l.code.push(' ');
+        }
+        // Multi-char escapes (\u{…}, \x41) run until the closing tick below.
+    } else if i < chars.len() {
+        if let Some(l) = lines.last_mut() {
+            l.code.push(' ');
+        }
+        i += 1;
+    }
+    while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+        if let Some(l) = lines.last_mut() {
+            l.code.push(' ');
+        }
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        if let Some(l) = lines.last_mut() {
+            l.code.push('\'');
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let lines = split_lines("let x = 1; // call unwrap() here\n/// doc unwrap()\nfn f() {}");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap"));
+        assert!(!lines[1].code.contains("unwrap"));
+        assert_eq!(lines[2].code, "fn f() {}");
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_delimiters() {
+        let lines = split_lines(r#"let s = "a.unwrap()[0]"; s.len();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains('['));
+        assert!(lines[0].code.contains('"'));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let lines = split_lines("let m = b\"ALP2\"; let r = r#\"x \" y [i] \"#; r.len();");
+        assert!(!lines[0].code.contains("ALP2"));
+        assert!(!lines[0].code.contains("[i]"));
+        assert!(lines[0].code.contains("r.len()"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_multiline_strings() {
+        let src = "a /* x /* y */ z */ b\nlet s = \"line1\nline2\"; c";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.trim_start().chars().next(), Some('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[2].code.contains('c'));
+        assert!(!lines[1].code.contains("line1"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = split_lines("fn f<'a>(x: &'a [u8]) -> &'a [u8] { &x[1..] }");
+        assert!(lines[0].code.contains("&x[1..]"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lines = split_lines("let c = '['; let d = '\\''; let e = x[0];");
+        let code = &lines[0].code;
+        assert_eq!(code.matches('[').count(), 1, "{code}");
+        assert!(code.contains("x[0]"));
+    }
+}

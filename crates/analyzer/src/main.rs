@@ -1,0 +1,76 @@
+//! `analyzer` binary — run the workspace lint pass from the command line.
+//!
+//! ```text
+//! cargo run -p analyzer -- [--root <path>] [--format text|json]
+//! ```
+//!
+//! Exits 0 when the workspace is finding-clean, 1 when findings exist, and
+//! 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::{analyze_workspace, find_workspace_root, report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--format" if i + 1 < args.len() => {
+                format = args[i + 1].clone();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: analyzer [--root <path>] [--format text|json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("unknown format {format} (expected text or json)");
+        return ExitCode::from(2);
+    }
+
+    let root = match root
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_workspace_root(&cwd)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match analyze_workspace(&root) {
+        Ok(findings) => {
+            let rendered = if format == "json" {
+                report::render_json(&findings)
+            } else {
+                report::render_text(&findings)
+            };
+            print!("{rendered}");
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("analyzer: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! A lightweight item scanner over lexed code lines.
+//!
+//! Builds just enough structure for the rules: function items with spans and
+//! signatures, module nesting (so `#[cfg(test)] mod tests` bodies can be
+//! skipped), `const` items (for the wire-tag rule), `unsafe` occurrences, and
+//! crate-level `#![forbid(unsafe_code)]` declarations. It is not a parser —
+//! it tracks brace depth over comment-free code and pattern-matches item
+//! headers, which is exact enough for this workspace's style and is kept
+//! honest by the fixture tests.
+
+use crate::lexer::Line;
+
+/// A `fn` item (free function, method, or function generated in a macro body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// True for bare `pub` (not `pub(crate)` / `pub(super)`).
+    pub is_pub: bool,
+    /// Return-type text (tokens after `->`, before `where`/`{`), if any.
+    pub ret: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the body's opening brace (== start for `;` decls).
+    pub body_start: usize,
+    /// 1-based line of the matching close brace.
+    pub end_line: usize,
+    /// True when every enclosing block is a plain (non-test) `mod`.
+    pub module_level: bool,
+    /// True when any enclosing block is a `#[cfg(test)]` / `mod tests` body.
+    pub in_test: bool,
+}
+
+/// A `const` item and its initializer text.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// Constant name.
+    pub name: String,
+    /// Initializer tokens, joined by single spaces.
+    pub value: String,
+    /// 1-based definition line.
+    pub line: usize,
+    /// True inside a test module.
+    pub in_test: bool,
+}
+
+/// One occurrence of the `unsafe` keyword in real code.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// 1-based line of the keyword.
+    pub line: usize,
+    /// True inside a test module.
+    pub in_test: bool,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileInfo {
+    /// Lexed per-line code/comment views.
+    pub lines: Vec<Line>,
+    /// The original source lines (literal contents intact).
+    pub raw_lines: Vec<String>,
+    /// All function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// All `const` items.
+    pub consts: Vec<ConstItem>,
+    /// All `unsafe` keyword sites.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// True if the file declares `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BlockKind {
+    Fn { item: usize },
+    Mod { is_test: bool },
+    Other,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    line: usize, // 1-based
+}
+
+fn tokenize(lines: &[Line]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let line = idx + 1;
+        let chars: Vec<char> = l.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token { text: chars[start..i].iter().collect(), line });
+            } else {
+                out.push(Token { text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lexes and scans a source file into items.
+pub fn scan_source(src: &str) -> FileInfo {
+    let raw_lines: Vec<String> = src.split('\n').map(str::to_string).collect();
+    scan(crate::lexer::split_lines(src), raw_lines)
+}
+
+/// Scans a lexed file into items.
+fn scan(lines: Vec<Line>, raw_lines: Vec<String>) -> FileInfo {
+    let has_forbid_unsafe = lines.iter().any(|l| {
+        let squeezed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        squeezed.contains("#![forbid(unsafe_code)]")
+    });
+    let tokens = tokenize(&lines);
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut consts: Vec<ConstItem> = Vec::new();
+    let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
+    let mut stack: Vec<BlockKind> = Vec::new();
+    // Tokens accumulated since the last statement/block boundary — the
+    // would-be item header for the next `{`.
+    let mut pending: Vec<Token> = Vec::new();
+    let mut group_depth = 0usize; // () and [] nesting inside the pending run
+
+    let in_test =
+        |stack: &[BlockKind]| stack.iter().any(|b| matches!(b, BlockKind::Mod { is_test: true }));
+    let module_level =
+        |stack: &[BlockKind]| stack.iter().all(|b| matches!(b, BlockKind::Mod { is_test: false }));
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "(" | "[" => {
+                group_depth += 1;
+                pending.push(t.clone());
+            }
+            ")" | "]" => {
+                group_depth = group_depth.saturating_sub(1);
+                pending.push(t.clone());
+            }
+            "unsafe" => {
+                unsafe_sites.push(UnsafeSite { line: t.line, in_test: in_test(&stack) });
+                pending.push(t.clone());
+            }
+            ";" if group_depth == 0 => {
+                if let Some(c) = parse_const(&pending) {
+                    consts.push(ConstItem {
+                        name: c.0,
+                        value: c.1,
+                        line: pending[0].line,
+                        in_test: in_test(&stack),
+                    });
+                }
+                pending.clear();
+            }
+            "{" => {
+                let kind = classify_block(&pending);
+                match kind {
+                    PendingKind::Fn { name, is_pub, ret } => {
+                        fns.push(FnItem {
+                            name,
+                            is_pub,
+                            ret,
+                            start_line: pending
+                                .iter()
+                                .find(|p| p.text == "fn")
+                                .map(|p| p.line)
+                                .unwrap_or(t.line),
+                            body_start: t.line,
+                            end_line: t.line,
+                            module_level: module_level(&stack),
+                            in_test: in_test(&stack),
+                        });
+                        stack.push(BlockKind::Fn { item: fns.len() - 1 });
+                    }
+                    PendingKind::Mod { is_test } => stack.push(BlockKind::Mod { is_test }),
+                    PendingKind::Other => stack.push(BlockKind::Other),
+                }
+                pending.clear();
+                group_depth = 0;
+            }
+            "}" => {
+                if let Some(BlockKind::Fn { item }) = stack.pop() {
+                    fns[item].end_line = t.line;
+                }
+                pending.clear();
+                group_depth = 0;
+            }
+            _ => pending.push(t.clone()),
+        }
+        i += 1;
+    }
+
+    FileInfo { lines, raw_lines, fns, consts, unsafe_sites, has_forbid_unsafe }
+}
+
+enum PendingKind {
+    Fn { name: String, is_pub: bool, ret: String },
+    Mod { is_test: bool },
+    Other,
+}
+
+/// Decides what kind of block an opening brace begins, from the tokens
+/// accumulated since the previous boundary.
+fn classify_block(pending: &[Token]) -> PendingKind {
+    // `fn name(...)` — a `fn` token followed directly by an identifier. This
+    // also skips `fn(...)` pointer types, whose next token is `(`.
+    for (k, t) in pending.iter().enumerate() {
+        if t.text == "fn" {
+            if let Some(name_tok) = pending.get(k + 1) {
+                if name_tok.text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+                    let is_pub = pending[..k].iter().enumerate().any(|(j, p)| {
+                        p.text == "pub" && pending.get(j + 1).map(|n| n.text != "(").unwrap_or(true)
+                    });
+                    return PendingKind::Fn {
+                        name: name_tok.text.clone(),
+                        is_pub,
+                        ret: return_type(&pending[k..]),
+                    };
+                }
+            }
+        }
+    }
+    // `mod name` at the start (possibly after `pub` / attributes).
+    let words: Vec<&str> = pending.iter().map(|t| t.text.as_str()).collect();
+    for (k, w) in words.iter().enumerate() {
+        if *w == "mod" {
+            let is_test_name = words.get(k + 1).is_some_and(|n| *n == "tests");
+            let has_cfg_test =
+                words.windows(3).any(|w3| w3[0] == "cfg" && w3[1] == "(" && w3[2] == "test");
+            return PendingKind::Mod { is_test: is_test_name || has_cfg_test };
+        }
+        // Attribute / visibility tokens may precede `mod`; anything else
+        // (match, impl, struct, unsafe, …) makes this a non-mod block.
+        if !matches!(*w, "#" | "[" | "]" | "(" | ")" | "pub" | "crate" | "super" | "cfg" | "test") {
+            break;
+        }
+    }
+    PendingKind::Other
+}
+
+/// Extracts the return-type text from a signature token run (`fn … -> T …`).
+fn return_type(sig: &[Token]) -> String {
+    let mut depth = 0usize;
+    let mut j = 0;
+    while j + 1 < sig.len() {
+        match sig[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "-" if depth == 0 && sig[j + 1].text == ">" => {
+                let mut out = Vec::new();
+                let mut k = j + 2;
+                while k < sig.len() && sig[k].text != "where" {
+                    out.push(sig[k].text.clone());
+                    k += 1;
+                }
+                return out.join(" ");
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    String::new()
+}
+
+/// Matches `[attrs] [pub [(…)]] const NAME : … = VALUE` (not `const fn`).
+fn parse_const(pending: &[Token]) -> Option<(String, String)> {
+    let mut k = 0;
+    // Skip leading attributes: `#`, optional `!`, then a bracketed group.
+    while pending.get(k)?.text == "#" {
+        k += 1;
+        if pending.get(k)?.text == "!" {
+            k += 1;
+        }
+        if pending.get(k)?.text != "[" {
+            return None;
+        }
+        let mut depth = 0;
+        loop {
+            match pending.get(k)?.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    if pending.get(k)?.text == "pub" {
+        k += 1;
+        if pending.get(k)?.text == "(" {
+            while pending.get(k)?.text != ")" {
+                k += 1;
+            }
+            k += 1;
+        }
+    }
+    if pending.get(k)?.text != "const" {
+        return None;
+    }
+    let name = pending.get(k + 1)?.text.clone();
+    if name == "fn" || !name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        return None;
+    }
+    let eq = pending.iter().position(|t| t.text == "=")?;
+    let value: Vec<String> = pending[eq + 1..].iter().map(|t| t.text.clone()).collect();
+    Some((name, value.join(" ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str) -> FileInfo {
+        scan_source(src)
+    }
+
+    #[test]
+    fn finds_fns_with_spans_and_visibility() {
+        let src = "pub fn outer(x: u8) -> Result<u8, ()> {\n    inner();\n}\nfn inner() {\n}\npub(crate) fn hidden() {}\n";
+        let info = scan_src(src);
+        assert_eq!(info.fns.len(), 3);
+        assert_eq!(info.fns[0].name, "outer");
+        assert!(info.fns[0].is_pub);
+        assert!(info.fns[0].ret.contains("Result"));
+        assert_eq!((info.fns[0].start_line, info.fns[0].end_line), (1, 3));
+        assert!(!info.fns[1].is_pub);
+        assert!(!info.fns[2].is_pub, "pub(crate) is not public API");
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n";
+        let info = scan_src(src);
+        assert!(!info.fns[0].in_test);
+        assert!(info.fns[1].in_test);
+        assert!(info.fns[2].in_test);
+    }
+
+    #[test]
+    fn consts_and_forbid_are_found() {
+        let src = "#![forbid(unsafe_code)]\npub const MAGIC: &[u8; 4] = b\"ALP2\";\nconst X: u8 = 3;\nconst fn f() -> u8 { 1 }\n";
+        let info = scan_src(src);
+        assert!(info.has_forbid_unsafe);
+        assert_eq!(info.consts.len(), 2);
+        assert_eq!(info.consts[0].name, "MAGIC");
+        assert_eq!(info.fns.len(), 1);
+        assert_eq!(info.fns[0].name, "f");
+    }
+
+    #[test]
+    fn unsafe_sites_are_recorded() {
+        let src = "fn f() {\n    // SAFETY: fine\n    unsafe { g() }\n}\npub unsafe fn g() {}\n";
+        let info = scan_src(src);
+        assert_eq!(info.unsafe_sites.len(), 2);
+        assert_eq!(info.unsafe_sites[0].line, 3);
+        assert_eq!(info.unsafe_sites[1].line, 5);
+    }
+
+    #[test]
+    fn methods_in_impls_are_not_module_level() {
+        let src = "impl Foo {\n    pub fn decompress(&self) {}\n}\npub fn decompress() {}\n";
+        let info = scan_src(src);
+        assert!(!info.fns[0].module_level);
+        assert!(info.fns[1].module_level);
+    }
+
+    #[test]
+    fn array_type_semicolons_do_not_split_items() {
+        let src = "pub const M: &[u8; 4] = b\"ALPT\";\nfn f(x: [u64; 16]) -> [u64; 2] {\n}\n";
+        let info = scan_src(src);
+        assert_eq!(info.consts.len(), 1);
+        assert_eq!(info.fns.len(), 1);
+        assert_eq!(info.fns[0].name, "f");
+    }
+}

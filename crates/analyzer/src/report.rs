@@ -1,0 +1,106 @@
+//! Rendering findings as text or machine-readable JSON.
+
+use crate::Finding;
+
+/// Plain-text report: one `file:line: [rule] message` per finding, plus a
+/// summary line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("analyzer: no findings\n");
+    } else {
+        out.push_str(&format!("analyzer: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// JSON report: `{"count": N, "findings": [{rule, file, line, message}…]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(&f.rule),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "no-panic".into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "`.unwrap()` in decode-path fn `try_x` (may panic)".into(),
+        }]
+    }
+
+    #[test]
+    fn text_format_has_location_and_rule() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/x/src/a.rs:7: [no-panic]"));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"no-panic\\\"") || json.contains("\"rule\": \"no-panic\""));
+        // Backtick-quoted message survives; embedded quotes are escaped.
+        let tricky = vec![Finding {
+            rule: "r".into(),
+            file: "f\"q\".rs".into(),
+            line: 1,
+            message: "a\nb".into(),
+        }];
+        let j = render_json(&tricky);
+        assert!(j.contains("f\\\"q\\\".rs"));
+        assert!(j.contains("a\\nb"));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert!(render_text(&[]).contains("no findings"));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,552 @@
+//! The four project-specific rules, plus the `ANALYZER-ALLOW` annotation
+//! machinery that suppresses individual findings with a recorded reason.
+//!
+//! Rule ids (used in reports and in `ANALYZER-ALLOW(<rule>)` annotations):
+//!
+//! * `no-panic` — panicking idioms (`unwrap`, `expect`, `panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!`), slice indexing, and
+//!   narrowing `as` casts are forbidden in decode-path functions.
+//! * `undocumented-unsafe` — every `unsafe` needs a `// SAFETY:` comment, and
+//!   unsafe-free crates must declare `#![forbid(unsafe_code)]`.
+//! * `fallible-pairing` — public `decompress*` / `from_bytes*` functions in
+//!   the codec and format layers must return `Result` or have a `try_` twin.
+//! * `wire-tag-sync` — magic/tag constants in the wire-format files must be
+//!   used by both a serialize and a deserialize function, with no orphan or
+//!   duplicate tags.
+//! * `allow-syntax` — malformed or unknown-rule `ANALYZER-ALLOW` annotations
+//!   (a typo in an annotation must not silently disable a lint).
+
+use std::collections::BTreeMap;
+
+use crate::parse::{FileInfo, FnItem};
+use crate::{Config, Finding};
+
+/// All valid rule ids, as used in `ANALYZER-ALLOW(<rule>)`.
+pub const RULE_IDS: &[&str] =
+    &["no-panic", "undocumented-unsafe", "fallible-pairing", "wire-tag-sync"];
+
+/// A parsed `ANALYZER-ALLOW(rule): reason` annotation and the lines it covers.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    /// Inclusive 1-based line range the annotation suppresses.
+    span: (usize, usize),
+}
+
+/// Runs every rule over the scanned files. `files` maps workspace-relative
+/// paths (forward slashes) to their scanned contents.
+pub fn run_all(files: &BTreeMap<String, FileInfo>, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut allows: BTreeMap<&str, Vec<Allow>> = BTreeMap::new();
+    for (path, info) in files {
+        let (file_allows, mut bad) = collect_allows(path, info);
+        findings.append(&mut bad);
+        allows.insert(path, file_allows);
+    }
+
+    for (path, info) in files {
+        no_panic(path, info, cfg, &mut findings);
+        undocumented_unsafe(path, info, &mut findings);
+        fallible_pairing(path, info, cfg, &mut findings);
+    }
+    forbid_unsafe_crates(files, cfg, &mut findings);
+    wire_tag_sync(files, cfg, &mut findings);
+
+    findings.retain(|f| {
+        !allows
+            .get(f.file.as_str())
+            .map(|a| {
+                a.iter().any(|al| al.rule == f.rule && al.span.0 <= f.line && f.line <= al.span.1)
+            })
+            .unwrap_or(false)
+    });
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    // Several identical hits on one line (e.g. `out[i] = x[i]`) read as noise;
+    // one finding per (location, message) is enough to fail the build.
+    findings.dedup();
+    findings
+}
+
+/// Parses the `ANALYZER-ALLOW` annotations in one file.
+///
+/// Scope: a trailing annotation covers its own line; an annotation on its own
+/// comment line covers the next code line — or, when that line opens a `fn`
+/// item, the whole item (for hot kernels whose every line would otherwise
+/// need one). Malformed annotations are findings, never silent.
+fn collect_allows(path: &str, info: &FileInfo) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, l) in info.lines.iter().enumerate() {
+        let line = idx + 1;
+        // An annotation must *start* its comment (after the `//`/`/*` markers)
+        // so that prose merely mentioning the grammar, like this sentence's
+        // `ANALYZER-ALLOW(rule): reason`, is not parsed as one.
+        let stripped = l.comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        let mut first = true;
+        let mut rest = stripped;
+        while let Some(pos) = rest.find("ANALYZER-ALLOW") {
+            if first && pos != 0 {
+                break;
+            }
+            first = false;
+            rest = &rest[pos + "ANALYZER-ALLOW".len()..];
+            let (rule, reason) = match parse_allow_tail(rest) {
+                Some(rr) => rr,
+                None => {
+                    bad.push(Finding::new(
+                        "allow-syntax",
+                        path,
+                        line,
+                        "malformed ANALYZER-ALLOW: expected `ANALYZER-ALLOW(rule): reason`",
+                    ));
+                    continue;
+                }
+            };
+            if !RULE_IDS.contains(&rule.as_str()) {
+                bad.push(Finding::new(
+                    "allow-syntax",
+                    path,
+                    line,
+                    &format!("ANALYZER-ALLOW names unknown rule `{rule}`"),
+                ));
+                continue;
+            }
+            if reason.trim().is_empty() {
+                bad.push(Finding::new(
+                    "allow-syntax",
+                    path,
+                    line,
+                    &format!("ANALYZER-ALLOW({rule}) has no reason"),
+                ));
+                continue;
+            }
+            let span = allow_span(info, line, !l.code.trim().is_empty());
+            allows.push(Allow { rule, span });
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `(rule): reason` from the text following `ANALYZER-ALLOW`.
+fn parse_allow_tail(rest: &str) -> Option<(String, String)> {
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].strip_prefix(':')?;
+    Some((rule, after.to_string()))
+}
+
+/// Computes which lines an annotation at `line` covers.
+fn allow_span(info: &FileInfo, line: usize, trailing: bool) -> (usize, usize) {
+    if trailing {
+        return (line, line);
+    }
+    // Own-line annotation: find the next line with real code, skipping blank,
+    // comment-only, and attribute-only lines.
+    let mut target = line + 1;
+    while target <= info.lines.len() {
+        let code = info.lines[target - 1].code.trim();
+        if code.is_empty() || code.starts_with('#') {
+            target += 1;
+            continue;
+        }
+        break;
+    }
+    // Covering a whole `fn` item when the annotation sits on its header.
+    for f in &info.fns {
+        if f.start_line == target {
+            return (f.start_line, f.end_line);
+        }
+    }
+    (target, target)
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-panic
+// ---------------------------------------------------------------------------
+
+/// True when `name` matches a decode-path name pattern (`unpack`,
+/// `ffor_unpack`, … — prefix or `_`-separated occurrence).
+fn matches_decode_name(name: &str, patterns: &[String]) -> bool {
+    patterns.iter().any(|p| name.starts_with(p.as_str()) || name.contains(&format!("_{p}")))
+}
+
+/// Decides whether a function is in the no-panic scope.
+fn in_no_panic_scope(path: &str, f: &FnItem, cfg: &Config) -> bool {
+    if f.in_test {
+        return false;
+    }
+    if f.name.starts_with("try_") {
+        return true;
+    }
+    if cfg.decode_files.iter().any(|df| df == path) {
+        return true;
+    }
+    let crate_name = crate_of(path);
+    cfg.decode_crates.iter().any(|c| c == &crate_name)
+        && matches_decode_name(&f.name, &cfg.decode_name_patterns)
+}
+
+fn no_panic(path: &str, info: &FileInfo, cfg: &Config, findings: &mut Vec<Finding>) {
+    for f in &info.fns {
+        if !in_no_panic_scope(path, f, cfg) {
+            continue;
+        }
+        for line_no in f.start_line..=f.end_line {
+            let code = &info.lines[line_no - 1].code;
+            for (what, msg) in scan_panic_patterns(code) {
+                findings.push(Finding::new(
+                    "no-panic",
+                    path,
+                    line_no,
+                    &format!("{msg} in decode-path fn `{}` ({what})", f.name),
+                ));
+            }
+        }
+    }
+}
+
+/// Scans one code line for panicking idioms. Returns (pattern, description).
+fn scan_panic_patterns(code: &str) -> Vec<(&'static str, &'static str)> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = code.chars().collect();
+
+    for (method, label) in [(".unwrap(", "`.unwrap()`"), (".expect(", "`.expect()`")] {
+        let bare = &method[1..method.len() - 1]; // method name without . and (
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(bare) {
+            let at = from + pos;
+            let before_ok = code[..at].trim_end().ends_with('.');
+            let word_start = at == 0
+                || !code.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && code.as_bytes()[at - 1] != b'_';
+            let after = code[at + bare.len()..].trim_start();
+            if before_ok && word_start && after.starts_with('(') {
+                out.push((label, "may panic"));
+            }
+            from = at + bare.len();
+        }
+    }
+
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(mac) {
+            let at = from + pos;
+            let before = if at == 0 { None } else { code.as_bytes().get(at - 1) };
+            let boundary = before.map(|b| !b.is_ascii_alphanumeric() && *b != b'_').unwrap_or(true);
+            let after = &code[at + mac.len()..];
+            if boundary && after.trim_start().starts_with('!') {
+                out.push(("macro", "panicking macro"));
+            }
+            from = at + mac.len();
+        }
+    }
+
+    // Slice/array indexing: `[` immediately preceded (modulo spaces) by an
+    // identifier, `)`, or `]` — but not when the "identifier" is a keyword or
+    // a lifetime, which makes the bracket a slice *type* (`&mut [F]`,
+    // `&'a [u8]`), not an index expression.
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let p = chars[j - 1];
+        if p == ')' || p == ']' {
+            out.push(("indexing", "unguarded slice indexing"));
+            continue;
+        }
+        if p.is_alphanumeric() || p == '_' {
+            let mut start = j;
+            while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+                start -= 1;
+            }
+            let ident: String = chars[start..j].iter().collect();
+            let keyword = matches!(
+                ident.as_str(),
+                "mut" | "dyn" | "in" | "return" | "break" | "else" | "match" | "const" | "static"
+            );
+            let lifetime = start > 0 && chars[start - 1] == '\'';
+            if !keyword && !lifetime {
+                out.push(("indexing", "unguarded slice indexing"));
+            }
+        }
+    }
+
+    // Narrowing `as` casts.
+    let toks: Vec<&str> = code
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect();
+    for w in toks.windows(2) {
+        if w[0] == "as" && matches!(w[1], "u8" | "u16" | "u32" | "i8" | "i16" | "i32") {
+            out.push(("as-cast", "narrowing `as` cast"));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: undocumented-unsafe
+// ---------------------------------------------------------------------------
+
+fn undocumented_unsafe(path: &str, info: &FileInfo, findings: &mut Vec<Finding>) {
+    for site in &info.unsafe_sites {
+        if site.in_test {
+            continue;
+        }
+        if !has_safety_comment(info, site.line) {
+            findings.push(Finding::new(
+                "undocumented-unsafe",
+                path,
+                site.line,
+                "`unsafe` without a `// SAFETY:` comment",
+            ));
+        }
+    }
+}
+
+/// Looks for `SAFETY:` on the unsafe line itself or in the contiguous
+/// comment/attribute block above it.
+fn has_safety_comment(info: &FileInfo, line: usize) -> bool {
+    if info.lines[line - 1].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut up = line - 1;
+    while up >= 1 {
+        let l = &info.lines[up - 1];
+        let code = l.code.trim();
+        if code.is_empty() || code.starts_with('#') {
+            if l.comment.contains("SAFETY:") {
+                return true;
+            }
+            up -= 1;
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Crates with zero `unsafe` anywhere must say so with `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_crates(
+    files: &BTreeMap<String, FileInfo>,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let mut crates: BTreeMap<String, (bool, Option<&str>, bool)> = BTreeMap::new();
+    for (path, info) in files {
+        let name = crate_of(path);
+        let entry = crates.entry(name).or_insert((false, None, false));
+        entry.0 |= !info.unsafe_sites.is_empty();
+        if path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") {
+            entry.1 = Some(path);
+            entry.2 = info.has_forbid_unsafe;
+        }
+    }
+    for (name, (has_unsafe, root, has_forbid)) in crates {
+        if cfg.unsafe_allowed_crates.iter().any(|c| c == &name) {
+            continue;
+        }
+        if let Some(root) = root {
+            if !has_unsafe && !has_forbid {
+                findings.push(Finding::new(
+                    "undocumented-unsafe",
+                    root,
+                    1,
+                    &format!("crate `{name}` has no unsafe code but does not declare #![forbid(unsafe_code)]"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fallible-pairing
+// ---------------------------------------------------------------------------
+
+fn fallible_pairing(path: &str, info: &FileInfo, cfg: &Config, findings: &mut Vec<Finding>) {
+    let in_scope = cfg.pairing_files.iter().any(|p| {
+        if let Some(dir) = p.strip_suffix("/*") {
+            path.starts_with(dir)
+        } else {
+            p == path
+        }
+    });
+    if !in_scope {
+        return;
+    }
+    for f in &info.fns {
+        if f.in_test || !f.module_level || !f.is_pub {
+            continue;
+        }
+        let decode_entry = f.name.starts_with("decompress") || f.name.starts_with("from_bytes");
+        if !decode_entry || f.ret.contains("Result") {
+            continue;
+        }
+        let twin = format!("try_{}", f.name);
+        match info.fns.iter().find(|g| g.name == twin && g.module_level && !g.in_test) {
+            Some(t) if t.ret.contains("Result") => {}
+            Some(t) => findings.push(Finding::new(
+                "fallible-pairing",
+                path,
+                t.start_line,
+                &format!("`{twin}` exists but does not return Result"),
+            )),
+            None => findings.push(Finding::new(
+                "fallible-pairing",
+                path,
+                f.start_line,
+                &format!(
+                    "public decode entry point `{}` has no fallible `{twin}` twin returning Result",
+                    f.name
+                ),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wire-tag-sync
+// ---------------------------------------------------------------------------
+
+fn wire_tag_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mut Vec<Finding>) {
+    // Collect tag constants from the wire files.
+    struct Tag<'a> {
+        name: &'a str,
+        file: &'a str,
+        line: usize,
+        raw_value: String,
+    }
+    let mut tags: Vec<Tag> = Vec::new();
+    for wf in &cfg.wire_files {
+        let Some(info) = files.get(wf) else { continue };
+        for c in &info.consts {
+            if c.in_test {
+                continue;
+            }
+            let named_tag = ["MAGIC", "TAG", "SCHEME"].iter().any(|k| c.name.contains(k));
+            let byte_string = c.value.contains("b \"");
+            if named_tag || byte_string {
+                // Literal value from the raw source (the lexer blanks string
+                // contents), for duplicate detection.
+                let raw = info
+                    .raw_lines
+                    .get(c.line - 1)
+                    .and_then(|l| l.split('=').nth(1))
+                    .map(|v| v.trim().trim_end_matches(';').trim().to_string())
+                    .unwrap_or_default();
+                tags.push(Tag { name: &c.name, file: wf, line: c.line, raw_value: raw });
+            }
+        }
+    }
+
+    // Duplicate values.
+    for (i, t) in tags.iter().enumerate() {
+        if !t.raw_value.is_empty() {
+            if let Some(prev) = tags[..i].iter().find(|p| p.raw_value == t.raw_value) {
+                findings.push(Finding::new(
+                    "wire-tag-sync",
+                    t.file,
+                    t.line,
+                    &format!(
+                        "tag `{}` duplicates the value of `{}` ({})",
+                        t.name, prev.name, t.raw_value
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Reference sites: which functions (across all wire files) mention each tag.
+    for t in &tags {
+        let mut written = false;
+        let mut read = false;
+        let mut referenced = false;
+        for wf in &cfg.wire_files {
+            let Some(info) = files.get(wf) else { continue };
+            for f in &info.fns {
+                if f.in_test {
+                    continue;
+                }
+                let mentions = (f.start_line..=f.end_line)
+                    .any(|ln| ln != t.line && word_in(&info.lines[ln - 1].code, t.name));
+                if !mentions {
+                    continue;
+                }
+                referenced = true;
+                if cfg.writer_fn_patterns.iter().any(|p| f.name.contains(p.as_str())) {
+                    written = true;
+                }
+                if cfg.reader_fn_patterns.iter().any(|p| f.name.contains(p.as_str())) {
+                    read = true;
+                }
+            }
+        }
+        if !referenced {
+            findings.push(Finding::new(
+                "wire-tag-sync",
+                t.file,
+                t.line,
+                &format!("tag `{}` is defined but never used (orphan)", t.name),
+            ));
+        } else {
+            if !written {
+                findings.push(Finding::new(
+                    "wire-tag-sync",
+                    t.file,
+                    t.line,
+                    &format!("tag `{}` is never emitted by a serialize function", t.name),
+                ));
+            }
+            if !read {
+                findings.push(Finding::new(
+                    "wire-tag-sync",
+                    t.file,
+                    t.line,
+                    &format!("tag `{}` is never checked by a deserialize function", t.name),
+                ));
+            }
+        }
+    }
+}
+
+/// Whole-word occurrence of `word` in a code line.
+fn word_in(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !{
+                let b = code.as_bytes()[at - 1];
+                b.is_ascii_alphanumeric() || b == b'_'
+            };
+        let end = at + word.len();
+        let after_ok = end >= code.len()
+            || !{
+                let b = code.as_bytes()[end];
+                b.is_ascii_alphanumeric() || b == b'_'
+            };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// Extracts the crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") | Some("shims") => parts.next().unwrap_or("").to_string(),
+        Some("src") | Some("examples") | Some("tests") => "alp-repro".to_string(),
+        other => other.unwrap_or("").to_string(),
+    }
+}

@@ -1,0 +1,115 @@
+//! Fixture tests: each known-bad snippet must produce exactly the expected
+//! (rule, line) findings, and each known-good twin must produce none. The
+//! snippets live under `tests/fixtures/` (which cargo does not compile and
+//! the workspace walker skips) and are labeled with synthetic workspace
+//! paths so the scoping rules treat them like real sources.
+
+use analyzer::{analyze_sources, Config};
+
+/// Runs the analyzer on a single in-memory file and returns the sorted
+/// (rule id, line) pairs of every finding.
+fn scan(label: &str, src: &str) -> Vec<(String, usize)> {
+    let files = vec![(label.to_string(), src.to_string())];
+    let mut found: Vec<(String, usize)> =
+        analyze_sources(&files, &Config::default()).into_iter().map(|f| (f.rule, f.line)).collect();
+    found.sort();
+    found
+}
+
+fn pairs(expected: &[(&str, usize)]) -> Vec<(String, usize)> {
+    expected.iter().map(|&(r, l)| (r.to_string(), l)).collect()
+}
+
+#[test]
+fn no_panic_bad_flags_every_panic_site() {
+    let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/no_panic_bad.rs"));
+    // Line 4: slice indexing, 5: unwrap, 6: narrowing cast, 7: indexed
+    // store, 8: unreachable! macro.
+    assert_eq!(
+        found,
+        pairs(&[
+            ("no-panic", 4),
+            ("no-panic", 5),
+            ("no-panic", 6),
+            ("no-panic", 7),
+            ("no-panic", 8),
+        ])
+    );
+}
+
+#[test]
+fn no_panic_good_is_clean() {
+    let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/no_panic_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn undocumented_unsafe_bad_flags_the_block() {
+    let found = scan("crates/alp/src/unsafe_fix.rs", include_str!("fixtures/unsafe_bad.rs"));
+    assert_eq!(found, pairs(&[("undocumented-unsafe", 4)]));
+}
+
+#[test]
+fn undocumented_unsafe_good_is_clean() {
+    let found = scan("crates/alp/src/unsafe_fix.rs", include_str!("fixtures/unsafe_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn forbid_bad_flags_missing_declaration() {
+    let found = scan("crates/fakecrate/src/lib.rs", include_str!("fixtures/forbid_bad.rs"));
+    assert_eq!(found, pairs(&[("undocumented-unsafe", 1)]));
+}
+
+#[test]
+fn forbid_good_is_clean() {
+    let found = scan("crates/fakecrate/src/lib.rs", include_str!("fixtures/forbid_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn pairing_bad_flags_missing_try_twin() {
+    let found = scan("crates/codecs/src/fake.rs", include_str!("fixtures/pairing_bad.rs"));
+    assert_eq!(found, pairs(&[("fallible-pairing", 3)]));
+}
+
+#[test]
+fn pairing_good_is_clean() {
+    let found = scan("crates/codecs/src/fake.rs", include_str!("fixtures/pairing_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn wire_bad_flags_orphans_duplicates_and_unread_tags() {
+    let found = scan("crates/alp/src/format.rs", include_str!("fixtures/wire_bad.rs"));
+    // Line 4: MAGIC written but never read, 5: ORPHAN_TAG orphan, 6:
+    // SCHEME_A never read, 7: SCHEME_B duplicates SCHEME_A's value AND is
+    // never read.
+    assert_eq!(
+        found,
+        pairs(&[
+            ("wire-tag-sync", 4),
+            ("wire-tag-sync", 5),
+            ("wire-tag-sync", 6),
+            ("wire-tag-sync", 7),
+            ("wire-tag-sync", 7),
+        ])
+    );
+}
+
+#[test]
+fn wire_good_is_clean() {
+    let found = scan("crates/alp/src/format.rs", include_str!("fixtures/wire_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn malformed_allow_is_reported_and_does_not_suppress() {
+    let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/allow_bad.rs"));
+    // Line 4: ALLOW missing its reason, 9: ALLOW naming an unknown rule;
+    // neither suppresses the indexing on the line below it.
+    assert_eq!(
+        found,
+        pairs(&[("allow-syntax", 4), ("allow-syntax", 9), ("no-panic", 5), ("no-panic", 10),])
+    );
+}

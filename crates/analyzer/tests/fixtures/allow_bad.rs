@@ -1,0 +1,11 @@
+//! Malformed ALLOW annotations are reported and do not suppress anything.
+
+pub fn decode_one(bytes: &[u8]) -> u8 {
+    // ANALYZER-ALLOW(no-panic)
+    bytes[0]
+}
+
+pub fn decode_two(bytes: &[u8]) -> u8 {
+    // ANALYZER-ALLOW(not-a-rule): bogus rule name
+    bytes[0]
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: an unsafe-free crate root missing #![forbid(unsafe_code)].
+
+pub fn id(x: u64) -> u64 {
+    x
+}

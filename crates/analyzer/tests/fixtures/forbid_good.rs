@@ -1,0 +1,7 @@
+//! Known-good fixture: an unsafe-free crate root that declares the forbid.
+
+#![forbid(unsafe_code)]
+
+pub fn id(x: u64) -> u64 {
+    x
+}

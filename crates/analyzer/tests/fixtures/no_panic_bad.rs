@@ -1,0 +1,9 @@
+//! Known-bad fixture for the `no-panic` rule; labeled as a decode file.
+
+pub fn decode_block(bytes: &[u8], out: &mut [u64]) -> usize {
+    let first = bytes[0];
+    let count = usize::from(first).checked_add(1).unwrap();
+    let narrow = count as u32;
+    out[0] = u64::from(narrow);
+    unreachable!()
+}

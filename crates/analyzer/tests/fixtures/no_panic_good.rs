@@ -1,0 +1,13 @@
+//! Known-good fixture for the `no-panic` rule: checked accessors plus one
+//! justified annotation.
+
+pub fn decode_block(bytes: &[u8], out: &mut [u64]) -> Option<usize> {
+    let first = *bytes.first()?;
+    let count = usize::from(first);
+    if let Some(slot) = out.first_mut() {
+        *slot = count as u64;
+    }
+    // ANALYZER-ALLOW(no-panic): fixture demonstrating a justified annotation
+    let tail = bytes[bytes.len() - 1];
+    Some(usize::from(tail))
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture for `fallible-pairing`: no try_ twin exists.
+
+pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    let _ = (bytes, count);
+    Vec::new()
+}

@@ -1,0 +1,12 @@
+//! Known-good fixture for `fallible-pairing`: the Result-returning twin exists.
+
+pub fn decompress(bytes: &[u8]) -> Vec<f64> {
+    try_decompress(bytes).unwrap_or_default()
+}
+
+pub fn try_decompress(bytes: &[u8]) -> Result<Vec<f64>, String> {
+    if bytes.is_empty() {
+        return Err("empty".to_string());
+    }
+    Ok(Vec::new())
+}

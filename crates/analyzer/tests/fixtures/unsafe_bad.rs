@@ -1,0 +1,5 @@
+//! Known-bad fixture for `undocumented-unsafe`: no SAFETY comment.
+
+pub fn peek(v: &[u64]) -> u64 {
+    unsafe { v.as_ptr().read() }
+}

@@ -1,0 +1,6 @@
+//! Known-good fixture for `undocumented-unsafe`: the block is documented.
+
+pub fn peek(v: &[u64]) -> u64 {
+    // SAFETY: callers guarantee v is non-empty.
+    unsafe { v.as_ptr().read() }
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for `wire-tag-sync`: an orphan tag, a duplicate value,
+//! and tags that are written but never checked by a reader.
+
+pub const MAGIC: &[u8; 4] = b"FIX2";
+pub const ORPHAN_TAG: u8 = 9;
+pub const SCHEME_A: u8 = 3;
+pub const SCHEME_B: u8 = 3;
+
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(SCHEME_A);
+    out.push(SCHEME_B);
+}

@@ -1,0 +1,14 @@
+//! Known-good fixture for `wire-tag-sync`: every tag has a serialize site
+//! and a deserialize site.
+
+pub const MAGIC: &[u8; 4] = b"FIX2";
+pub const SCHEME_A: u8 = 3;
+
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(SCHEME_A);
+}
+
+pub fn read_header(buf: &[u8]) -> bool {
+    buf.starts_with(MAGIC) && buf.get(4) == Some(&SCHEME_A)
+}

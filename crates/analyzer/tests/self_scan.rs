@@ -1,0 +1,17 @@
+//! Tier-1 enforcement: the workspace itself must scan clean. Any new panic
+//! site in a decode path, undocumented `unsafe`, missing `try_` twin, or
+//! out-of-sync wire tag fails this test (and the `analyze` CI job).
+
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = analyzer::analyze_workspace(&root).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "analyzer found {} issue(s) in the workspace:\n{}",
+        findings.len(),
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -25,6 +25,8 @@
 //! assert_eq!(r.read_bits(16), 0xDEAD);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod reader;
 mod writer;
 

@@ -88,21 +88,20 @@ impl<'a> BitReader<'a> {
     /// register fills with zeros.
     #[inline]
     fn refill(&mut self) {
-        let avail = self.bytes.len().saturating_sub(self.next);
-        if avail >= 8 {
-            let word = u64::from_be_bytes(self.bytes[self.next..self.next + 8].try_into().unwrap());
-            self.acc = word;
+        let rest = self.bytes.get(self.next..).unwrap_or_default();
+        if let Some(chunk) = rest.first_chunk::<8>() {
+            self.acc = u64::from_be_bytes(*chunk);
             self.filled = 64;
             self.next += 8;
         } else {
             let mut word: u64 = 0;
             for i in 0..8 {
-                let b = if i < avail { self.bytes[self.next + i] } else { 0 };
+                let b = rest.get(i).copied().unwrap_or(0);
                 word = (word << 8) | b as u64;
             }
             self.acc = word;
             self.filled = 64;
-            self.next += avail;
+            self.next += rest.len();
         }
     }
 }

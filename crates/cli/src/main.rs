@@ -9,7 +9,10 @@
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64>                       ratio/speed of every codec
 //! alp datasets                                  list generatable datasets
+//! alp analyze    [--root <path>] [--format text|json]   workspace lint pass
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod commands;
 
@@ -17,6 +20,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `analyze` owns its value-taking flags (--root, --format), which the
+    // generic boolean-flag partition below would mangle.
+    if args.first().map(String::as_str) == Some("analyze") {
+        return commands::analyze(&args[1..]);
+    }
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
     let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
@@ -54,7 +62,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

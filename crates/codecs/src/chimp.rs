@@ -105,7 +105,9 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
         let value = match flag {
             0b00 => prev,
             0b01 => {
+                // ANALYZER-ALLOW(no-panic): 3-bit index into the 8-entry LUT
                 let lz = LEADING_DECODE[r.read_bits(3) as usize];
+                // ANALYZER-ALLOW(no-panic): center field is at most 6 bits wide
                 let mut center = r.read_bits(center_field::<W>()) as u32;
                 if center == 0 {
                     center = W::BITS;
@@ -125,6 +127,7 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
                 prev ^ xor
             }
             _ => {
+                // ANALYZER-ALLOW(no-panic): 3-bit index into the 8-entry LUT
                 stored_lz = LEADING_DECODE[r.read_bits(3) as usize];
                 let len = W::BITS
                     .checked_sub(stored_lz)
@@ -145,6 +148,8 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
 /// Decompresses `count` words. Panics on corrupt input — use
 /// [`try_decompress_words`] for untrusted bytes.
 pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress_words(bytes, count).expect("corrupt chimp stream")
 }
 

@@ -1,0 +1,79 @@
+//! Checked byte-cursor reads shared by the byte-stream codecs (FPC, PDE,
+//! Elf, gpzip's fast path).
+//!
+//! Each helper advances `pos` only on success and returns `None` when the
+//! buffer is too short, so decode paths stay panic-free by construction —
+//! callers turn the `None` into their codec's `Truncated` error.
+
+/// Reads one byte at `pos`, advancing it.
+#[inline]
+pub fn read_u8(bytes: &[u8], pos: &mut usize) -> Option<u8> {
+    let b = *bytes.get(*pos)?;
+    *pos += 1;
+    Some(b)
+}
+
+/// Reads a little-endian `u16` at `pos`, advancing it.
+#[inline]
+pub fn read_u16_le(bytes: &[u8], pos: &mut usize) -> Option<u16> {
+    let chunk = bytes.get(*pos..)?.first_chunk::<2>()?;
+    *pos += 2;
+    Some(u16::from_le_bytes(*chunk))
+}
+
+/// Reads a little-endian `u32` at `pos`, advancing it.
+#[inline]
+pub fn read_u32_le(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let chunk = bytes.get(*pos..)?.first_chunk::<4>()?;
+    *pos += 4;
+    Some(u32::from_le_bytes(*chunk))
+}
+
+/// Reads a little-endian `u64` at `pos`, advancing it.
+#[inline]
+pub fn read_u64_le(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let chunk = bytes.get(*pos..)?.first_chunk::<8>()?;
+    *pos += 8;
+    Some(u64::from_le_bytes(*chunk))
+}
+
+/// Reads a little-endian `i64` at `pos`, advancing it.
+#[inline]
+pub fn read_i64_le(bytes: &[u8], pos: &mut usize) -> Option<i64> {
+    let chunk = bytes.get(*pos..)?.first_chunk::<8>()?;
+    *pos += 8;
+    Some(i64::from_le_bytes(*chunk))
+}
+
+/// Borrows `n` bytes at `pos`, advancing it.
+#[inline]
+pub fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let slice = bytes.get(*pos..(*pos).checked_add(n)?)?;
+    *pos += n;
+    Some(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_advance_only_on_success() {
+        let bytes = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        let mut pos = 0;
+        assert_eq!(read_u8(&bytes, &mut pos), Some(1));
+        assert_eq!(read_u16_le(&bytes, &mut pos), Some(u16::from_le_bytes([2, 3])));
+        assert_eq!(read_u64_le(&bytes, &mut pos), None);
+        assert_eq!(pos, 3, "failed read must not advance");
+        assert_eq!(take(&bytes, &mut pos, 6).map(<[u8]>::len), Some(6));
+        assert_eq!(read_u8(&bytes, &mut pos), None);
+    }
+
+    #[test]
+    fn take_rejects_overflowing_lengths() {
+        let bytes = [0u8; 4];
+        let mut pos = 2;
+        assert_eq!(take(&bytes, &mut pos, usize::MAX), None);
+        assert_eq!(pos, 2);
+    }
+}

@@ -111,15 +111,13 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
 /// exist), flag-stream exhaustion, precision values past [`MAX_ALPHA`], and
 /// whatever the Chimp back-end detects in the XOR stream.
 pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
-    if bytes.len() < 8 {
+    let Some((len_bytes, rest)) = bytes.split_first_chunk::<8>() else {
         return Err(CodecError::Truncated { codec: NAME });
-    }
-    let flag_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
-    if bytes.len() - 8 < flag_len {
+    };
+    let flag_len = u64::from_le_bytes(*len_bytes) as usize;
+    let Some((flag_bytes, xor_bytes)) = rest.split_at_checked(flag_len) else {
         return Err(CodecError::Truncated { codec: NAME });
-    }
-    let flag_bytes = &bytes[8..8 + flag_len];
-    let xor_bytes = &bytes[8 + flag_len..];
+    };
     let erased: Vec<u64> = crate::chimp::try_decompress_words(xor_bytes, count)?;
 
     let mut flags = BitReader::new(flag_bytes);
@@ -127,7 +125,7 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
     for &bits in &erased {
         let v = f64::from_bits(bits);
         if flags.read_bit() {
-            let alpha = flags.read_bits(4) as u32;
+            let alpha = flags.read_bits(4) as u32; // ANALYZER-ALLOW(no-panic): 4-bit value
             if alpha > MAX_ALPHA {
                 return Err(CodecError::Corrupt { codec: NAME, what: "precision out of range" });
             }
@@ -145,6 +143,8 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
 /// Decompresses `count` doubles. Panics on corrupt input — use
 /// [`try_decompress`] for untrusted bytes.
 pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress(bytes, count).expect("corrupt elf stream")
 }
 

@@ -140,33 +140,33 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
 /// exhaustion. Header nibbles themselves cannot be out of range — every
 /// 4-bit pattern is a valid (selector, zero-byte code) pair.
 pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
-    if bytes.len() < 8 {
+    let Some((len_bytes, rest)) = bytes.split_first_chunk::<8>() else {
         return Err(CodecError::Truncated { codec: NAME });
-    }
-    let header_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
-    if bytes.len() - 8 < header_len {
+    };
+    let header_len = u64::from_le_bytes(*len_bytes) as usize;
+    let Some((headers, mut payload)) = rest.split_at_checked(header_len) else {
         return Err(CodecError::Truncated { codec: NAME });
-    }
-    let headers = &bytes[8..8 + header_len];
+    };
     if header_len < count.div_ceil(2) {
         return Err(CodecError::Truncated { codec: NAME });
     }
-    let mut payload = &bytes[8 + header_len..];
 
     let mut predictor = Predictor::new();
     let mut out = Vec::with_capacity(count.min(1 << 24));
     for i in 0..count {
+        // ANALYZER-ALLOW(no-panic): header_len >= ceil(count/2) checked above
         let byte = headers[i / 2];
         let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0xF };
         let selector = nibble >> 3;
         let lzb = code_lzb(nibble & 0x7) as usize;
         let n_bytes = 8 - lzb;
-        if payload.len() < n_bytes {
+        let Some((head, tail)) = payload.split_at_checked(n_bytes) else {
             return Err(CodecError::Truncated { codec: NAME });
-        }
+        };
         let mut be = [0u8; 8];
-        be[8 - n_bytes..].copy_from_slice(&payload[..n_bytes]);
-        payload = &payload[n_bytes..];
+        // ANALYZER-ALLOW(no-panic): n_bytes <= 8 because code_lzb returns <= 8
+        be[8 - n_bytes..].copy_from_slice(head);
+        payload = tail;
         let xor = u64::from_be_bytes(be);
         let (p_fcm, p_dfcm) = predictor.predict();
         let prediction = if selector == 0 { p_fcm } else { p_dfcm };
@@ -180,6 +180,8 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
 /// Decompresses `count` doubles. Panics on corrupt input — use
 /// [`try_decompress`] for untrusted bytes.
 pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress(bytes, count).expect("corrupt fpc stream")
 }
 

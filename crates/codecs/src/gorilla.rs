@@ -94,7 +94,9 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
             prev
         } else {
             if r.read_bit() {
+                // ANALYZER-ALLOW(no-panic): LZ_FIELD-bit value fits u32
                 stored_lz = r.read_bits(LZ_FIELD) as u32;
+                // ANALYZER-ALLOW(no-panic): length field is at most 6 bits wide
                 let mut len = r.read_bits(len_field::<W>()) as u32;
                 if len == 0 {
                     len = W::BITS;
@@ -120,6 +122,8 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
 /// Decompresses `count` words. Panics on corrupt input — use
 /// [`try_decompress_words`] for untrusted bytes.
 pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress_words(bytes, count).expect("corrupt gorilla stream")
 }
 

@@ -11,8 +11,11 @@
 //! The XOR-family codecs are generic over [`word::Word`] so the same logic
 //! serves `f64` and the `f32` variants Table 7 benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod chimp;
 pub mod chimp128;
+pub mod cursor;
 pub mod elf;
 pub mod error;
 pub mod fpc;

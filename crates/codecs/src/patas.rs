@@ -12,6 +12,7 @@
 //! Everything is byte-aligned, so decoding needs no bit arithmetic at all —
 //! the design point the paper credits for Patas's decompression speed.
 
+use crate::cursor;
 use crate::error::CodecError;
 use crate::word::{bits_f32, bits_f64, f32_bits, f64_bits, Word};
 
@@ -80,39 +81,37 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
     if count == 0 {
         return Ok(out);
     }
-    if bytes.len() < word_bytes {
-        return Err(CodecError::Truncated { codec: NAME });
-    }
     let mut ring = [W::ZERO; PREVIOUS_VALUES];
     let mut pos = 0usize;
+    let Some(first_bytes) = cursor::take(bytes, &mut pos, word_bytes) else {
+        return Err(CodecError::Truncated { codec: NAME });
+    };
     let mut first_word = [0u8; 8];
-    first_word[..word_bytes].copy_from_slice(&bytes[..word_bytes]);
+    // ANALYZER-ALLOW(no-panic): word_bytes is 4 or 8, within the 8-byte buffer
+    first_word[..word_bytes].copy_from_slice(first_bytes);
     let first = W::from_u64(u64::from_le_bytes(first_word));
-    pos += word_bytes;
-    ring[0] = first;
+    ring[0] = first; // ANALYZER-ALLOW(no-panic): fixed 128-slot ring
     out.push(first);
 
     for i in 1..count {
-        if bytes.len() - pos < 2 {
-            return Err(CodecError::Truncated { codec: NAME });
-        }
-        let header = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
-        pos += 2;
+        let header =
+            cursor::read_u16_le(bytes, &mut pos).ok_or(CodecError::Truncated { codec: NAME })?;
         let ref_index = (header >> 9) as usize;
         let byte_count = ((header >> 5) & 0xF) as usize;
-        let tz_bytes = ((header >> 2) & 0x7) as u32;
+        let tz_bytes = u32::from((header >> 2) & 0x7);
         if byte_count > word_bytes {
             return Err(CodecError::Corrupt { codec: NAME, what: "significant byte count" });
         }
-        if bytes.len() - pos < byte_count {
+        let Some(src) = cursor::take(bytes, &mut pos, byte_count) else {
             return Err(CodecError::Truncated { codec: NAME });
-        }
+        };
         let mut payload = [0u8; 8];
-        payload[..byte_count].copy_from_slice(&bytes[pos..pos + byte_count]);
-        pos += byte_count;
+        // ANALYZER-ALLOW(no-panic): byte_count <= word_bytes <= 8 checked above
+        payload[..byte_count].copy_from_slice(src);
         let xor = W::from_u64(u64::from_le_bytes(payload) << (8 * tz_bytes));
+        // ANALYZER-ALLOW(no-panic): ref_index is a 7-bit field, ring has 128 slots
         let value = ring[ref_index] ^ xor;
-        ring[i % PREVIOUS_VALUES] = value;
+        ring[i % PREVIOUS_VALUES] = value; // ANALYZER-ALLOW(no-panic): index is mod ring size
         out.push(value);
     }
     Ok(out)
@@ -121,6 +120,8 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
 /// Decompresses `count` words. Panics on corrupt input — use
 /// [`try_decompress_words`] for untrusted bytes.
 pub fn decompress_words<W: Word>(bytes: &[u8], count: usize) -> Vec<W> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress_words(bytes, count).expect("corrupt patas stream")
 }
 

@@ -15,6 +15,7 @@
 
 use fastlanes::{bitpack, bits_needed, ffor, VECTOR_SIZE};
 
+use crate::cursor;
 use crate::error::CodecError;
 
 const NAME: &str = "pde";
@@ -118,33 +119,24 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
     let truncated = || CodecError::Truncated { codec: NAME };
     let corrupt = |what| CodecError::Corrupt { codec: NAME, what };
 
-    if bytes.len() < 8 {
-        return Err(truncated());
-    }
-    let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let mut pos = 0usize;
+    let total = cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
     if total != count {
         return Err(corrupt("count mismatch"));
     }
-    let mut pos = 8usize;
     let mut out = Vec::with_capacity(total.min(1 << 24));
     let mut sigs = vec![0i64; VECTOR_SIZE];
     let mut exps = vec![0u64; VECTOR_SIZE];
     // Inverse powers of ten indexed by exponent, hoisted out of the hot loop.
+    // ANALYZER-ALLOW(no-panic): e <= MAX_EXPONENT = 22 always fits in i32
     let inv_pow: Vec<f64> = (0..=MAX_EXPONENT).map(|e| 10f64.powi(-(e as i32))).collect();
 
     while out.len() < total {
-        if bytes.len() - pos < 8 + 2 + 2 + 2 {
-            return Err(truncated());
-        }
-        let sig_base = i64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-        pos += 8;
-        let sig_width = bytes[pos] as usize;
-        let exp_width = bytes[pos + 1] as usize;
-        pos += 2;
-        let block_len = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
-        pos += 2;
-        let patches = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
-        pos += 2;
+        let sig_base = cursor::read_i64_le(bytes, &mut pos).ok_or_else(truncated)?;
+        let sig_width = cursor::read_u8(bytes, &mut pos).ok_or_else(truncated)? as usize;
+        let exp_width = cursor::read_u8(bytes, &mut pos).ok_or_else(truncated)? as usize;
+        let block_len = cursor::read_u16_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
+        let patches = cursor::read_u16_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
 
         if sig_width > 64 || exp_width > 64 {
             return Err(corrupt("pack width"));
@@ -166,43 +158,39 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
         }
         let mut packed = Vec::with_capacity(sig_words + 1);
         for _ in 0..sig_words {
-            packed.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
-            pos += 8;
+            packed.push(cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?);
         }
         packed.push(0);
         ffor::ffor_unpack(&packed, sig_base, sig_width, &mut sigs);
 
         let mut packed_e = Vec::with_capacity(exp_words + 1);
         for _ in 0..exp_words {
-            packed_e.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
-            pos += 8;
+            packed_e.push(cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?);
         }
         packed_e.push(0);
         bitpack::unpack(&packed_e, exp_width, &mut exps);
 
         let start = out.len();
         for i in 0..block_len {
+            // ANALYZER-ALLOW(no-panic): i < block_len <= VECTOR_SIZE = exps.len()
             let e = exps[i] as usize;
             if e > MAX_EXPONENT as usize {
                 return Err(corrupt("exponent out of range"));
             }
+            // ANALYZER-ALLOW(no-panic): i bounds sigs; e <= MAX_EXPONENT bounds the LUT
             out.push(sigs[i] as f64 * inv_pow[e]);
         }
         // Patch streams: all positions, then all values.
-        if bytes.len() - pos < patches * (2 + 8) {
-            return Err(truncated());
-        }
-        let mut positions = Vec::with_capacity(patches);
+        let mut positions = Vec::with_capacity(patches.min(VECTOR_SIZE));
         for _ in 0..patches {
-            positions.push(u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize);
-            pos += 2;
+            positions.push(cursor::read_u16_le(bytes, &mut pos).ok_or_else(truncated)? as usize);
         }
         for &p in &positions {
-            let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-            pos += 8;
+            let v = cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?;
             if p >= block_len {
                 return Err(corrupt("patch position"));
             }
+            // ANALYZER-ALLOW(no-panic): p < block_len values just pushed above
             out[start + p] = f64::from_bits(v);
         }
     }
@@ -212,6 +200,8 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
 /// Decompresses the column (`count` is validated against the header). Panics
 /// on corrupt input — use [`try_decompress`] for untrusted bytes.
 pub fn decompress(bytes: &[u8], count: usize) -> Vec<f64> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress(bytes, count).expect("corrupt pde stream")
 }
 

@@ -13,6 +13,8 @@
 //!
 //! All generators are deterministic given `(name, n, seed)`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

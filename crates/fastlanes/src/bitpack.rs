@@ -104,6 +104,9 @@ pub fn pack_const<const W: usize>(input: &[u64], out: &mut [u64]) {
 /// FastLanes' layout is designed around.
 #[inline]
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+                                      // ANALYZER-ALLOW(no-panic): fixed 1024-lane FastLanes geometry — callers
+                                      // size `packed` via packed_len::<W>() (16*W words plus the pad word) and
+                                      // `out` holds VECTOR_SIZE lanes; shift casts are bounded by the word width.
 pub fn unpack_const<const W: usize>(packed: &[u64], out: &mut [u64]) {
     if W == 0 {
         out[..VECTOR_SIZE].fill(0);

@@ -110,6 +110,9 @@ pub fn pack_const<const W: usize>(input: &[u32], out: &mut [u32]) {
 /// Monomorphized u32 unpack (branch-free; reads the pad word).
 #[inline]
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+                                      // ANALYZER-ALLOW(no-panic): fixed 1024-lane FastLanes geometry — callers
+                                      // size `packed` via packed_len::<W>() (16*W words plus the pad word) and
+                                      // `out` holds VECTOR_SIZE lanes; shift casts are bounded by the word width.
 pub fn unpack_const<const W: usize>(packed: &[u32], out: &mut [u32]) {
     if W == 0 {
         out[..VECTOR_SIZE].fill(0);

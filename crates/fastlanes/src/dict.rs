@@ -32,6 +32,8 @@ impl DictEncoded {
     }
 
     /// Reconstructs the original sequence.
+    // ANALYZER-ALLOW(no-panic): codes are produced by encode() and always
+    // index this encoder's own dictionary.
     pub fn decode(&self) -> Vec<u64> {
         self.codes.iter().map(|&c| self.dict[c as usize]).collect()
     }

@@ -126,6 +126,9 @@ pub fn ffor_pack_const<const W: usize>(input: &[i64], base: i64, out: &mut [u64]
 /// Monomorphized fused unpack. Public for fixed-width fused kernels downstream.
 #[inline]
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+                                      // ANALYZER-ALLOW(no-panic): fixed 1024-lane FastLanes geometry — callers
+                                      // size `packed` via packed_len::<W>() (16*W words plus the pad word) and
+                                      // `out` holds VECTOR_SIZE lanes; shift casts are bounded by the word width.
 pub fn ffor_unpack_const<const W: usize>(packed: &[u64], base: i64, out: &mut [i64]) {
     if W == 0 {
         out[..VECTOR_SIZE].fill(base);

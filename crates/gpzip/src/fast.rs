@@ -14,7 +14,7 @@
 //!
 //! The final sequence carries only literals (offset omitted).
 
-use codecs::CodecError;
+use codecs::{cursor, CodecError};
 
 const NAME: &str = "gpzip-fast";
 
@@ -134,14 +134,11 @@ pub fn try_decompress_block(
         if lit_len == 15 {
             lit_len += read_len(bytes, &mut pos).ok_or_else(truncated)?;
         }
-        if bytes.len() - pos < lit_len {
-            return Err(truncated());
-        }
         if out.len() - start + lit_len > expected {
             return Err(corrupt("literal run exceeds block length"));
         }
-        out.extend_from_slice(&bytes[pos..pos + lit_len]);
-        pos += lit_len;
+        let literals = cursor::take(bytes, &mut pos, lit_len).ok_or_else(truncated)?;
+        out.extend_from_slice(literals);
         if out.len() - start >= expected {
             return Ok(());
         }
@@ -149,11 +146,7 @@ pub fn try_decompress_block(
         if match_nibble == 0x0F && out.len() - start >= expected {
             return Ok(());
         }
-        if bytes.len() - pos < 2 {
-            return Err(truncated());
-        }
-        let dist = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]) as usize;
-        pos += 2;
+        let dist = cursor::read_u16_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
         let mut mlen = match_nibble + MIN_MATCH;
         if match_nibble == 15 {
             mlen += read_len(bytes, &mut pos).ok_or_else(truncated)?;
@@ -166,6 +159,8 @@ pub fn try_decompress_block(
         }
         let from = out.len() - dist;
         for k in 0..mlen {
+            // ANALYZER-ALLOW(no-panic): from + k < out.len() — dist >= 1 is
+            // checked above and out grows by one byte per iteration
             let b = out[from + k];
             out.push(b);
         }
@@ -178,6 +173,8 @@ pub fn try_decompress_block(
 /// Decompresses a block produced by [`compress_block`]. Panics on corrupt
 /// input — use [`try_decompress_block`] for untrusted bytes.
 pub fn decompress_block(bytes: &[u8], expected: usize, out: &mut Vec<u8>) {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress_block(bytes, expected, out).expect("corrupt gpzip-fast block")
 }
 
@@ -200,27 +197,17 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
     let truncated = || CodecError::Truncated { codec: NAME };
 
-    if bytes.len() < 8 {
-        return Err(truncated());
-    }
-    let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let mut pos = 0usize;
+    let total = cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
     let mut out = Vec::with_capacity(total.min(1 << 24));
-    let mut pos = 8usize;
     while out.len() < total {
-        if bytes.len() - pos < 8 {
-            return Err(truncated());
-        }
-        let clen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let raw = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        pos += 8;
-        if bytes.len() - pos < clen {
-            return Err(truncated());
-        }
+        let clen = cursor::read_u32_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
+        let raw = cursor::read_u32_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
         if raw > total - out.len() {
             return Err(CodecError::Corrupt { codec: NAME, what: "blocks exceed frame length" });
         }
-        try_decompress_block(&bytes[pos..pos + clen], raw, &mut out)?;
-        pos += clen;
+        let block = cursor::take(bytes, &mut pos, clen).ok_or_else(truncated)?;
+        try_decompress_block(block, raw, &mut out)?;
     }
     Ok(out)
 }
@@ -228,6 +215,8 @@ pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
 /// Decompresses a frame produced by [`compress`]. Panics on corrupt input —
 /// use [`try_decompress`] for untrusted bytes.
 pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress(bytes).expect("corrupt gpzip-fast frame")
 }
 

@@ -58,6 +58,7 @@ pub struct Decoder {
 impl Decoder {
     /// Reads an `n`-symbol length table and builds the decode structures.
     pub fn read_lengths(r: &mut BitReader, n: usize) -> Self {
+        // ANALYZER-ALLOW(no-panic): 4-bit values fit u8
         let lengths: Vec<u8> = (0..n).map(|_| r.read_bits(4) as u8).collect();
         Self::from_lengths(&lengths)
     }
@@ -97,6 +98,9 @@ impl Decoder {
     /// callers should also check [`BitReader::overrun`] to distinguish
     /// truncation from an all-zeros code being decoded forever).
     #[inline]
+    // ANALYZER-ALLOW(no-panic): len ranges over 1..=15 into fixed 16-entry
+    // tables, and idx < offset[len] + count[len] = symbols.len() by the
+    // canonical-code construction in from_lengths.
     pub fn try_read_symbol(&self, r: &mut BitReader) -> Option<usize> {
         let mut code = 0u32;
         for len in 1..=15usize {
@@ -114,6 +118,8 @@ impl Decoder {
     /// [`Decoder::try_read_symbol`] for untrusted bytes.
     #[inline]
     pub fn read_symbol(&self, r: &mut BitReader) -> usize {
+        // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper;
+        // try_read_symbol is the path for untrusted bytes.
         self.try_read_symbol(r).expect("invalid Huffman stream")
     }
 }

@@ -23,12 +23,14 @@
 //! assert_eq!(gpzip::decompress(&compressed), data);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fast;
 pub mod huffman;
 pub mod lz;
 
 use bitstream::{BitReader, BitWriter};
-use codecs::CodecError;
+use codecs::{cursor, CodecError};
 
 const NAME: &str = "gpzip";
 
@@ -60,23 +62,16 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// before the output start, and blocks emitting more bytes than the header
 /// declared.
 pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
-    if bytes.len() < 8 {
-        return Err(CodecError::Truncated { codec: NAME });
-    }
-    let total = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let mut pos = 0usize;
+    let total =
+        cursor::read_u64_le(bytes, &mut pos).ok_or(CodecError::Truncated { codec: NAME })? as usize;
     let mut out = Vec::with_capacity(total.min(1 << 24));
-    let mut pos = 8usize;
     while out.len() < total {
-        if bytes.len() - pos < 4 {
-            return Err(CodecError::Truncated { codec: NAME });
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        pos += 4;
-        if bytes.len() - pos < len {
-            return Err(CodecError::Truncated { codec: NAME });
-        }
-        try_decode_block(&bytes[pos..pos + len], &mut out, total)?;
-        pos += len;
+        let len = cursor::read_u32_le(bytes, &mut pos)
+            .ok_or(CodecError::Truncated { codec: NAME })? as usize;
+        let block =
+            cursor::take(bytes, &mut pos, len).ok_or(CodecError::Truncated { codec: NAME })?;
+        try_decode_block(block, &mut out, total)?;
     }
     Ok(out)
 }
@@ -84,6 +79,8 @@ pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
 /// Decompresses a stream produced by [`compress`]. Panics on corrupt input —
 /// use [`try_decompress`] for untrusted bytes.
 pub fn decompress(bytes: &[u8]) -> Vec<u8> {
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper; the
+    // try_ twin above is the path for untrusted bytes.
     try_decompress(bytes).expect("corrupt gpzip stream")
 }
 
@@ -265,15 +262,19 @@ fn try_decode_block(payload: &[u8], out: &mut Vec<u8>, max_total: usize) -> Resu
             return Err(truncated());
         }
         if sym < 256 {
-            out.push(sym as u8);
+            out.push(sym as u8); // ANALYZER-ALLOW(no-panic): sym < 256 checked
         } else if sym == EOB {
             return Ok(());
         } else {
+            // ANALYZER-ALLOW(no-panic): sym < LL_SYMBOLS = 286, so sym - 257 < 29
             let (base, extra) = LEN_CODES[sym - 257];
+            // ANALYZER-ALLOW(no-panic): extra-bits fields are at most 13 bits
             let len = base + r.read_bits(extra) as u32;
             let dsym =
                 dist_table.try_read_symbol(&mut r).ok_or_else(|| corrupt("distance code"))?;
+            // ANALYZER-ALLOW(no-panic): dsym < DIST_SYMBOLS = DIST_CODES.len()
             let (dbase, dextra) = DIST_CODES[dsym];
+            // ANALYZER-ALLOW(no-panic): extra-bits fields are at most 13 bits
             let dist = (dbase + r.read_bits(dextra) as u32) as usize;
             if r.overrun() {
                 return Err(truncated());
@@ -281,6 +282,8 @@ fn try_decode_block(payload: &[u8], out: &mut Vec<u8>, max_total: usize) -> Resu
             let start = out.len().checked_sub(dist).ok_or_else(|| corrupt("match distance"))?;
             // Overlapping copies are the LZ idiom for runs; copy byte-wise.
             for i in 0..len as usize {
+                // ANALYZER-ALLOW(no-panic): start + i < out.len() — checked_sub
+                // above guards start and out grows by one byte per iteration
                 let b = out[start + i];
                 out.push(b);
             }

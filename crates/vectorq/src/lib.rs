@@ -16,6 +16,8 @@
 //! row-group block to read anything inside it — the skipping disadvantage the
 //! paper highlights.
 
+#![forbid(unsafe_code)]
+
 pub mod table;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

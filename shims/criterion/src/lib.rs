@@ -8,6 +8,8 @@
 //! best-of-samples wall-clock loop — adequate for the relative comparisons the
 //! benches print, with none of upstream's statistics, plotting, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// How the measured routine's work scales, for per-element reporting.

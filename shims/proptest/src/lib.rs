@@ -9,6 +9,8 @@
 //! reproduce across runs. There is **no shrinking**: a failing case reports
 //! its inputs via the panic message only.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng as _, RngCore, SeedableRng};
 

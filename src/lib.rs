@@ -3,6 +3,8 @@
 //! Most users want [`alp`] directly; the other crates are the substrates and baselines
 //! the paper's evaluation requires. See `DESIGN.md` for the full system inventory.
 
+#![forbid(unsafe_code)]
+
 pub mod corruption;
 
 pub use alp;
