@@ -15,12 +15,13 @@
 use fastlanes::dispatch::{width_mask, with_width, WidthKernel};
 use fastlanes::{ffor, VECTOR_SIZE};
 
-use crate::encode::AlpVector;
+use crate::encode::{AlpVector, ExcView};
 use crate::traits::AlpFloat;
 
-/// Decodes `v` into `out[..v.len]` using the fused kernel. Returns the number
+/// Decodes `v` into `out[..v.len]` using the fused kernel, patching from the
+/// exception view `exc` (obtained from the owning arena). Returns the number
 /// of live values written.
-pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
+pub fn decode_vector<F: AlpFloat>(v: &AlpVector, exc: ExcView<'_>, out: &mut [F]) -> usize {
     assert!(out.len() >= VECTOR_SIZE);
     let mul_f = F::f10(v.factor);
     let mul_e = F::if10(v.exponent);
@@ -28,7 +29,7 @@ pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
         v.bit_width as usize,
         FusedDecode { packed: &v.packed, base: v.for_base, mul_f, mul_e, out },
     );
-    patch_exceptions(v, out);
+    patch_exceptions(exc, out);
     v.len as usize
 }
 
@@ -39,6 +40,7 @@ pub fn decode_vector<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
 #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
 pub fn decode_vector_unfused<F: AlpFloat>(
     v: &AlpVector,
+    exc: ExcView<'_>,
     scratch: &mut [i64],
     out: &mut [F],
 ) -> usize {
@@ -49,7 +51,7 @@ pub fn decode_vector_unfused<F: AlpFloat>(
     for i in 0..VECTOR_SIZE {
         out[i] = F::from_i64(scratch[i]) * mul_f * mul_e;
     }
-    patch_exceptions(v, out);
+    patch_exceptions(exc, out);
     v.len as usize
 }
 
@@ -60,7 +62,7 @@ pub fn decode_vector_unfused<F: AlpFloat>(
 // validated against bit_width during wire deserialization, and the `as u32`
 // shift cast is bounded by `& 63`.
 #[allow(clippy::needless_range_loop)] // value-at-a-time is the point here
-pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize {
+pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, exc: ExcView<'_>, out: &mut [F]) -> usize {
     assert!(out.len() >= VECTOR_SIZE);
     let w = v.bit_width as usize;
     let mul_f = F::f10(v.factor);
@@ -76,8 +78,8 @@ pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize 
     for i in 0..v.len as usize {
         // Per-value adaptivity emulation: check the exception side first, as a
         // per-value codec (Chimp-style flag dispatch) would.
-        if exc_idx < v.exc_positions.len() && v.exc_positions[exc_idx] as usize == i {
-            out[i] = F::from_bits_u64(v.exc_values[exc_idx]);
+        if exc_idx < exc.positions.len() && exc.positions[exc_idx] as usize == i {
+            out[i] = F::from_bits_u64(exc.values[exc_idx]);
             exc_idx += 1;
             continue;
         }
@@ -100,8 +102,8 @@ pub fn decode_vector_scalar<F: AlpFloat>(v: &AlpVector, out: &mut [F]) -> usize 
 /// Overwrites exception positions with their stored raw values (the PATCH step
 /// of Algorithm 2).
 #[inline]
-pub fn patch_exceptions<F: AlpFloat>(v: &AlpVector, out: &mut [F]) {
-    for (&p, &bits) in v.exc_positions.iter().zip(&v.exc_values) {
+pub fn patch_exceptions<F: AlpFloat>(exc: ExcView<'_>, out: &mut [F]) {
+    for (&p, &bits) in exc.positions.iter().zip(exc.values) {
         // Positions come off the wire; a corrupt position past the vector end
         // is dropped rather than allowed to panic the decode path.
         if let Some(slot) = out.get_mut(p as usize) {
@@ -178,9 +180,9 @@ mod tests {
         let mut unfused = vec![0.0f64; VECTOR_SIZE];
         let mut scalar = vec![0.0f64; VECTOR_SIZE];
         let mut scratch = vec![0i64; VECTOR_SIZE];
-        let n1 = decode_vector(&v, &mut fused);
-        let n2 = decode_vector_unfused(&v, &mut scratch, &mut unfused);
-        let n3 = decode_vector_scalar(&v, &mut scalar);
+        let n1 = decode_vector(&v, v.view(), &mut fused);
+        let n2 = decode_vector_unfused(&v, v.view(), &mut scratch, &mut unfused);
+        let n3 = decode_vector_scalar(&v, v.view(), &mut scalar);
         assert_eq!(n1, input.len());
         assert_eq!(n2, input.len());
         assert_eq!(n3, input.len());
@@ -223,7 +225,7 @@ mod tests {
         let input: Vec<f32> = (0..1024).map(|i| (i as f32) * 0.5 - 100.0).collect();
         let v = encode_vector(&input, 5, 2);
         let mut out = vec![0.0f32; VECTOR_SIZE];
-        decode_vector(&v, &mut out);
+        decode_vector(&v, v.view(), &mut out);
         for i in 0..input.len() {
             assert_eq!(out[i].to_bits(), input[i].to_bits(), "idx {i}");
         }

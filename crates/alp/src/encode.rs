@@ -40,11 +40,93 @@ pub fn decode_one<F: AlpFloat>(d: i64, e: u8, f: u8) -> F {
     F::from_i64(d) * F::f10(f) * F::if10(e)
 }
 
+/// Arena holding the exception streams of many [`AlpVector`]s (positions and
+/// raw bit patterns in parallel).
+///
+/// Vectors do not own their exceptions: they record a `(start, count)` range
+/// into the arena of the row-group (or [`OwnedAlpVector`]) that holds them.
+/// The arena grows by amortized appends, so encoding a vector performs no
+/// per-vector heap allocation — the `.to_vec()` the old layout paid on every
+/// vector is gone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExcArena {
+    pub(crate) positions: Vec<u16>,
+    pub(crate) values: Vec<u64>,
+}
+
+impl ExcArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of exceptions stored across all vectors.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the arena holds no exceptions.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Drops all exceptions, keeping the capacity for reuse.
+    pub fn clear(&mut self) {
+        self.positions.clear();
+        self.values.clear();
+    }
+
+    /// Appends one exception (used by the encoder and the wire reader).
+    pub fn push(&mut self, position: u16, bits: u64) {
+        self.positions.push(position);
+        self.values.push(bits);
+    }
+
+    /// The exception range of `v`. Out-of-range or inconsistent `(start,
+    /// count)` fields (possible only for corrupt wire data) yield an empty
+    /// view rather than a panic.
+    pub fn view(&self, v: &AlpVector) -> ExcView<'_> {
+        let start = v.exc_start as usize;
+        let end = start.saturating_add(v.exc_count as usize);
+        ExcView {
+            positions: self.positions.get(start..end).unwrap_or(&[]),
+            values: self.values.get(start..end).unwrap_or(&[]),
+        }
+    }
+}
+
+/// Borrowed view of one vector's exceptions: parallel position/value slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ExcView<'a> {
+    /// Positions (within the vector) of values stored as exceptions.
+    pub positions: &'a [u16],
+    /// Raw bit patterns of the exception values (zero-extended to 64 bits).
+    pub values: &'a [u64],
+}
+
+impl ExcView<'_> {
+    /// A view with no exceptions (for synthetic vectors).
+    pub const fn empty() -> Self {
+        ExcView { positions: &[], values: &[] }
+    }
+
+    /// Number of exceptions in the view.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the view holds no exceptions.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
 /// One ALP-encoded vector of up to 1024 values (§3.1).
 ///
-/// `packed` stores the FFOR'd integers; exceptions live in the parallel
-/// `exc_positions` / `exc_values` arrays (positions are `u16`, values raw bit
-/// patterns — 80 bits of overhead per exception for doubles, as in the paper).
+/// `packed` stores the FFOR'd integers; exceptions live in an [`ExcArena`]
+/// owned by the enclosing row-group, referenced here by `(exc_start,
+/// exc_count)` (positions are `u16`, values raw bit patterns — 80 bits of
+/// overhead per exception for doubles, as in the paper).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlpVector {
     /// Exponent `e` shared by the whole vector.
@@ -57,10 +139,10 @@ pub struct AlpVector {
     pub for_base: i64,
     /// Bit-packed residuals, `fastlanes::packed_len(bit_width)` words.
     pub packed: Vec<u64>,
-    /// Positions (within the vector) of values stored as exceptions.
-    pub exc_positions: Vec<u16>,
-    /// Raw bit patterns of the exception values (zero-extended to 64 bits).
-    pub exc_values: Vec<u64>,
+    /// Offset of this vector's exceptions in the owning arena.
+    pub exc_start: u32,
+    /// Number of exceptions in this vector.
+    pub exc_count: u16,
     /// Number of live values in this vector (`<= 1024`; only the last vector
     /// of a column may be short).
     pub len: u16,
@@ -73,21 +155,65 @@ impl AlpVector {
         // e + f + bit_width (u8 each) + base (64) + exception count (16)
         let header = 8 + 8 + 8 + 64 + 16;
         let payload = self.bit_width as usize * VECTOR_SIZE;
-        let exceptions = self.exc_positions.len() * (16 + F::BITS as usize);
+        let exceptions = self.exc_count as usize * (16 + F::BITS as usize);
         header + payload + exceptions
     }
 
     /// Number of exceptions in this vector.
     pub fn exception_count(&self) -> usize {
-        self.exc_positions.len()
+        self.exc_count as usize
     }
 }
 
-/// Encodes one vector (Algorithm 1) with the given `(e, f)` combination.
+/// An [`AlpVector`] bundled with a private arena holding just its own
+/// exceptions — the convenience form returned by [`encode_vector`] for
+/// single-vector callers (benchmarks, tests, ablations). Hot paths encode
+/// many vectors into one shared arena via [`encode_vector_into`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedAlpVector {
+    /// The encoded vector (`exc_start` is 0 in the private arena).
+    pub vector: AlpVector,
+    /// The vector's exceptions.
+    pub exceptions: ExcArena,
+}
+
+impl OwnedAlpVector {
+    /// View of the vector's exceptions.
+    pub fn view(&self) -> ExcView<'_> {
+        self.exceptions.view(&self.vector)
+    }
+
+    /// Positions of the exception values.
+    pub fn exc_positions(&self) -> &[u16] {
+        self.view().positions
+    }
+
+    /// Raw bit patterns of the exception values.
+    pub fn exc_values(&self) -> &[u64] {
+        self.view().values
+    }
+}
+
+impl core::ops::Deref for OwnedAlpVector {
+    type Target = AlpVector;
+    fn deref(&self) -> &AlpVector {
+        &self.vector
+    }
+}
+
+/// Encodes one vector (Algorithm 1) with the given `(e, f)` combination,
+/// appending its exceptions to `exceptions`.
 ///
 /// `input.len()` must be `1..=1024`. Shorter inputs are padded internally with
 /// the patch value so the packed payload is always a full 1024-value vector.
-pub fn encode_vector<F: AlpFloat>(input: &[F], e: u8, f: u8) -> AlpVector {
+/// Allocation-free once the arena is warm (the detection buffers live on the
+/// stack).
+pub fn encode_vector_into<F: AlpFloat>(
+    input: &[F],
+    e: u8,
+    f: u8,
+    exceptions: &mut ExcArena,
+) -> AlpVector {
     let len = input.len();
     assert!(len > 0 && len <= VECTOR_SIZE, "vector length {len} out of range");
 
@@ -111,10 +237,14 @@ pub fn encode_vector<F: AlpFloat>(input: &[F], e: u8, f: u8) -> AlpVector {
     // FIND_FIRST_ENCODED: first position that is *not* an exception.
     let first_encoded = find_first_encoded(&encoded[..len], &exc_positions_buf[..exc_count]);
 
-    // Fetch exceptions and patch their slots.
-    let mut exc_values = Vec::with_capacity(exc_count);
+    // Fetch exceptions into the shared arena and patch their slots.
+    let exc_start = u32::try_from(exceptions.len()).unwrap_or(u32::MAX);
+    assert!(
+        exc_start as usize == exceptions.len(),
+        "exception arena exceeds u32 addressing"
+    );
     for &p in &exc_positions_buf[..exc_count] {
-        exc_values.push(input[p as usize].to_bits_u64());
+        exceptions.push(p, input[p as usize].to_bits_u64());
         encoded[p as usize] = first_encoded;
     }
     // Pad a short tail with the patch value (does not widen the frame).
@@ -131,10 +261,18 @@ pub fn encode_vector<F: AlpFloat>(input: &[F], e: u8, f: u8) -> AlpVector {
         bit_width: bit_width as u8,
         for_base,
         packed,
-        exc_positions: exc_positions_buf[..exc_count].to_vec(),
-        exc_values,
+        exc_start,
+        exc_count: exc_count as u16,
         len: len as u16,
     }
+}
+
+/// Encodes one vector into a fresh private arena — see [`encode_vector_into`]
+/// for the shared-arena hot path.
+pub fn encode_vector<F: AlpFloat>(input: &[F], e: u8, f: u8) -> OwnedAlpVector {
+    let mut exceptions = ExcArena::new();
+    let vector = encode_vector_into(input, e, f, &mut exceptions);
+    OwnedAlpVector { vector, exceptions }
 }
 
 /// Returns the first encoded integer whose position is not in the (sorted)
@@ -226,7 +364,7 @@ mod tests {
         input[4] = f64::from_bits(0x7FF0_0000_0000_0001); // signaling-ish NaN
         let v = encode_vector(&input, 14, 13);
         assert_eq!(v.exception_count(), 5);
-        assert_eq!(v.exc_positions, vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.exc_positions(), [0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -23,10 +23,10 @@
 //! garbage), and [`from_bytes_salvage`] can resync past a damaged row-group
 //! using the length prefix and recover the rest of the column.
 
-use crate::encode::AlpVector;
+use crate::encode::{AlpVector, ExcArena, ExcView};
 use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::rd::{RdMeta, RdVector};
-use crate::rowgroup::{Compressed, RowGroup};
+use crate::rowgroup::{AlpGroup, Compressed, RowGroup};
 use crate::traits::AlpFloat;
 use crate::wire::{GetExt, PutExt};
 
@@ -124,11 +124,11 @@ pub fn to_bytes_v1<F: AlpFloat>(c: &Compressed<F>) -> Vec<u8> {
 /// Serializes one row-group (the framing unit of the streaming API).
 pub fn write_rowgroup<F: AlpFloat>(out: &mut Vec<u8>, rg: &RowGroup) {
     match rg {
-        RowGroup::Alp(vectors) => {
+        RowGroup::Alp(group) => {
             out.put_u8(SCHEME_TAG_ALP);
-            out.put_u32_le(vectors.len() as u32);
-            for v in vectors {
-                write_alp_vector(out, v);
+            out.put_u32_le(group.vectors.len() as u32);
+            for v in &group.vectors {
+                write_alp_vector(out, v, group.view(v));
             }
         }
         RowGroup::Rd(meta, vectors) => {
@@ -147,22 +147,22 @@ pub fn write_rowgroup<F: AlpFloat>(out: &mut Vec<u8>, rg: &RowGroup) {
     }
 }
 
-fn write_alp_vector(out: &mut Vec<u8>, v: &AlpVector) {
+fn write_alp_vector(out: &mut Vec<u8>, v: &AlpVector, exc: ExcView<'_>) {
     out.put_u8(v.exponent);
     out.put_u8(v.factor);
     out.put_u8(v.bit_width);
     out.put_u16_le(v.len);
     out.put_i64_le(v.for_base);
-    out.put_u16_le(v.exc_positions.len() as u16);
+    out.put_u16_le(exc.positions.len() as u16);
     // Stored without the trailing pad word — it is reconstructed on read.
     let words = v.bit_width as usize * (fastlanes::VECTOR_SIZE / 64);
     for &w in &v.packed[..words] {
         out.put_u64_le(w);
     }
-    for &p in &v.exc_positions {
+    for &p in exc.positions {
         out.put_u16_le(p);
     }
-    for &x in &v.exc_values {
+    for &x in exc.values {
         out.put_u64_le(x);
     }
 }
@@ -371,11 +371,15 @@ pub fn read_rowgroup<F: AlpFloat>(buf: &mut &[u8]) -> Result<RowGroup, FormatErr
     let vec_count = buf.get_u32_le() as usize;
     match scheme {
         SCHEME_TAG_ALP => {
-            let mut vectors = Vec::with_capacity(vec_count.min(1 << 16));
+            let mut group = AlpGroup {
+                vectors: Vec::with_capacity(vec_count.min(1 << 16)),
+                exceptions: ExcArena::new(),
+            };
             for _ in 0..vec_count {
-                vectors.push(read_alp_vector(buf)?);
+                let v = read_alp_vector(buf, &mut group.exceptions)?;
+                group.vectors.push(v);
             }
-            Ok(RowGroup::Alp(vectors))
+            Ok(RowGroup::Alp(group))
         }
         SCHEME_TAG_RD => {
             if buf.len() < 3 {
@@ -409,7 +413,7 @@ pub fn read_rowgroup<F: AlpFloat>(buf: &mut &[u8]) -> Result<RowGroup, FormatErr
     }
 }
 
-fn read_alp_vector(buf: &mut &[u8]) -> Result<AlpVector, FormatError> {
+fn read_alp_vector(buf: &mut &[u8], arena: &mut ExcArena) -> Result<AlpVector, FormatError> {
     if buf.len() < 3 + 2 + 8 + 2 {
         return Err(FormatError::Truncated);
     }
@@ -418,7 +422,8 @@ fn read_alp_vector(buf: &mut &[u8]) -> Result<AlpVector, FormatError> {
     let bit_width = buf.get_u8();
     let len = buf.get_u16_le();
     let for_base = buf.get_i64_le();
-    let exc = buf.get_u16_le() as usize;
+    let exc_count = buf.get_u16_le();
+    let exc = exc_count as usize;
     if bit_width > 64 {
         return Err(FormatError::Corrupt("alp bit_width"));
     }
@@ -434,12 +439,31 @@ fn read_alp_vector(buf: &mut &[u8]) -> Result<AlpVector, FormatError> {
         packed.push(buf.get_u64_le());
     }
     packed.push(0); // reconstruct the pad word
-    let exc_positions: Vec<u16> = (0..exc).map(|_| buf.get_u16_le()).collect();
-    let exc_values: Vec<u64> = (0..exc).map(|_| buf.get_u64_le()).collect();
-    if exc_positions.iter().any(|&p| p >= len) {
+    let Ok(exc_start) = u32::try_from(arena.len()) else {
+        return Err(FormatError::Corrupt("exception arena overflow"));
+    };
+    // Positions precede values on the wire; stage positions so both streams
+    // land in the arena in parallel order.
+    for _ in 0..exc {
+        arena.positions.push(buf.get_u16_le());
+    }
+    for _ in 0..exc {
+        arena.values.push(buf.get_u64_le());
+    }
+    let start = exc_start as usize;
+    if arena.positions.get(start..).is_some_and(|ps| ps.iter().any(|&p| p >= len)) {
         return Err(FormatError::Corrupt("alp exception position"));
     }
-    Ok(AlpVector { exponent, factor, bit_width, for_base, packed, exc_positions, exc_values, len })
+    Ok(AlpVector {
+        exponent,
+        factor,
+        bit_width,
+        for_base,
+        packed,
+        exc_start,
+        exc_count,
+        len,
+    })
 }
 
 fn read_rd_vector(

@@ -48,8 +48,8 @@ pub mod stream;
 pub mod traits;
 pub(crate) mod wire;
 
-pub use encode::{decode_one, encode_one, fast_round, AlpVector};
-pub use rowgroup::{Compressed, Compressor, RowGroup, Scheme};
+pub use encode::{decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector};
+pub use rowgroup::{AlpGroup, Compressed, Compressor, RowGroup, Scheme};
 pub use sampler::{Combination, SamplerParams, SamplerStats};
 pub use traits::AlpFloat;
 

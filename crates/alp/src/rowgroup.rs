@@ -5,7 +5,7 @@
 use fastlanes::VECTOR_SIZE;
 
 use crate::decode::{decode_vector, decode_vector_unfused};
-use crate::encode::{encode_vector, AlpVector};
+use crate::encode::{encode_vector_into, AlpVector, ExcArena, ExcView, OwnedAlpVector};
 use crate::rd::{choose_cut, decode_rd_vector, encode_rd_vector, RdMeta, RdVector};
 use crate::sampler::{first_level, second_level, SamplerParams, SamplerStats};
 use crate::traits::AlpFloat;
@@ -19,11 +19,43 @@ pub enum Scheme {
     AlpRd,
 }
 
+/// An ALP row-group's vectors plus the shared arena holding all their
+/// exceptions — one pair of allocations per row-group instead of two per
+/// vector.
+#[derive(Debug, Clone, Default)]
+pub struct AlpGroup {
+    /// Encoded vectors; each indexes `exceptions` by `(exc_start, exc_count)`.
+    pub vectors: Vec<AlpVector>,
+    /// The exception streams of all vectors, concatenated.
+    pub exceptions: ExcArena,
+}
+
+impl AlpGroup {
+    /// Exception view of one vector.
+    pub fn view(&self, v: &AlpVector) -> ExcView<'_> {
+        self.exceptions.view(v)
+    }
+
+    /// Clones vector `i` out together with its exceptions (convenience for
+    /// single-vector consumers — ablations, figure benches).
+    pub fn owned_vector(&self, i: usize) -> Option<OwnedAlpVector> {
+        let v = self.vectors.get(i)?;
+        let view = self.view(v);
+        let mut exceptions = ExcArena::new();
+        for (&p, &bits) in view.positions.iter().zip(view.values) {
+            exceptions.push(p, bits);
+        }
+        let mut vector = v.clone();
+        vector.exc_start = 0;
+        Some(OwnedAlpVector { vector, exceptions })
+    }
+}
+
 /// One compressed row-group.
 #[derive(Debug, Clone)]
 pub enum RowGroup {
-    /// Plain ALP vectors.
-    Alp(Vec<AlpVector>),
+    /// Plain ALP vectors sharing one exception arena.
+    Alp(AlpGroup),
     /// ALP_rd vectors plus the shared cut/dictionary metadata.
     Rd(RdMeta, Vec<RdVector>),
 }
@@ -40,7 +72,7 @@ impl RowGroup {
     /// Number of vectors in this row-group.
     pub fn vector_count(&self) -> usize {
         match self {
-            RowGroup::Alp(v) => v.len(),
+            RowGroup::Alp(g) => g.vectors.len(),
             RowGroup::Rd(_, v) => v.len(),
         }
     }
@@ -48,7 +80,7 @@ impl RowGroup {
     /// Number of live values in this row-group.
     pub fn len(&self) -> usize {
         match self {
-            RowGroup::Alp(v) => v.iter().map(|x| x.len as usize).sum(),
+            RowGroup::Alp(g) => g.vectors.iter().map(|x| x.len as usize).sum(),
             RowGroup::Rd(_, v) => v.iter().map(|x| x.len as usize).sum(),
         }
     }
@@ -62,8 +94,8 @@ impl RowGroup {
     pub fn compressed_bits<F: AlpFloat>(&self) -> usize {
         let scheme_tag = 8;
         match self {
-            RowGroup::Alp(vs) => {
-                scheme_tag + vs.iter().map(|v| v.compressed_bits::<F>()).sum::<usize>()
+            RowGroup::Alp(g) => {
+                scheme_tag + g.vectors.iter().map(|v| v.compressed_bits::<F>()).sum::<usize>()
             }
             RowGroup::Rd(meta, vs) => {
                 scheme_tag
@@ -115,9 +147,9 @@ impl<F: AlpFloat> Compressed<F> {
         let mut buf = vec![F::from_bits_u64(0); VECTOR_SIZE];
         for rg in &self.rowgroups {
             match rg {
-                RowGroup::Alp(vs) => {
-                    for v in vs {
-                        let n = decode_vector(v, &mut buf);
+                RowGroup::Alp(g) => {
+                    for v in &g.vectors {
+                        let n = decode_vector(v, g.view(v), &mut buf);
                         out.extend_from_slice(&buf[..n]);
                     }
                 }
@@ -142,7 +174,10 @@ impl<F: AlpFloat> Compressed<F> {
     // contract; counts are available via rowgroups() for callers that check.
     pub fn decompress_vector(&self, rowgroup: usize, vector: usize, out: &mut [F]) -> usize {
         match &self.rowgroups[rowgroup] {
-            RowGroup::Alp(vs) => decode_vector(&vs[vector], out),
+            RowGroup::Alp(g) => {
+                let v = &g.vectors[vector];
+                decode_vector(v, g.view(v), out)
+            }
             RowGroup::Rd(meta, vs) => decode_rd_vector(&vs[vector], meta, out),
         }
     }
@@ -157,9 +192,9 @@ impl<F: AlpFloat> Compressed<F> {
         let mut scratch = vec![0i64; VECTOR_SIZE];
         for rg in &self.rowgroups {
             match rg {
-                RowGroup::Alp(vs) => {
-                    for v in vs {
-                        let n = decode_vector_unfused(v, &mut scratch, &mut buf);
+                RowGroup::Alp(g) => {
+                    for v in &g.vectors {
+                        let n = decode_vector_unfused(v, g.view(v), &mut scratch, &mut buf);
                         out.extend_from_slice(&buf[..n]);
                     }
                 }
@@ -219,13 +254,18 @@ impl Compressor {
                 rowgroups.push(RowGroup::Rd(meta, vectors));
             } else {
                 stats.rowgroups_alp += 1;
-                let mut vectors = Vec::with_capacity(rg_data.len().div_ceil(VECTOR_SIZE));
+                let mut group = AlpGroup {
+                    vectors: Vec::with_capacity(rg_data.len().div_ceil(VECTOR_SIZE)),
+                    exceptions: ExcArena::new(),
+                };
                 for chunk in rg_data.chunks(VECTOR_SIZE) {
                     let combo =
                         second_level(chunk, &outcome.combinations, &self.params, &mut stats);
-                    vectors.push(encode_vector(chunk, combo.e, combo.f));
+                    group
+                        .vectors
+                        .push(encode_vector_into(chunk, combo.e, combo.f, &mut group.exceptions));
                 }
-                rowgroups.push(RowGroup::Alp(vectors));
+                rowgroups.push(RowGroup::Alp(group));
             }
         }
 

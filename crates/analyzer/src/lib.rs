@@ -10,7 +10,10 @@
 //!   (`undocumented-unsafe`),
 //! * public decode entry points need fallible twins (`fallible-pairing`),
 //! * wire-format tag constants must be kept in sync between serialize and
-//!   deserialize paths (`wire-tag-sync`).
+//!   deserialize paths (`wire-tag-sync`),
+//! * every `ColumnCodec` implementation appears exactly once in the codec
+//!   registry's literal `ENTRIES` list, and every entry names a live impl
+//!   (`registry-sync`).
 //!
 //! Run it as `cargo run -p analyzer` or `alp analyze`; findings are reported
 //! as `file:line: [rule] message`, or as JSON with `--format json`, and the
@@ -75,6 +78,11 @@ pub struct Config {
     pub reader_fn_patterns: Vec<String>,
     /// Crates exempt from the `#![forbid(unsafe_code)]` requirement.
     pub unsafe_allowed_crates: Vec<String>,
+    /// The file holding the codec registry's `static ENTRIES` block, checked
+    /// by `registry-sync`.
+    pub registry_file: String,
+    /// The trait whose implementations must each appear in `ENTRIES`.
+    pub codec_trait: String,
 }
 
 fn strings(v: &[&str]) -> Vec<String> {
@@ -132,6 +140,8 @@ impl Default for Config {
             ]),
             // `bench` reads the x86 time-stamp counter directly.
             unsafe_allowed_crates: strings(&["bench"]),
+            registry_file: "crates/core/src/registry.rs".to_string(),
+            codec_trait: "ColumnCodec".to_string(),
         }
     }
 }

@@ -13,6 +13,9 @@
 //! * `wire-tag-sync` — magic/tag constants in the wire-format files must be
 //!   used by both a serialize and a deserialize function, with no orphan or
 //!   duplicate tags.
+//! * `registry-sync` — every `ColumnCodec` impl must appear exactly once in
+//!   the codec registry's literal `ENTRIES` list, and every entry must name
+//!   a live impl.
 //! * `allow-syntax` — malformed or unknown-rule `ANALYZER-ALLOW` annotations
 //!   (a typo in an annotation must not silently disable a lint).
 
@@ -23,7 +26,7 @@ use crate::{Config, Finding};
 
 /// All valid rule ids, as used in `ANALYZER-ALLOW(<rule>)`.
 pub const RULE_IDS: &[&str] =
-    &["no-panic", "undocumented-unsafe", "fallible-pairing", "wire-tag-sync"];
+    &["no-panic", "undocumented-unsafe", "fallible-pairing", "wire-tag-sync", "registry-sync"];
 
 /// A parsed `ANALYZER-ALLOW(rule): reason` annotation and the lines it covers.
 #[derive(Debug)]
@@ -51,6 +54,7 @@ pub fn run_all(files: &BTreeMap<String, FileInfo>, cfg: &Config) -> Vec<Finding>
     }
     forbid_unsafe_crates(files, cfg, &mut findings);
     wire_tag_sync(files, cfg, &mut findings);
+    registry_sync(files, cfg, &mut findings);
 
     findings.retain(|f| {
         !allows
@@ -513,6 +517,97 @@ fn wire_tag_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mu
                     &format!("tag `{}` is never checked by a deserialize function", t.name),
                 ));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: registry-sync
+// ---------------------------------------------------------------------------
+
+/// Every `impl ColumnCodec for X` in the workspace must appear exactly once
+/// as a `&path::X,` entry inside the registry's `static ENTRIES` block, and
+/// every entry must name a live impl. The check is purely textual by design:
+/// it is what forces the registry to stay a literal one-entry-per-line list
+/// (no macros, no computed entries) that a reviewer can read at a glance.
+fn registry_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mut Vec<Finding>) {
+    let Some(reg) = files.get(&cfg.registry_file) else {
+        return; // narrow test configs that do not include the registry
+    };
+
+    // Entries: the identifiers listed inside the `static ENTRIES` block,
+    // one `&path::Name,` literal per line.
+    let mut entries: Vec<(String, usize)> = Vec::new();
+    let mut inside = false;
+    for (idx, l) in reg.lines.iter().enumerate() {
+        let code = l.code.trim();
+        if !inside {
+            inside = code.contains("static ENTRIES");
+            continue;
+        }
+        if code.contains("];") {
+            break;
+        }
+        let Some(entry) = code.strip_prefix('&') else { continue };
+        let entry = entry.trim_end_matches(',').trim();
+        let name = entry.rsplit("::").next().unwrap_or(entry).trim();
+        if !name.is_empty() {
+            entries.push((name.to_string(), idx + 1));
+        }
+    }
+
+    // Impls: `impl <Trait> for X` anywhere in the scanned workspace.
+    let mut impls: Vec<(String, &str, usize)> = Vec::new();
+    for (path, info) in files {
+        for (idx, l) in info.lines.iter().enumerate() {
+            let name = (|| {
+                let rest = l.code.trim().strip_prefix("impl")?.trim_start();
+                let rest = rest.strip_prefix(cfg.codec_trait.as_str())?.trim_start();
+                let rest = rest.strip_prefix("for")?.trim_start();
+                let name: String =
+                    rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+                (!name.is_empty()).then_some(name)
+            })();
+            if let Some(name) = name {
+                impls.push((name, path, idx + 1));
+            }
+        }
+    }
+
+    for (name, path, line) in &impls {
+        if !entries.iter().any(|(e, _)| e == name) {
+            findings.push(Finding::new(
+                "registry-sync",
+                path,
+                *line,
+                &format!(
+                    "`{name}` implements {} but is not listed in the registry's ENTRIES",
+                    cfg.codec_trait
+                ),
+            ));
+        }
+    }
+    for (i, (name, line)) in entries.iter().enumerate() {
+        if entries[..i].iter().any(|(prev, _)| prev == name) {
+            findings.push(Finding::new(
+                "registry-sync",
+                &cfg.registry_file,
+                *line,
+                &format!("`{name}` is registered more than once in ENTRIES"),
+            ));
+        }
+    }
+    for (name, line) in &entries {
+        if !impls.iter().any(|(n, _, _)| n == name) {
+            findings.push(Finding::new(
+                "registry-sync",
+                &cfg.registry_file,
+                *line,
+                &format!(
+                    "ENTRIES lists `{name}` but no `impl {} for {name}` exists",
+                    cfg.codec_trait
+                ),
+            ));
         }
     }
 }

@@ -104,6 +104,23 @@ fn wire_good_is_clean() {
 }
 
 #[test]
+fn registry_bad_flags_unregistered_duplicate_and_ghost() {
+    let found = scan("crates/core/src/registry.rs", include_str!("fixtures/registry_bad.rs"));
+    // Line 6: `Beta` implements the trait but is never registered, 10: the
+    // second `Alpha` entry is a duplicate, 11: `Ghost` has no impl.
+    assert_eq!(
+        found,
+        pairs(&[("registry-sync", 6), ("registry-sync", 10), ("registry-sync", 11)])
+    );
+}
+
+#[test]
+fn registry_good_is_clean() {
+    let found = scan("crates/core/src/registry.rs", include_str!("fixtures/registry_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
 fn malformed_allow_is_reported_and_does_not_suppress() {
     let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/allow_bad.rs"));
     // Line 4: ALLOW missing its reason, 9: ALLOW naming an unknown rule;

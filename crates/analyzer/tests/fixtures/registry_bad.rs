@@ -1,0 +1,12 @@
+//! Fixture: drift between ColumnCodec impls and the ENTRIES block.
+
+pub struct Alpha;
+impl ColumnCodec for Alpha {}
+pub struct Beta;
+impl ColumnCodec for Beta {}
+
+static ENTRIES: &[&'static dyn ColumnCodec] = &[
+    &impls::Alpha,
+    &impls::Alpha,
+    &impls::Ghost,
+];

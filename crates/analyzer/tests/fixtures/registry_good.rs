@@ -1,0 +1,11 @@
+//! Fixture: ColumnCodec impls and the ENTRIES block in perfect 1:1 sync.
+
+pub struct Alpha;
+impl ColumnCodec for Alpha {}
+pub struct Beta;
+impl ColumnCodec for Beta {}
+
+static ENTRIES: &[&'static dyn ColumnCodec] = &[
+    &impls::Alpha,
+    &Beta,
+];

@@ -43,11 +43,13 @@ fn bench_decode(c: &mut Criterion) {
     let mut scratch = vec![0i64; VECTOR_SIZE];
     let mut g = c.benchmark_group("alp_decode");
     g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
-    g.bench_function("fused", |b| b.iter(|| alp::decode::decode_vector(&v, &mut out)));
+    g.bench_function("fused", |b| b.iter(|| alp::decode::decode_vector(&v, v.view(), &mut out)));
     g.bench_function("unfused", |b| {
-        b.iter(|| alp::decode::decode_vector_unfused(&v, &mut scratch, &mut out))
+        b.iter(|| alp::decode::decode_vector_unfused(&v, v.view(), &mut scratch, &mut out))
     });
-    g.bench_function("scalar", |b| b.iter(|| alp::decode::decode_vector_scalar(&v, &mut out)));
+    g.bench_function("scalar", |b| {
+        b.iter(|| alp::decode::decode_vector_scalar(&v, v.view(), &mut out))
+    });
     g.finish();
 }
 

@@ -109,7 +109,7 @@ fn main() {
         for chunk in data.chunks(VECTOR_SIZE) {
             let (combo, _) = full_search(chunk);
             let v = alp::encode::encode_vector(chunk, combo.e, combo.f);
-            if v.exc_positions.is_empty() {
+            if v.exc_positions().is_empty() {
                 continue;
             }
             counted += 1;
@@ -117,7 +117,7 @@ fn main() {
             // Re-encode with zero patches to compare the frame width.
             let mut ints: Vec<i64> =
                 chunk.iter().map(|&n| encode_one(n, combo.e, combo.f)).collect();
-            for &p in &v.exc_positions {
+            for &p in v.exc_positions() {
                 ints[p as usize] = 0;
             }
             let (base, _) = ffor::frame_of(&ints);

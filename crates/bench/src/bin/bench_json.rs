@@ -1,0 +1,96 @@
+//! Machine-readable benchmark output: per-scheme bits-per-value and
+//! throughput for every dataset, written as JSON to `results/BENCH_*.json`
+//! so downstream tooling (plotting scripts, regression dashboards) can
+//! consume runs without scraping table text.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_json
+//! ```
+//!
+//! Speed measurement is skipped for ratio-only schemes (their `compress_tpc`
+//! / `decompress_tpc` fields are `null`). `ALP_BENCH_MS=0` skips speed
+//! entirely for a fast ratio-only run.
+
+use alp_core::{Registry, Scratch, TABLE4_IDS};
+use bench::schemes::{bits_per_value, measure_speed};
+use bench::tables::results_dir;
+
+/// Minimal JSON string escape (registry ids and dataset names are ASCII, but
+/// stay correct regardless).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let batch_ms: u64 =
+        std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let codecs = Registry::resolve(&TABLE4_IDS).expect("all Table 4 ids registered");
+    let mut scratch = Scratch::new();
+
+    let mut records = String::new();
+    let mut first = true;
+    for ds in &datagen::DATASETS {
+        let data = bench::dataset(ds.name);
+        for codec in &codecs {
+            let bpv = bits_per_value(*codec, &data, &mut scratch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", codec.id(), ds.name));
+            let speed = if batch_ms > 0 { measure_speed(*codec, &data, batch_ms).ok() } else { None };
+            if !first {
+                records.push_str(",\n");
+            }
+            first = false;
+            records.push_str(&format!(
+                concat!(
+                    "    {{\"dataset\": \"{}\", \"time_series\": {}, \"codec\": \"{}\", ",
+                    "\"name\": \"{}\", \"bits_per_value\": {}, ",
+                    "\"compress_tpc\": {}, \"decompress_tpc\": {}}}"
+                ),
+                esc(ds.name),
+                ds.time_series,
+                esc(codec.id()),
+                esc(codec.name()),
+                json_f64(Some(bpv)),
+                json_f64(speed.map(|s| s.compress_tpc())),
+                json_f64(speed.map(|s| s.decompress_tpc())),
+            ));
+        }
+        eprintln!("done: {}", ds.name);
+    }
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"values_per_dataset\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"batch_ms\": {},\n",
+            "  \"records\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        bench::bench_values(),
+        bench::bench_seed(),
+        batch_ms,
+        records,
+    );
+
+    std::fs::create_dir_all(results_dir()).ok();
+    let path = results_dir()
+        .join(format!("BENCH_s{}_v{}.json", bench::bench_seed(), bench::bench_values()));
+    std::fs::write(&path, &doc).expect("write json");
+    println!("wrote {}", path.display());
+}

@@ -11,35 +11,39 @@
 //! cargo run --release -p bench --bin fig1_scatter
 //! ```
 
-use bench::schemes::{measure_speed, Scheme};
+use alp_core::{Registry, Scratch, SPEED_IDS};
+use bench::schemes::{bits_per_value, measure_speed};
 use bench::tables::{results_dir, Table};
 
 fn main() {
     let batch_ms: u64 =
         std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
 
+    let codecs = Registry::resolve(&SPEED_IDS).expect("all speed ids registered");
     let mut csv = String::from("dataset,scheme,bits_per_value,compress_tpc,decompress_tpc\n");
-    // (scheme, bits/value series, compression t/c series, decompression t/c series)
-    type Row = (Scheme, Vec<f64>, Vec<f64>, Vec<f64>);
-    let mut summary: Vec<Row> =
-        Scheme::SPEED.iter().map(|&s| (s, Vec::new(), Vec::new(), Vec::new())).collect();
+    // Per codec: bits/value series, compression t/c series, decompression t/c.
+    let mut summary: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        vec![(Vec::new(), Vec::new(), Vec::new()); codecs.len()];
+    let mut scratch = Scratch::new();
 
     for ds in &datagen::DATASETS {
         let data = bench::dataset(ds.name);
-        for (i, &scheme) in Scheme::SPEED.iter().enumerate() {
-            let bpv = scheme.bits_per_value(&data);
-            let speed = measure_speed(scheme, &data, batch_ms);
+        for (i, codec) in codecs.iter().enumerate() {
+            let bpv = bits_per_value(*codec, &data, &mut scratch)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", codec.id(), ds.name));
+            let speed = measure_speed(*codec, &data, batch_ms)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", codec.id(), ds.name));
             csv.push_str(&format!(
                 "{},{},{:.2},{:.4},{:.4}\n",
                 ds.name,
-                scheme.name(),
+                codec.name(),
                 bpv,
                 speed.compress_tpc(),
                 speed.decompress_tpc()
             ));
-            summary[i].1.push(bpv);
-            summary[i].2.push(speed.compress_tpc());
-            summary[i].3.push(speed.decompress_tpc());
+            summary[i].0.push(bpv);
+            summary[i].1.push(speed.compress_tpc());
+            summary[i].2.push(speed.decompress_tpc());
         }
         eprintln!("done: {}", ds.name);
     }
@@ -53,9 +57,9 @@ fn main() {
         "Figure 1 summary (averages over datasets)",
         &["bits/value", "comp t/c", "dec t/c"],
     );
-    for (scheme, bpvs, cts, dts) in &summary {
+    for (codec, (bpvs, cts, dts)) in codecs.iter().zip(&summary) {
         table.row(
-            scheme.name(),
+            codec.name(),
             vec![
                 format!("{:.1}", bench::mean(bpvs)),
                 format!("{:.3}", bench::mean(cts)),

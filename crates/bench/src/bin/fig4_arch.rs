@@ -34,7 +34,7 @@ fn main() {
         // First ALP-encoded (non-rd) vector, or skip rd-only datasets for the
         // decimal kernel comparison.
         let Some(vector) = compressed.rowgroups.iter().find_map(|rg| match rg {
-            alp::RowGroup::Alp(vs) => vs.first().cloned(),
+            alp::RowGroup::Alp(g) => g.owned_vector(0),
             _ => None,
         }) else {
             eprintln!("skip {} (ALP_rd row-groups only)", ds.name);
@@ -45,7 +45,7 @@ fn main() {
         let mut scratch = vec![0i64; VECTOR_SIZE];
         let fused = measure(
             || {
-                alp::decode::decode_vector(&vector, &mut out);
+                alp::decode::decode_vector(&vector, vector.view(), &mut out);
                 std::hint::black_box(&out);
             },
             batch_ms,
@@ -53,7 +53,7 @@ fn main() {
         );
         let unfused = measure(
             || {
-                alp::decode::decode_vector_unfused(&vector, &mut scratch, &mut out);
+                alp::decode::decode_vector_unfused(&vector, vector.view(), &mut scratch, &mut out);
                 std::hint::black_box(&out);
             },
             batch_ms,
@@ -61,7 +61,7 @@ fn main() {
         );
         let scalar = measure(
             || {
-                alp::decode::decode_vector_scalar(&vector, &mut out);
+                alp::decode::decode_vector_scalar(&vector, vector.view(), &mut out);
                 std::hint::black_box(&out);
             },
             batch_ms,

@@ -10,18 +10,18 @@
 //! cargo run --release -p bench --bin fig5_fusion
 //! ```
 
-use alp::encode::AlpVector;
+use alp::encode::{AlpVector, ExcView};
 use alp::VECTOR_SIZE;
 use bench::tables::Table;
 use bench::timing::measure;
 use fastlanes::ffor;
 
-fn bench_vector(vector: &AlpVector, batch_ms: u64) -> (f64, f64) {
+fn bench_vector(vector: &AlpVector, exc: ExcView<'_>, batch_ms: u64) -> (f64, f64) {
     let mut out = vec![0.0f64; VECTOR_SIZE];
     let mut scratch = vec![0i64; VECTOR_SIZE];
     let fused = measure(
         || {
-            alp::decode::decode_vector(vector, &mut out);
+            alp::decode::decode_vector(vector, exc, &mut out);
             std::hint::black_box(&out);
         },
         batch_ms,
@@ -29,7 +29,7 @@ fn bench_vector(vector: &AlpVector, batch_ms: u64) -> (f64, f64) {
     );
     let unfused = measure(
         || {
-            alp::decode::decode_vector_unfused(vector, &mut scratch, &mut out);
+            alp::decode::decode_vector_unfused(vector, exc, &mut scratch, &mut out);
             std::hint::black_box(&out);
         },
         batch_ms,
@@ -52,12 +52,12 @@ fn main() {
         let data = bench::dataset(ds.name);
         let compressed = alp::Compressor::new().compress(&data);
         let Some(vector) = compressed.rowgroups.iter().find_map(|rg| match rg {
-            alp::RowGroup::Alp(vs) => vs.first().cloned(),
+            alp::RowGroup::Alp(g) => g.owned_vector(0),
             _ => None,
         }) else {
             continue;
         };
-        let (f, u) = bench_vector(&vector, batch_ms);
+        let (f, u) = bench_vector(&vector, vector.view(), batch_ms);
         speedups.push(f / u);
         table.row(ds.name, vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)]);
     }
@@ -96,11 +96,11 @@ fn main() {
             bit_width: w as u8,
             for_base: base,
             packed,
-            exc_positions: Vec::new(),
-            exc_values: Vec::new(),
+            exc_start: 0,
+            exc_count: 0,
             len: VECTOR_SIZE as u16,
         };
-        let (f, u) = bench_vector(&vector, batch_ms);
+        let (f, u) = bench_vector(&vector, ExcView::empty(), batch_ms);
         sweep.row(
             format!("width {width:>2}"),
             vec![format!("{f:.3}"), format!("{u:.3}"), format!("{:.2}x", f / u)],

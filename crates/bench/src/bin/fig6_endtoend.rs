@@ -19,16 +19,11 @@ use vectorq::{Column, Format};
 const DATASETS: [&str; 5] = ["Gov/26", "City-Temp", "Food-prices", "Blockchain", "NYC/29"];
 
 fn formats() -> Vec<Format> {
-    vec![
-        Format::Alp,
-        Format::Uncompressed,
-        Format::Codec(codecs::Codec::Pde),
-        Format::Codec(codecs::Codec::Patas),
-        Format::Codec(codecs::Codec::Gorilla),
-        Format::Codec(codecs::Codec::Chimp),
-        Format::Codec(codecs::Codec::Chimp128),
-        Format::Gpzip,
-    ]
+    let mut out = vec![Format::alp(), Format::Uncompressed];
+    for id in ["pde", "patas", "gorilla", "chimp", "chimp128", "gpzip"] {
+        out.push(Format::by_id(id).expect("registered serializable codec"));
+    }
+    out
 }
 
 fn cycles_per_tuple(tuples: usize, threads: usize, mut f: impl FnMut()) -> f64 {

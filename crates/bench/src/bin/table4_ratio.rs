@@ -5,19 +5,28 @@
 //! cargo run --release -p bench --bin table4_ratio
 //! ```
 
-use bench::schemes::Scheme;
+use alp_core::{Registry, Scratch, TABLE4_IDS};
+use bench::schemes::bits_per_value;
 use bench::tables::Table;
 
 fn main() {
-    let headers: Vec<&str> = Scheme::TABLE4.iter().map(|s| s.name()).collect();
+    let codecs = Registry::resolve(&TABLE4_IDS).expect("all Table 4 ids registered");
+    let headers: Vec<&str> = codecs.iter().map(|c| c.name()).collect();
     let mut table = Table::new("Table 4: compression ratio (bits per value)", &headers);
+    let mut scratch = Scratch::new();
 
     let mut ts_rows: Vec<Vec<f64>> = Vec::new();
     let mut nts_rows: Vec<Vec<f64>> = Vec::new();
 
     for ds in &datagen::DATASETS {
         let data = bench::dataset(ds.name);
-        let row: Vec<f64> = Scheme::TABLE4.iter().map(|s| s.bits_per_value(&data)).collect();
+        let row: Vec<f64> = codecs
+            .iter()
+            .map(|c| {
+                bits_per_value(*c, &data, &mut scratch)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", c.id(), ds.name))
+            })
+            .collect();
         if ds.time_series {
             ts_rows.push(row.clone());
         } else {
@@ -45,7 +54,7 @@ fn main() {
     }
 
     // Headline comparisons the paper calls out.
-    let idx = |name: &str| Scheme::TABLE4.iter().position(|s| s.name() == name).unwrap();
+    let idx = |name: &str| codecs.iter().position(|c| c.name() == name).unwrap();
     let alp = all_avg[idx("ALP")];
     println!("\nHeadline (ALL AVG. bits/value):");
     for name in ["Gorilla", "Chimp", "Chimp128", "Patas", "PDE", "Elf", "Zstd*", "LWC+ALP"] {

@@ -2,14 +2,15 @@
 //! CPU cycle across all datasets (§4.2).
 //!
 //! Methodology mirrors the paper: one 1024-value vector per dataset, kept
-//! L1-resident by repetition; GPZip (the Zstd stand-in) runs on a full
-//! row-group because it is block-based.
+//! L1-resident by repetition; the block-based general-purpose compressors run
+//! on a full row-group.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin table5_speed
 //! ```
 
-use bench::schemes::{measure_speed, Scheme};
+use alp_core::{Registry, SPEED_IDS};
+use bench::schemes::measure_speed;
 use bench::tables::Table;
 use bench::timing::tsc_ghz;
 
@@ -18,17 +19,17 @@ fn main() {
         std::env::var("ALP_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
     eprintln!("TSC ~{:.2} GHz; batch {batch_ms} ms", tsc_ghz());
 
-    let mut comp_avg: Vec<(Scheme, Vec<f64>)> =
-        Scheme::SPEED.iter().map(|&s| (s, Vec::new())).collect();
-    let mut dec_avg: Vec<(Scheme, Vec<f64>)> =
-        Scheme::SPEED.iter().map(|&s| (s, Vec::new())).collect();
+    let codecs = Registry::resolve(&SPEED_IDS).expect("all speed ids registered");
+    let mut comp_avg: Vec<Vec<f64>> = vec![Vec::new(); codecs.len()];
+    let mut dec_avg: Vec<Vec<f64>> = vec![Vec::new(); codecs.len()];
 
     for ds in &datagen::DATASETS {
         let data = bench::dataset(ds.name);
-        for (i, &scheme) in Scheme::SPEED.iter().enumerate() {
-            let speed = measure_speed(scheme, &data, batch_ms);
-            comp_avg[i].1.push(speed.compress_tpc());
-            dec_avg[i].1.push(speed.decompress_tpc());
+        for (i, codec) in codecs.iter().enumerate() {
+            let speed = measure_speed(*codec, &data, batch_ms)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", codec.id(), ds.name));
+            comp_avg[i].push(speed.compress_tpc());
+            dec_avg[i].push(speed.decompress_tpc());
         }
         eprintln!("done: {}", ds.name);
     }
@@ -37,16 +38,15 @@ fn main() {
         "Table 5: average speed (tuples per CPU cycle, higher is better)",
         &["Compression", "ALP is faster by", "Decompression", "ALP is faster by"],
     );
-    let alp_c = bench::mean(&comp_avg[0].1);
-    let alp_d = bench::mean(&dec_avg[0].1);
-    for ((scheme, cs), (_, ds_)) in comp_avg.iter().zip(&dec_avg) {
-        let c = bench::mean(cs);
-        let d = bench::mean(ds_);
-        let speedup_c =
-            if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_c / c) };
-        let speedup_d =
-            if *scheme == Scheme::Alp { "-".to_string() } else { format!("{:.0}x", alp_d / d) };
-        table.row(scheme.name(), vec![format!("{c:.3}"), speedup_c, format!("{d:.3}"), speedup_d]);
+    let alp_c = bench::mean(&comp_avg[0]);
+    let alp_d = bench::mean(&dec_avg[0]);
+    for (i, codec) in codecs.iter().enumerate() {
+        let c = bench::mean(&comp_avg[i]);
+        let d = bench::mean(&dec_avg[i]);
+        let is_alp = codec.id() == "alp";
+        let speedup_c = if is_alp { "-".to_string() } else { format!("{:.0}x", alp_c / c) };
+        let speedup_d = if is_alp { "-".to_string() } else { format!("{:.0}x", alp_d / d) };
+        table.row(codec.name(), vec![format!("{c:.3}"), speedup_c, format!("{d:.3}"), speedup_d]);
     }
     table.print();
     if let Ok(p) = table.write_csv("table5_speed") {

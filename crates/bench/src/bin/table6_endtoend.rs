@@ -18,16 +18,11 @@ use bench::timing::tsc_ghz;
 use vectorq::{Column, Format};
 
 fn formats() -> Vec<Format> {
-    vec![
-        Format::Alp,
-        Format::Uncompressed,
-        Format::Codec(codecs::Codec::Pde),
-        Format::Codec(codecs::Codec::Patas),
-        Format::Codec(codecs::Codec::Gorilla),
-        Format::Codec(codecs::Codec::Chimp),
-        Format::Codec(codecs::Codec::Chimp128),
-        Format::Gpzip,
-    ]
+    let mut out = vec![Format::alp(), Format::Uncompressed];
+    for id in ["pde", "patas", "gorilla", "chimp", "chimp128", "gpzip"] {
+        out.push(Format::by_id(id).expect("registered serializable codec"));
+    }
+    out
 }
 
 fn scaled_dataset(name: &str, target: usize) -> Vec<f64> {

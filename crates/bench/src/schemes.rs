@@ -1,103 +1,34 @@
-//! Registry of every compression scheme in the evaluation, with uniform
-//! ratio- and speed-measurement entry points.
+//! Registry-driven measurement entry points: every scheme in the evaluation
+//! is a [`ColumnCodec`] resolved from [`alp_core::Registry`]; this module
+//! only measures, it no longer enumerates.
 
-use alp::cascade::CascadeCompressor;
-use alp::{Compressor, VECTOR_SIZE};
+use alp::VECTOR_SIZE;
+use alp_core::{ColumnCodec, CoreError, Scratch};
 
 use crate::timing::{measure, Measurement};
 
-/// One column of the paper's Table 4 / one series of Figure 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// A baseline float codec.
-    Codec(codecs::Codec),
-    /// ALP (this paper).
-    Alp,
-    /// ALP behind a Dictionary/RLE cascade ("LWC+ALP").
-    LwcAlp,
-    /// GPZip — the Zstd stand-in.
-    Gpzip,
-}
-
-impl Scheme {
-    /// Table 4 column order.
-    pub const TABLE4: [Scheme; 9] = [
-        Scheme::Codec(codecs::Codec::Gorilla),
-        Scheme::Codec(codecs::Codec::Chimp),
-        Scheme::Codec(codecs::Codec::Chimp128),
-        Scheme::Codec(codecs::Codec::Patas),
-        Scheme::Codec(codecs::Codec::Pde),
-        Scheme::Codec(codecs::Codec::Elf),
-        Scheme::Alp,
-        Scheme::LwcAlp,
-        Scheme::Gpzip,
-    ];
-
-    /// Schemes measured for speed (Figure 1 / Table 5): the cascade is a
-    /// ratio-only configuration, everything else is timed.
-    pub const SPEED: [Scheme; 8] = [
-        Scheme::Alp,
-        Scheme::Codec(codecs::Codec::Chimp),
-        Scheme::Codec(codecs::Codec::Chimp128),
-        Scheme::Codec(codecs::Codec::Elf),
-        Scheme::Codec(codecs::Codec::Gorilla),
-        Scheme::Codec(codecs::Codec::Pde),
-        Scheme::Codec(codecs::Codec::Patas),
-        Scheme::Gpzip,
-    ];
-
-    /// Display name matching the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Scheme::Codec(c) => c.name(),
-            Scheme::Alp => "ALP",
-            Scheme::LwcAlp => "LWC+ALP",
-            Scheme::Gpzip => "Zstd*",
-        }
+/// Compression ratio of `codec` on `data` in bits per value, verifying
+/// losslessness on the way.
+///
+/// Errs with [`CoreError::Empty`] on an empty column (a ratio of zero values
+/// is undefined) and with [`CoreError::NotLossless`] if the roundtrip changed
+/// any bit pattern.
+pub fn bits_per_value(
+    codec: &dyn ColumnCodec,
+    data: &[f64],
+    scratch: &mut Scratch,
+) -> Result<f64, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::Empty);
     }
-
-    /// Compression ratio in bits per value on `data` (verifying losslessness).
-    pub fn bits_per_value(&self, data: &[f64]) -> f64 {
-        assert!(!data.is_empty());
-        match self {
-            Scheme::Codec(c) => {
-                let bytes = c.compress_f64(data);
-                let back = c.decompress_f64(&bytes, data.len());
-                assert_roundtrip(data, &back, c.name());
-                bytes.len() as f64 * 8.0 / data.len() as f64
-            }
-            Scheme::Alp => {
-                let compressed = Compressor::new().compress(data);
-                let back = compressed.decompress();
-                assert_roundtrip(data, &back, "ALP");
-                compressed.bits_per_value()
-            }
-            Scheme::LwcAlp => {
-                let compressed = CascadeCompressor::new().compress(data);
-                let back = compressed.decompress();
-                assert_roundtrip(data, &back, "LWC+ALP");
-                compressed.bits_per_value()
-            }
-            Scheme::Gpzip => {
-                let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-                let compressed = gpzip::compress(&bytes);
-                assert_eq!(gpzip::decompress(&compressed), bytes, "GPZip roundtrip");
-                compressed.len() as f64 * 8.0 / data.len() as f64
-            }
-        }
-    }
-}
-
-fn assert_roundtrip(data: &[f64], back: &[f64], name: &str) {
-    assert_eq!(data.len(), back.len(), "{name} length");
-    for (i, (a, b)) in data.iter().zip(back).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "{name} not lossless at {i}");
-    }
+    let bits = codec.verified_compressed_bits(data, scratch)?;
+    Ok(bits as f64 / data.len() as f64)
 }
 
 /// Speed measurement of one scheme on one dataset: an L1-resident vector
-/// (1024 values) compressed/decompressed repeatedly, except GPZip which runs
-/// on a whole row-group (it is block-based — §4.2's methodology).
+/// (1024 values) compressed/decompressed repeatedly, except the block-based
+/// general-purpose compressors which run on a whole row-group (§4.2's
+/// methodology).
 #[derive(Debug, Clone, Copy)]
 pub struct Speed {
     /// Compression throughput.
@@ -119,109 +50,162 @@ impl Speed {
     }
 }
 
-/// Measures a scheme's speed on a dataset (first 1024 values / first
-/// row-group). `min_batch_ms` trades accuracy for runtime.
-pub fn measure_speed(scheme: Scheme, data: &[f64], min_batch_ms: u64) -> Speed {
-    let vector: Vec<f64> = data.iter().copied().take(VECTOR_SIZE).collect();
-    assert_eq!(vector.len(), VECTOR_SIZE, "need at least one full vector");
-    match scheme {
-        Scheme::Alp => {
-            // Micro-benchmark scope per the paper: second-level sampling +
-            // encode (+FFOR) for compression; fused decode for decompression.
-            // Row-group (first-level) sampling is amortized and excluded.
-            let params = alp::SamplerParams::default();
-            let outcome = alp::sampler::first_level(data, &params);
-            let combos = outcome.combinations.clone();
-            let mut stats = alp::SamplerStats::default();
-            let compress = measure(
-                || {
-                    let combo = alp::sampler::second_level(&vector, &combos, &params, &mut stats);
-                    std::hint::black_box(alp::encode::encode_vector(&vector, combo.e, combo.f));
-                },
-                min_batch_ms,
-                3,
-            );
-            let combo = alp::sampler::second_level(&vector, &combos, &params, &mut stats);
-            let encoded = alp::encode::encode_vector(&vector, combo.e, combo.f);
-            let mut out = vec![0.0f64; VECTOR_SIZE];
-            let decompress = measure(
-                || {
-                    alp::decode::decode_vector(&encoded, &mut out);
-                    std::hint::black_box(&out);
-                },
-                min_batch_ms,
-                3,
-            );
-            Speed { compress, decompress, tuples: VECTOR_SIZE }
-        }
-        Scheme::Codec(codec) => {
-            let compress = measure(
-                || {
-                    std::hint::black_box(codec.compress_f64(&vector));
-                },
-                min_batch_ms,
-                3,
-            );
-            let bytes = codec.compress_f64(&vector);
-            let decompress = measure(
-                || {
-                    std::hint::black_box(codec.decompress_f64(&bytes, vector.len()));
-                },
-                min_batch_ms,
-                3,
-            );
-            Speed { compress, decompress, tuples: VECTOR_SIZE }
-        }
-        Scheme::Gpzip => {
-            let rg_len = data.len().min(vectorq::ROWGROUP_VALUES);
-            let raw: Vec<u8> = data[..rg_len].iter().flat_map(|v| v.to_le_bytes()).collect();
-            let compress = measure(
-                || {
-                    std::hint::black_box(gpzip::compress(&raw));
-                },
-                min_batch_ms,
-                3,
-            );
-            let bytes = gpzip::compress(&raw);
-            let decompress = measure(
-                || {
-                    std::hint::black_box(gpzip::decompress(&bytes));
-                },
-                min_batch_ms,
-                3,
-            );
-            Speed { compress, decompress, tuples: rg_len }
-        }
-        Scheme::LwcAlp => panic!("LWC+ALP is a ratio-only configuration"),
+/// Measures a codec's speed on a dataset (first 1024 values, or the first
+/// row-group for block-based codecs). `min_batch_ms` trades accuracy for
+/// runtime.
+///
+/// Errs with [`CoreError::Unsupported`] for ratio-only schemes and
+/// [`CoreError::Empty`] when `data` has less than one full vector.
+pub fn measure_speed(
+    codec: &dyn ColumnCodec,
+    data: &[f64],
+    min_batch_ms: u64,
+) -> Result<Speed, CoreError> {
+    let caps = codec.caps();
+    if caps.ratio_only {
+        return Err(CoreError::Unsupported { codec: codec.id(), what: "speed measurement" });
     }
+    if data.len() < VECTOR_SIZE {
+        return Err(CoreError::Empty);
+    }
+    let vector = &data[..VECTOR_SIZE];
+    if codec.id() == "alp" {
+        // Micro-benchmark scope per the paper: second-level sampling +
+        // encode (+FFOR) for compression; fused decode for decompression.
+        // Row-group (first-level) sampling is amortized and excluded, as is
+        // the byte serialization the generic path below would time.
+        let params = alp::SamplerParams::default();
+        let outcome = alp::sampler::first_level(data, &params);
+        let combos = outcome.combinations.clone();
+        let mut stats = alp::SamplerStats::default();
+        let compress = measure(
+            || {
+                let combo = alp::sampler::second_level(vector, &combos, &params, &mut stats);
+                std::hint::black_box(alp::encode::encode_vector(vector, combo.e, combo.f));
+            },
+            min_batch_ms,
+            3,
+        );
+        let combo = alp::sampler::second_level(vector, &combos, &params, &mut stats);
+        let encoded = alp::encode::encode_vector(vector, combo.e, combo.f);
+        let mut out = vec![0.0f64; VECTOR_SIZE];
+        let decompress = measure(
+            || {
+                alp::decode::decode_vector(&encoded, encoded.view(), &mut out);
+                std::hint::black_box(&out);
+            },
+            min_batch_ms,
+            3,
+        );
+        return Ok(Speed { compress, decompress, tuples: VECTOR_SIZE });
+    }
+    // Block-based codecs get a whole row-group per call; vector-granular
+    // codecs get one L1-resident vector.
+    let input = if caps.block_based {
+        &data[..data.len().min(vectorq::ROWGROUP_VALUES)]
+    } else {
+        vector
+    };
+    let mut scratch = Scratch::new();
+    let mut bytes = Vec::new();
+    codec.try_compress_into(input, &mut bytes, &mut scratch)?;
+    let mut stage = Vec::new();
+    let compress = measure(
+        || {
+            codec
+                .try_compress_into(input, &mut stage, &mut scratch)
+                .expect("compression succeeded above");
+            std::hint::black_box(&stage);
+        },
+        min_batch_ms,
+        3,
+    );
+    let mut out = Vec::new();
+    let decompress = measure(
+        || {
+            codec
+                .try_decompress_into(&bytes, input.len(), &mut out, &mut scratch)
+                .expect("decoding bytes we just compressed");
+            std::hint::black_box(&out);
+        },
+        min_batch_ms,
+        3,
+    );
+    Ok(Speed { compress, decompress, tuples: input.len() })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alp_core::Registry;
 
     #[test]
     fn every_table4_scheme_reports_a_ratio() {
         let data: Vec<f64> = (0..4096).map(|i| ((i % 91) as f64) / 10.0).collect();
-        for scheme in Scheme::TABLE4 {
-            let bpv = scheme.bits_per_value(&data);
-            assert!(bpv > 0.0 && bpv < 128.0, "{}: {bpv}", scheme.name());
+        let mut scratch = Scratch::new();
+        for id in alp_core::TABLE4_IDS {
+            let codec = Registry::get(id).expect("table 4 id registered");
+            let bpv = bits_per_value(codec, &data, &mut scratch).expect("ratio");
+            assert!(bpv > 0.0 && bpv < 128.0, "{}: {bpv}", codec.name());
+        }
+    }
+
+    #[test]
+    fn empty_column_is_a_typed_error_not_a_panic() {
+        let mut scratch = Scratch::new();
+        for codec in Registry::all() {
+            assert_eq!(
+                bits_per_value(*codec, &[], &mut scratch),
+                Err(CoreError::Empty),
+                "{}",
+                codec.id()
+            );
+        }
+    }
+
+    #[test]
+    fn length_one_column_reports_a_ratio() {
+        let mut scratch = Scratch::new();
+        for codec in Registry::all() {
+            let bpv = bits_per_value(*codec, &[3.25], &mut scratch)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.id()));
+            assert!(bpv > 0.0, "{}: {bpv}", codec.id());
         }
     }
 
     #[test]
     fn alp_beats_xor_codecs_on_decimals() {
         let data: Vec<f64> = (0..8192).map(|i| ((i * 37 % 9973) as f64) / 100.0).collect();
-        let alp = Scheme::Alp.bits_per_value(&data);
-        let gorilla = Scheme::Codec(codecs::Codec::Gorilla).bits_per_value(&data);
-        assert!(alp < gorilla, "alp {alp} gorilla {gorilla}");
+        let mut scratch = Scratch::new();
+        let alp_codec = Registry::get("alp").expect("registered");
+        let gorilla = Registry::get("gorilla").expect("registered");
+        let a = bits_per_value(alp_codec, &data, &mut scratch).expect("alp ratio");
+        let g = bits_per_value(gorilla, &data, &mut scratch).expect("gorilla ratio");
+        assert!(a < g, "alp {a} gorilla {g}");
     }
 
     #[test]
     fn speed_measurement_runs_quickly() {
         let data: Vec<f64> = (0..4096).map(|i| (i as f64) / 8.0).collect();
-        let s = measure_speed(Scheme::Alp, &data, 1);
+        let alp_codec = Registry::get("alp").expect("registered");
+        let s = measure_speed(alp_codec, &data, 1).expect("measurable");
         assert!(s.decompress_tpc() > 0.0);
         assert!(s.compress_tpc() > 0.0);
+    }
+
+    #[test]
+    fn ratio_only_scheme_is_not_measurable_for_speed() {
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64) / 8.0).collect();
+        let lwc = Registry::get("lwc-alp").expect("registered");
+        assert!(matches!(
+            measure_speed(lwc, &data, 1),
+            Err(CoreError::Unsupported { codec: "lwc-alp", .. })
+        ));
+    }
+
+    #[test]
+    fn short_column_speed_is_a_typed_error() {
+        let alp_codec = Registry::get("alp").expect("registered");
+        assert_eq!(measure_speed(alp_codec, &[1.0; 100], 1).map(|_| ()), Err(CoreError::Empty));
     }
 }

@@ -99,8 +99,8 @@ fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_byte
     println!("{:<6} {:<8} {:>8} {:>10} {:>12}", "rg", "scheme", "vectors", "values", "exceptions");
     for (i, rg) in rowgroups.iter().enumerate() {
         let (scheme, exceptions) = match rg {
-            alp::RowGroup::Alp(vs) => {
-                ("ALP", vs.iter().map(|v| v.exception_count()).sum::<usize>())
+            alp::RowGroup::Alp(g) => {
+                ("ALP", g.vectors.iter().map(|v| v.exception_count()).sum::<usize>())
             }
             alp::RowGroup::Rd(_, vs) => {
                 ("ALP_rd", vs.iter().map(|v| v.exception_count()).sum::<usize>())
@@ -221,7 +221,8 @@ pub fn list_datasets() -> Result<()> {
     Ok(())
 }
 
-/// `alp shootout <in>`
+/// `alp shootout <in>` — every registered codec, one loop. Ratio-only
+/// schemes report bits/value with dashes for the timing columns.
 pub fn shootout(input: &str) -> Result<()> {
     let data = read_f64(input)?;
     if data.is_empty() {
@@ -230,63 +231,49 @@ pub fn shootout(input: &str) -> Result<()> {
     let mb = data.len() as f64 * 8.0 / 1e6;
     println!("{:<10} {:>11} {:>12} {:>12}", "scheme", "bits/value", "comp MB/s", "dec MB/s");
 
-    let t0 = Instant::now();
-    let compressed = alp::Compressor::new().compress(&data);
-    let c = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let back = compressed.decompress();
-    let d = t0.elapsed().as_secs_f64();
-    verify(&data, &back, "ALP")?;
-    println!(
-        "{:<10} {:>11.2} {:>12.0} {:>12.0}",
-        "ALP",
-        compressed.bits_per_value(),
-        mb / c,
-        mb / d
-    );
-
-    for codec in codecs::Codec::EXTENDED {
+    let mut scratch = alp_core::Scratch::new();
+    let mut bytes = Vec::new();
+    let mut back = Vec::new();
+    for codec in alp_core::Registry::all() {
+        let bpv = codec.verified_compressed_bits(&data, &mut scratch)? as f64 / data.len() as f64;
+        if codec.caps().ratio_only {
+            println!("{:<10} {bpv:>11.2} {:>12} {:>12}", codec.name(), "-", "-");
+            continue;
+        }
         let t0 = Instant::now();
-        let bytes = codec.compress_f64(&data);
+        codec.try_compress_into(&data, &mut bytes, &mut scratch)?;
         let c = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let back = codec.decompress_f64(&bytes, data.len());
+        codec.try_decompress_into(&bytes, data.len(), &mut back, &mut scratch)?;
         let d = t0.elapsed().as_secs_f64();
         verify(&data, &back, codec.name())?;
-        println!(
-            "{:<10} {:>11.2} {:>12.0} {:>12.0}",
-            codec.name(),
-            bytes.len() as f64 * 8.0 / data.len() as f64,
-            mb / c,
-            mb / d
-        );
+        println!("{:<10} {bpv:>11.2} {:>12.0} {:>12.0}", codec.name(), mb / c, mb / d);
     }
+    Ok(())
+}
 
-    let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-    for (name, comp, dec) in [
-        (
-            "Zstd*",
-            gpzip::compress as fn(&[u8]) -> Vec<u8>,
-            gpzip::decompress as fn(&[u8]) -> Vec<u8>,
-        ),
-        ("LZ4*", gpzip::fast::compress, gpzip::fast::decompress),
-    ] {
-        let t0 = Instant::now();
-        let z = comp(&raw);
-        let c = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let back = dec(&z);
-        let d = t0.elapsed().as_secs_f64();
-        if back != raw {
-            return Err(format!("{name} roundtrip failed").into());
+/// `alp codecs` — list every registered codec with its capabilities.
+pub fn list_codecs() -> Result<()> {
+    println!("{:<12} {:<10} capabilities", "id", "name");
+    for codec in alp_core::Registry::all() {
+        let caps = codec.caps();
+        let mut tags: Vec<&str> = Vec::new();
+        if caps.random_vector_access {
+            tags.push("random-vector-access");
         }
-        println!(
-            "{:<10} {:>11.2} {:>12.0} {:>12.0}",
-            name,
-            z.len() as f64 * 8.0 / data.len() as f64,
-            mb / c,
-            mb / d
-        );
+        if caps.f32 {
+            tags.push("f32");
+        }
+        if caps.ratio_only {
+            tags.push("ratio-only");
+        }
+        if caps.block_based {
+            tags.push("block-based");
+        }
+        if tags.is_empty() {
+            tags.push("-");
+        }
+        println!("{:<12} {:<10} {}", codec.id(), codec.name(), tags.join(", "));
     }
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64>                       ratio/speed of every codec
+//! alp codecs                                    list the codec registry
 //! alp datasets                                  list generatable datasets
 //! alp analyze    [--root <path>] [--format text|json]   workspace lint pass
 //! ```
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
                 ("shootout", [input]) => commands::shootout(input),
+                ("codecs", []) => commands::list_codecs(),
                 ("datasets", []) => commands::list_datasets(),
                 _ => return usage(),
             }
@@ -62,7 +64,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

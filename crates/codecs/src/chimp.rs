@@ -90,12 +90,18 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decompresses `count` words, validating every field against the input.
-pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
+/// Decompresses `count` words into `out` (cleared first), validating every
+/// field against the input. Allocation-free once `out` has capacity.
+pub fn try_decompress_words_into<W: Word>(
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<W>,
+) -> Result<(), CodecError> {
     let mut r = BitReader::new(bytes);
-    let mut out = Vec::with_capacity(count.min(1 << 24));
+    out.clear();
+    out.reserve(count.min(1 << 24));
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut prev = W::from_u64(r.read_bits(W::BITS));
     out.push(prev);
@@ -142,6 +148,14 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
     if r.overrun() {
         return Err(CodecError::Truncated { codec: NAME });
     }
+    Ok(())
+}
+
+/// Decompresses `count` words into a fresh vector — see
+/// [`try_decompress_words_into`] for the allocation-free variant.
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_words_into(bytes, count, &mut out)?;
     Ok(out)
 }
 

@@ -105,12 +105,19 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` doubles, validating every field against the input.
+/// Decompresses `count` doubles into `out` (cleared first), validating every
+/// field against the input. `words` is the scratch buffer for the erased XOR
+/// stream; the call is allocation-free once both buffers have capacity.
 ///
 /// Checked hazards: the flag-stream length prefix (can claim more bytes than
 /// exist), flag-stream exhaustion, precision values past [`MAX_ALPHA`], and
 /// whatever the Chimp back-end detects in the XOR stream.
-pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+pub fn try_decompress_into(
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<f64>,
+    words: &mut Vec<u64>,
+) -> Result<(), CodecError> {
     let Some((len_bytes, rest)) = bytes.split_first_chunk::<8>() else {
         return Err(CodecError::Truncated { codec: NAME });
     };
@@ -118,11 +125,12 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
     let Some((flag_bytes, xor_bytes)) = rest.split_at_checked(flag_len) else {
         return Err(CodecError::Truncated { codec: NAME });
     };
-    let erased: Vec<u64> = crate::chimp::try_decompress_words(xor_bytes, count)?;
+    crate::chimp::try_decompress_words_into(xor_bytes, count, words)?;
 
     let mut flags = BitReader::new(flag_bytes);
-    let mut out = Vec::with_capacity(count.min(1 << 24));
-    for &bits in &erased {
+    out.clear();
+    out.reserve(count.min(1 << 24));
+    for &bits in words.iter() {
         let v = f64::from_bits(bits);
         if flags.read_bit() {
             let alpha = flags.read_bits(4) as u32; // ANALYZER-ALLOW(no-panic): 4-bit value
@@ -137,6 +145,15 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
     if flags.overrun() {
         return Err(CodecError::Truncated { codec: NAME });
     }
+    Ok(())
+}
+
+/// Decompresses `count` doubles into fresh vectors — see
+/// [`try_decompress_into`] for the allocation-free variant.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::new();
+    let mut words = Vec::new();
+    try_decompress_into(bytes, count, &mut out, &mut words)?;
     Ok(out)
 }
 

@@ -23,7 +23,10 @@ const NAME: &str = "fpc";
 pub const TABLE_BITS: u32 = 16;
 const TABLE_SIZE: usize = 1 << TABLE_BITS;
 
-struct Predictor {
+/// The FCM/DFCM hash-table pair. Public so decode scratch space can own one
+/// across calls — the two tables are 64 KiB each and dominate FPC's per-call
+/// allocation cost when built fresh.
+pub struct Predictor {
     fcm: Vec<u64>,
     dfcm: Vec<u64>,
     fcm_hash: usize,
@@ -32,7 +35,8 @@ struct Predictor {
 }
 
 impl Predictor {
-    fn new() -> Self {
+    /// Allocates zeroed tables.
+    pub fn new() -> Self {
         Self {
             fcm: vec![0; TABLE_SIZE],
             dfcm: vec![0; TABLE_SIZE],
@@ -42,6 +46,24 @@ impl Predictor {
         }
     }
 
+    /// Rewinds to the initial state without releasing the tables.
+    fn reset(&mut self) {
+        self.fcm.fill(0);
+        self.dfcm.fill(0);
+        self.fcm_hash = 0;
+        self.dfcm_hash = 0;
+        self.last = 0;
+    }
+
+}
+
+impl Default for Predictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor {
     /// Returns (fcm prediction, dfcm prediction) for the next value.
     #[inline]
     fn predict(&self) -> (u64, u64) {
@@ -133,13 +155,20 @@ pub fn compress(data: &[f64]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` doubles, validating every field against the input.
+/// Decompresses `count` doubles into `out` (cleared first), validating every
+/// field against the input. `predictor` is reset and reused, so the call is
+/// allocation-free once `out` has capacity.
 ///
 /// Checked hazards: the header-length prefix (can claim more bytes than
 /// exist), a header stream too short for `count` nibbles, and payload
 /// exhaustion. Header nibbles themselves cannot be out of range — every
 /// 4-bit pattern is a valid (selector, zero-byte code) pair.
-pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+pub fn try_decompress_into(
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<f64>,
+    predictor: &mut Predictor,
+) -> Result<(), CodecError> {
     let Some((len_bytes, rest)) = bytes.split_first_chunk::<8>() else {
         return Err(CodecError::Truncated { codec: NAME });
     };
@@ -151,8 +180,9 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
         return Err(CodecError::Truncated { codec: NAME });
     }
 
-    let mut predictor = Predictor::new();
-    let mut out = Vec::with_capacity(count.min(1 << 24));
+    predictor.reset();
+    out.clear();
+    out.reserve(count.min(1 << 24));
     for i in 0..count {
         // ANALYZER-ALLOW(no-panic): header_len >= ceil(count/2) checked above
         let byte = headers[i / 2];
@@ -174,6 +204,14 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
         out.push(f64::from_bits(bits));
         predictor.update(bits);
     }
+    Ok(())
+}
+
+/// Decompresses `count` doubles into a fresh vector — see
+/// [`try_decompress_into`] for the allocation-free variant.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_into(bytes, count, &mut out, &mut Predictor::new())?;
     Ok(out)
 }
 

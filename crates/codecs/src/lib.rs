@@ -22,9 +22,11 @@ pub mod fpc;
 pub mod gorilla;
 pub mod patas;
 pub mod pde;
+pub mod scratch;
 pub mod word;
 
 pub use error::CodecError;
+pub use scratch::DecodeScratch;
 
 /// Uniform handle over the six baselines (plus raw storage), used by the
 /// benchmark harnesses to iterate "all schemes".
@@ -115,6 +117,76 @@ impl Codec {
             Codec::Pde => pde::try_decompress(bytes, count),
             Codec::Fpc => fpc::try_decompress(bytes, count),
         }
+    }
+
+    /// Decompresses `count` doubles from untrusted `bytes` into `out`
+    /// (cleared first), staging through `scratch`. Allocation-free once the
+    /// buffers are warm — this is the hot-loop variant of
+    /// [`Codec::try_decompress_f64`].
+    pub fn try_decompress_f64_into(
+        &self,
+        bytes: &[u8],
+        count: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), CodecError> {
+        match self {
+            Codec::Gorilla => {
+                gorilla::try_decompress_words_into::<u64>(bytes, count, &mut scratch.words64)?
+            }
+            Codec::Chimp => {
+                chimp::try_decompress_words_into::<u64>(bytes, count, &mut scratch.words64)?
+            }
+            Codec::Chimp128 => {
+                chimp128::try_decompress_words_into::<u64>(bytes, count, &mut scratch.words64)?
+            }
+            Codec::Patas => {
+                patas::try_decompress_words_into::<u64>(bytes, count, &mut scratch.words64)?
+            }
+            Codec::Elf => return elf::try_decompress_into(bytes, count, out, &mut scratch.words64),
+            Codec::Pde => return pde::try_decompress_into(bytes, count, out, &mut scratch.pde),
+            Codec::Fpc => return fpc::try_decompress_into(bytes, count, out, &mut scratch.fpc),
+        }
+        out.clear();
+        out.reserve(scratch.words64.len());
+        out.extend(scratch.words64.iter().map(|&b| f64::from_bits(b)));
+        Ok(())
+    }
+
+    /// Decompresses `count` 32-bit floats from untrusted `bytes` into `out`
+    /// (cleared first), staging through `scratch`. Errs with
+    /// [`CodecError::Unsupported`] for codecs without a 32-bit variant.
+    pub fn try_decompress_f32_into(
+        &self,
+        bytes: &[u8],
+        count: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut DecodeScratch,
+    ) -> Result<(), CodecError> {
+        match self {
+            Codec::Gorilla => {
+                gorilla::try_decompress_words_into::<u32>(bytes, count, &mut scratch.words32)?
+            }
+            Codec::Chimp => {
+                chimp::try_decompress_words_into::<u32>(bytes, count, &mut scratch.words32)?
+            }
+            Codec::Chimp128 => {
+                chimp128::try_decompress_words_into::<u32>(bytes, count, &mut scratch.words32)?
+            }
+            Codec::Patas => {
+                patas::try_decompress_words_into::<u32>(bytes, count, &mut scratch.words32)?
+            }
+            other => {
+                return Err(CodecError::Unsupported {
+                    codec: other.name(),
+                    what: "32-bit decompression",
+                })
+            }
+        }
+        out.clear();
+        out.reserve(scratch.words32.len());
+        out.extend(scratch.words32.iter().map(|&b| f32::from_bits(b)));
+        Ok(())
     }
 
     /// Whether a 32-bit float variant exists (Table 7: all XOR codecs do;

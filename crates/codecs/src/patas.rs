@@ -70,16 +70,22 @@ pub fn compress_words<W: Word>(data: &[W]) -> Vec<u8> {
     out
 }
 
-/// Decompresses `count` words, validating every field against the input.
+/// Decompresses `count` words into `out` (cleared first), validating every
+/// field against the input. Allocation-free once `out` has capacity.
 ///
 /// Checked hazards: the verbatim first word, every 2-byte header, the 4-bit
 /// significant-byte count (values 9–15 are unrepresentable in a word), and
 /// each payload slice.
-pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
+pub fn try_decompress_words_into<W: Word>(
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<W>,
+) -> Result<(), CodecError> {
     let word_bytes = (W::BITS / 8) as usize;
-    let mut out = Vec::with_capacity(count.min(1 << 24));
+    out.clear();
+    out.reserve(count.min(1 << 24));
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut ring = [W::ZERO; PREVIOUS_VALUES];
     let mut pos = 0usize;
@@ -114,6 +120,14 @@ pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W
         ring[i % PREVIOUS_VALUES] = value; // ANALYZER-ALLOW(no-panic): index is mod ring size
         out.push(value);
     }
+    Ok(())
+}
+
+/// Decompresses `count` words into a fresh vector — see
+/// [`try_decompress_words_into`] for the allocation-free variant.
+pub fn try_decompress_words<W: Word>(bytes: &[u8], count: usize) -> Result<Vec<W>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_words_into(bytes, count, &mut out)?;
     Ok(out)
 }
 

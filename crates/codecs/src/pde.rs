@@ -109,13 +109,54 @@ fn compress_block(block: &[f64], out: &mut Vec<u8>) {
     }
 }
 
-/// Decompresses the column, validating every field against the input.
+/// Reusable decode buffers so [`try_decompress_into`] allocates nothing per
+/// call once warm: unpacked significand/exponent lanes, the packed-word
+/// staging buffers, patch positions, and the inverse-power-of-ten LUT.
+pub struct Scratch {
+    sigs: Vec<i64>,
+    exps: Vec<u64>,
+    packed: Vec<u64>,
+    packed_e: Vec<u64>,
+    positions: Vec<usize>,
+    inv_pow: Vec<f64>,
+}
+
+impl Scratch {
+    /// Allocates the fixed-size lanes and the power LUT up front.
+    pub fn new() -> Self {
+        Self {
+            sigs: vec![0i64; VECTOR_SIZE],
+            exps: vec![0u64; VECTOR_SIZE],
+            packed: Vec::with_capacity(65),
+            packed_e: Vec::with_capacity(65),
+            positions: Vec::with_capacity(VECTOR_SIZE),
+            // Inverse powers of ten indexed by exponent, hoisted out of the
+            // decode loop.
+            // ANALYZER-ALLOW(no-panic): e <= MAX_EXPONENT = 22 always fits in i32
+            inv_pow: (0..=MAX_EXPONENT).map(|e| 10f64.powi(-(e as i32))).collect(),
+        }
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decompresses the column into `out` (cleared first), validating every field
+/// against the input. Allocation-free once `out` and `scratch` are warm.
 ///
 /// Checked hazards: the column header, per-block header geometry (widths over
 /// 64 bits, empty or oversized blocks — an empty block would loop forever),
 /// packed-word and patch-stream bounds, exponents past [`MAX_EXPONENT`], and
 /// patch positions outside their block.
-pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+pub fn try_decompress_into(
+    bytes: &[u8],
+    count: usize,
+    out: &mut Vec<f64>,
+    scratch: &mut Scratch,
+) -> Result<(), CodecError> {
     let truncated = || CodecError::Truncated { codec: NAME };
     let corrupt = |what| CodecError::Corrupt { codec: NAME, what };
 
@@ -124,12 +165,9 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
     if total != count {
         return Err(corrupt("count mismatch"));
     }
-    let mut out = Vec::with_capacity(total.min(1 << 24));
-    let mut sigs = vec![0i64; VECTOR_SIZE];
-    let mut exps = vec![0u64; VECTOR_SIZE];
-    // Inverse powers of ten indexed by exponent, hoisted out of the hot loop.
-    // ANALYZER-ALLOW(no-panic): e <= MAX_EXPONENT = 22 always fits in i32
-    let inv_pow: Vec<f64> = (0..=MAX_EXPONENT).map(|e| 10f64.powi(-(e as i32))).collect();
+    out.clear();
+    out.reserve(total.min(1 << 24));
+    let Scratch { sigs, exps, packed, packed_e, positions, inv_pow } = scratch;
 
     while out.len() < total {
         let sig_base = cursor::read_i64_le(bytes, &mut pos).ok_or_else(truncated)?;
@@ -156,19 +194,19 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
         if bytes.len() - pos < (sig_words + exp_words) * 8 {
             return Err(truncated());
         }
-        let mut packed = Vec::with_capacity(sig_words + 1);
+        packed.clear();
         for _ in 0..sig_words {
             packed.push(cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?);
         }
         packed.push(0);
-        ffor::ffor_unpack(&packed, sig_base, sig_width, &mut sigs);
+        ffor::ffor_unpack(packed, sig_base, sig_width, sigs);
 
-        let mut packed_e = Vec::with_capacity(exp_words + 1);
+        packed_e.clear();
         for _ in 0..exp_words {
             packed_e.push(cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?);
         }
         packed_e.push(0);
-        bitpack::unpack(&packed_e, exp_width, &mut exps);
+        bitpack::unpack(packed_e, exp_width, exps);
 
         let start = out.len();
         for i in 0..block_len {
@@ -181,11 +219,11 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
             out.push(sigs[i] as f64 * inv_pow[e]);
         }
         // Patch streams: all positions, then all values.
-        let mut positions = Vec::with_capacity(patches.min(VECTOR_SIZE));
+        positions.clear();
         for _ in 0..patches {
             positions.push(cursor::read_u16_le(bytes, &mut pos).ok_or_else(truncated)? as usize);
         }
-        for &p in &positions {
+        for &p in positions.iter() {
             let v = cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)?;
             if p >= block_len {
                 return Err(corrupt("patch position"));
@@ -194,6 +232,14 @@ pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError
             out[start + p] = f64::from_bits(v);
         }
     }
+    Ok(())
+}
+
+/// Decompresses the column into a fresh vector — see [`try_decompress_into`]
+/// for the allocation-free variant.
+pub fn try_decompress(bytes: &[u8], count: usize) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_into(bytes, count, &mut out, &mut Scratch::new())?;
     Ok(out)
 }
 

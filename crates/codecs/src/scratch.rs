@@ -1,0 +1,44 @@
+//! Reusable decode buffers shared by every baseline codec.
+//!
+//! The `try_decompress_*_into` entry points write into caller-owned output
+//! vectors, but several codecs also need intermediate storage: the XOR family
+//! stages bit-pattern words before the float view, Elf decodes its erased
+//! stream through Chimp, PDE unpacks significand/exponent lanes, and FPC
+//! carries two 64 KiB predictor tables. [`DecodeScratch`] owns all of it so a
+//! hot loop decoding vector after vector performs zero heap allocations once
+//! the buffers are warm.
+
+use crate::{fpc, pde};
+
+/// Caller-owned scratch space for [`crate::Codec::try_decompress_f64_into`]
+/// and [`crate::Codec::try_decompress_f32_into`]. Construct once, reuse for
+/// every vector; buffers grow to the high-water mark and stay there.
+pub struct DecodeScratch {
+    /// Staging for 64-bit words (XOR-family f64 paths and Elf's erased
+    /// stream).
+    pub words64: Vec<u64>,
+    /// Staging for 32-bit words (XOR-family f32 paths).
+    pub words32: Vec<u32>,
+    /// PDE lane and patch buffers.
+    pub pde: pde::Scratch,
+    /// FPC predictor tables, reset (not reallocated) per call.
+    pub fpc: fpc::Predictor,
+}
+
+impl DecodeScratch {
+    /// Allocates all scratch buffers up front.
+    pub fn new() -> Self {
+        Self {
+            words64: Vec::new(),
+            words32: Vec::new(),
+            pde: pde::Scratch::new(),
+            fpc: fpc::Predictor::new(),
+        }
+    }
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}

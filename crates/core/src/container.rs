@@ -1,0 +1,186 @@
+//! Registry-keyed storage envelope.
+//!
+//! One frame works for every registered codec, replacing per-codec framing:
+//!
+//! ```text
+//! magic "ALPC" | id_len: u8 | id bytes | count: u64 LE | payload_len: u64 LE
+//!   | xxh64(payload): u64 LE | payload
+//! ```
+//!
+//! The codec id is stored by name, so a reader needs no out-of-band schema to
+//! pick the right decoder — it looks the id up in the [`Registry`] — and the
+//! payload checksum (same xxh64 as ALP's row-group format) rejects bit rot
+//! before any decoder sees the bytes.
+
+use crate::codec::ColumnCodec;
+use crate::error::CoreError;
+use crate::registry::Registry;
+use crate::scratch::Scratch;
+
+/// Frame magic: ALP container.
+pub const MAGIC: [u8; 4] = *b"ALPC";
+
+/// Seed of the payload checksum (distinct from ALP's row-group seed so the
+/// two integrity domains cannot be confused).
+const CHECKSUM_SEED: u64 = 0xC0_17_A1_9E;
+
+/// Fixed bytes before the payload, excluding the variable-length id.
+const FIXED_HEADER: usize = MAGIC.len() + 1 + 8 + 8 + 8;
+
+/// Wraps `codec`-compressed `data` in a self-describing checksummed frame.
+///
+/// Errs with [`CoreError::Unsupported`] for ratio-only codecs.
+pub fn write_container(
+    codec: &dyn ColumnCodec,
+    data: &[f64],
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, CoreError> {
+    let mut payload = std::mem::take(&mut scratch.stage);
+    let result = codec.try_compress_into(data, &mut payload, scratch);
+    let frame = result.map(|()| {
+        let id = codec.id().as_bytes();
+        debug_assert!(id.len() <= u8::MAX as usize, "registry ids are short");
+        let mut out = Vec::with_capacity(FIXED_HEADER + id.len() + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(id.len() as u8);
+        out.extend_from_slice(id);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&alp::hash::xxh64(&payload, CHECKSUM_SEED).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    });
+    scratch.stage = payload;
+    frame
+}
+
+/// A parsed container header plus its payload slice.
+pub struct Container<'a> {
+    /// The codec the payload was written with, resolved from the registry.
+    pub codec: &'static dyn ColumnCodec,
+    /// Number of values in the column.
+    pub count: usize,
+    /// The checksum-verified compressed payload.
+    pub payload: &'a [u8],
+}
+
+/// Pops a little-endian `u64` off the front of `bytes`.
+fn read_u64_le(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let (word, rest) = bytes.split_at_checked(8)?;
+    let word: [u8; 8] = word.try_into().ok()?;
+    Some((u64::from_le_bytes(word), rest))
+}
+
+/// Parses and integrity-checks a container frame without decompressing.
+pub fn try_read_header(bytes: &[u8]) -> Result<Container<'_>, CoreError> {
+    use alp::format::FormatError;
+    let truncated = || CoreError::Format(FormatError::Truncated);
+    let rest = bytes
+        .strip_prefix(&MAGIC)
+        .ok_or(CoreError::Format(FormatError::BadMagic))?;
+    let (&id_len, rest) = rest.split_first().ok_or_else(truncated)?;
+    let (id, rest) = rest.split_at_checked(id_len as usize).ok_or_else(truncated)?;
+    let id = core::str::from_utf8(id)
+        .map_err(|_| CoreError::Format(FormatError::Corrupt("container id is not utf-8")))?;
+    let (count, rest) = read_u64_le(rest).ok_or_else(truncated)?;
+    let (payload_len, rest) = read_u64_le(rest).ok_or_else(truncated)?;
+    let (stored, rest) = read_u64_le(rest).ok_or_else(truncated)?;
+    if count > usize::MAX as u64 {
+        return Err(truncated());
+    }
+    let payload = usize::try_from(payload_len)
+        .ok()
+        .and_then(|n| rest.get(..n))
+        .ok_or_else(truncated)?;
+    let computed = alp::hash::xxh64(payload, CHECKSUM_SEED);
+    if computed != stored {
+        return Err(CoreError::Format(FormatError::ChecksumMismatch {
+            rowgroup: 0,
+            stored,
+            computed,
+        }));
+    }
+    let codec = Registry::get(id).ok_or_else(|| CoreError::UnknownCodec(id.to_owned()))?;
+    Ok(Container { codec, count: count as usize, payload })
+}
+
+/// Reads a container and decompresses its column into `out`.
+///
+/// Returns the codec the frame was written with.
+pub fn try_read_container_into(
+    bytes: &[u8],
+    out: &mut Vec<f64>,
+    scratch: &mut Scratch,
+) -> Result<&'static dyn ColumnCodec, CoreError> {
+    let container = try_read_header(bytes)?;
+    container.codec.try_decompress_into(container.payload, container.count, out, scratch)?;
+    Ok(container.codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..2500).map(|i| (i as f64) * 0.01 - 7.25).collect()
+    }
+
+    #[test]
+    fn roundtrips_every_serializable_codec() {
+        let data = sample();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        for codec in Registry::all().iter().filter(|c| !c.caps().ratio_only) {
+            let frame = write_container(*codec, &data, &mut scratch).expect("compress");
+            let found =
+                try_read_container_into(&frame, &mut out, &mut scratch).expect("decompress");
+            assert_eq!(found.id(), codec.id());
+            assert_eq!(out, data, "{} container roundtrip", codec.id());
+        }
+    }
+
+    #[test]
+    fn ratio_only_codec_is_rejected_at_write() {
+        let lwc = Registry::get("lwc-alp").expect("registered");
+        let err = write_container(lwc, &sample(), &mut Scratch::new()).unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { codec: "lwc-alp", .. }));
+    }
+
+    #[test]
+    fn unknown_id_is_reported_by_name() {
+        let mut scratch = Scratch::new();
+        let alp_codec = Registry::get("alp").expect("registered");
+        let mut frame = write_container(alp_codec, &sample(), &mut scratch).expect("compress");
+        // Overwrite the stored id "alp" -> "zzz".
+        frame[5..8].copy_from_slice(b"zzz");
+        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch).map(|c| c.id()).unwrap_err();
+        assert_eq!(err, CoreError::UnknownCodec("zzz".to_owned()));
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_checksum() {
+        let mut scratch = Scratch::new();
+        let alp_codec = Registry::get("alp").expect("registered");
+        let mut frame = write_container(alp_codec, &sample(), &mut scratch).expect("compress");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch).map(|c| c.id()).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Format(alp::format::FormatError::ChecksumMismatch { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut scratch = Scratch::new();
+        let alp_codec = Registry::get("alp").expect("registered");
+        let frame = write_container(alp_codec, &sample(), &mut scratch).expect("compress");
+        for cut in [0, 1, 3, 4, 5, 10, 20, frame.len() / 2, frame.len() - 1] {
+            assert!(
+                try_read_container_into(&frame[..cut], &mut Vec::new(), &mut scratch).is_err(),
+                "truncation at {cut} must err"
+            );
+        }
+    }
+}

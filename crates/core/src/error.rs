@@ -1,0 +1,80 @@
+//! Unified error taxonomy over every registered codec.
+//!
+//! [`CoreError`] wraps the two lower-level error models introduced in the
+//! robustness pass — [`codecs::CodecError`] for the per-value codecs and
+//! GPZip, [`alp::format::FormatError`] for ALP's checksummed column format —
+//! and adds the cross-codec failure modes the registry layer itself can
+//! detect (empty input, count mismatches, a roundtrip that was not lossless).
+
+use codecs::CodecError;
+
+/// Why a registry-level operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The operation requires a non-empty column.
+    Empty,
+    /// A per-value codec or GPZip rejected the stream.
+    Codec(CodecError),
+    /// ALP's column format rejected the stream.
+    Format(alp::format::FormatError),
+    /// The stream decoded, but to a different number of values than asked.
+    LengthMismatch {
+        /// Codec that produced the mismatch.
+        codec: &'static str,
+        /// Values the caller expected.
+        expected: usize,
+        /// Values actually decoded.
+        actual: usize,
+    },
+    /// A compress/decompress roundtrip changed at least one bit pattern.
+    NotLossless {
+        /// Codec that failed the roundtrip.
+        codec: &'static str,
+        /// First differing value index.
+        index: usize,
+    },
+    /// The codec does not support the requested operation (e.g. byte
+    /// serialization of a ratio-only configuration, or 32-bit floats).
+    Unsupported {
+        /// Codec the operation was requested on.
+        codec: &'static str,
+        /// The missing operation.
+        what: &'static str,
+    },
+    /// A container named a codec id absent from the registry.
+    UnknownCodec(String),
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<alp::format::FormatError> for CoreError {
+    fn from(e: alp::format::FormatError) -> Self {
+        CoreError::Format(e)
+    }
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Empty => write!(f, "operation requires a non-empty column"),
+            CoreError::Codec(e) => write!(f, "{e}"),
+            CoreError::Format(e) => write!(f, "alp: {e}"),
+            CoreError::LengthMismatch { codec, expected, actual } => {
+                write!(f, "{codec}: decoded {actual} values, expected {expected}")
+            }
+            CoreError::NotLossless { codec, index } => {
+                write!(f, "{codec}: roundtrip not lossless at value {index}")
+            }
+            CoreError::Unsupported { codec, what } => {
+                write!(f, "{codec}: unsupported operation ({what})")
+            }
+            CoreError::UnknownCodec(id) => write!(f, "unknown codec id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

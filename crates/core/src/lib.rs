@@ -1,0 +1,33 @@
+//! The workspace's single compressor abstraction.
+//!
+//! Every compression scheme in the evaluation — the seven baseline float
+//! codecs, ALP itself, the LWC+ALP cascade, and both GPZip modes — implements
+//! one trait, [`ColumnCodec`], and is reachable through one table, the
+//! [`Registry`]. Consumers (the benchmark harness, the CLI, the `vectorq`
+//! query engine, the corruption test suite) iterate the registry instead of
+//! keeping hand-maintained scheme lists; adding a codec means one impl plus
+//! one registry line, which the `registry-sync` analyzer rule keeps in sync.
+//!
+//! The trait is built around **caller-owned scratch buffers**: compression
+//! and decompression write into `&mut Vec` outputs and stage through a
+//! [`Scratch`] the caller reuses across calls, so hot loops perform no
+//! per-vector heap allocation once the buffers are warm.
+//!
+//! [`container`] adds a registry-keyed, checksummed byte envelope so any
+//! codec's output can be stored and re-identified without per-codec framing
+//! code.
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod container;
+pub mod error;
+pub mod impls;
+pub mod registry;
+pub mod scratch;
+
+pub use codec::{Capabilities, ColumnCodec};
+pub use container::{try_read_container_into, write_container, Container};
+pub use error::CoreError;
+pub use registry::{Registry, SPEED_IDS, TABLE4_IDS};
+pub use scratch::Scratch;

@@ -1,0 +1,33 @@
+//! Shared decode/encode staging buffers.
+
+/// Caller-owned scratch space threaded through every [`crate::ColumnCodec`]
+/// call. Construct once, reuse across columns and codecs — the buffers grow
+/// to a high-water mark and then make every subsequent call allocation-free.
+pub struct Scratch {
+    /// Per-value codec staging (bit words, PDE/FPC state).
+    pub codecs: codecs::DecodeScratch,
+    /// Raw little-endian byte staging for the byte-stream codecs (GPZip).
+    pub bytes: Vec<u8>,
+    /// Compressed-byte staging used by default size/verify measurements.
+    pub stage: Vec<u8>,
+    /// Decoded-value staging for roundtrip verification.
+    pub floats: Vec<f64>,
+}
+
+impl Scratch {
+    /// Fresh scratch space (empty buffers; they warm up with use).
+    pub fn new() -> Self {
+        Self {
+            codecs: codecs::DecodeScratch::new(),
+            bytes: Vec::new(),
+            stage: Vec::new(),
+            floats: Vec::new(),
+        }
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}

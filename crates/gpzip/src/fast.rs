@@ -195,11 +195,21 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// against the input (see [`try_decompress_block`] for the per-block checks;
 /// the frame adds total-length, block-size, and raw-size-vs-total hazards).
 pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a frame produced by [`compress`] into `out` (cleared first).
+/// Same validation as [`try_decompress`]; reusing `out` makes the call
+/// allocation-free once the buffer is warm.
+pub fn try_decompress_into(bytes: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let truncated = || CodecError::Truncated { codec: NAME };
 
     let mut pos = 0usize;
     let total = cursor::read_u64_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
-    let mut out = Vec::with_capacity(total.min(1 << 24));
+    out.clear();
+    out.reserve(total.min(1 << 24));
     while out.len() < total {
         let clen = cursor::read_u32_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
         let raw = cursor::read_u32_le(bytes, &mut pos).ok_or_else(truncated)? as usize;
@@ -207,9 +217,9 @@ pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
             return Err(CodecError::Corrupt { codec: NAME, what: "blocks exceed frame length" });
         }
         let block = cursor::take(bytes, &mut pos, clen).ok_or_else(truncated)?;
-        try_decompress_block(block, raw, &mut out)?;
+        try_decompress_block(block, raw, out)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decompresses a frame produced by [`compress`]. Panics on corrupt input —

@@ -62,18 +62,28 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// before the output start, and blocks emitting more bytes than the header
 /// declared.
 pub fn try_decompress(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    try_decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a stream produced by [`compress`] into `out` (cleared first).
+/// Same validation as [`try_decompress`]; reusing `out` avoids the output
+/// allocation (the Huffman tables are still built per block).
+pub fn try_decompress_into(bytes: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let mut pos = 0usize;
     let total =
         cursor::read_u64_le(bytes, &mut pos).ok_or(CodecError::Truncated { codec: NAME })? as usize;
-    let mut out = Vec::with_capacity(total.min(1 << 24));
+    out.clear();
+    out.reserve(total.min(1 << 24));
     while out.len() < total {
         let len = cursor::read_u32_le(bytes, &mut pos)
             .ok_or(CodecError::Truncated { codec: NAME })? as usize;
         let block =
             cursor::take(bytes, &mut pos, len).ok_or(CodecError::Truncated { codec: NAME })?;
-        try_decode_block(block, &mut out, total)?;
+        try_decode_block(block, out, total)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decompresses a stream produced by [`compress`]. Panics on corrupt input —

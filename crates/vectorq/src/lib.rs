@@ -22,6 +22,7 @@ pub mod table;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use alp_core::{ColumnCodec, Registry, Scratch};
 use fastlanes::VECTOR_SIZE;
 
 /// Row-group size in vectors (matches the ALP compressor's default).
@@ -29,38 +30,73 @@ pub const ROWGROUP_VECTORS: usize = 100;
 /// Row-group size in values.
 pub const ROWGROUP_VALUES: usize = ROWGROUP_VECTORS * VECTOR_SIZE;
 
-/// Storage format of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Storage format of a column: either raw, or any codec from the workspace
+/// [`Registry`]. The engine decides the physical layout from the codec's
+/// capabilities, so there are no per-scheme construction branches.
+#[derive(Clone, Copy)]
 pub enum Format {
     /// Plain `f64` array (the paper's "Uncompressed" baseline).
     Uncompressed,
-    /// ALP (this paper).
-    Alp,
-    /// One of the per-value float codecs, compressed per 1024-value vector.
-    Codec(codecs::Codec),
-    /// GPZip general-purpose compression, one block per row-group.
-    Gpzip,
+    /// A registered [`ColumnCodec`].
+    Registered(&'static dyn ColumnCodec),
 }
 
 impl Format {
+    /// Looks a format up by registry id (`"alp"`, `"patas"`, `"gpzip"`, …).
+    /// `None` for unknown ids and for ratio-only schemes, which cannot back
+    /// a stored column.
+    pub fn by_id(id: &str) -> Option<Format> {
+        let codec = Registry::get(id)?;
+        if codec.caps().ratio_only {
+            return None;
+        }
+        Some(Format::Registered(codec))
+    }
+
+    /// ALP (this paper) — the engine's default compressed format.
+    pub fn alp() -> Format {
+        Format::Registered(&alp_core::impls::Alp)
+    }
+
     /// Display name for benchmark tables.
     pub fn name(&self) -> String {
         match self {
             Format::Uncompressed => "Uncompressed".into(),
-            Format::Alp => "ALP".into(),
-            Format::Codec(c) => c.name().into(),
-            Format::Gpzip => "GPZip(zstd-sub)".into(),
+            Format::Registered(c) => c.name().into(),
+        }
+    }
+}
+
+impl PartialEq for Format {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Format::Uncompressed, Format::Uncompressed) => true,
+            (Format::Registered(a), Format::Registered(b)) => a.id() == b.id(),
+            _ => false,
+        }
+    }
+}
+
+impl core::fmt::Debug for Format {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Format::Uncompressed => write!(f, "Uncompressed"),
+            Format::Registered(c) => write!(f, "Registered({})", c.id()),
         }
     }
 }
 
 enum Storage {
     Uncompressed(Vec<f64>),
+    /// ALP keeps its native compressed form: it is the one codec with
+    /// random vector access, which the engine exploits for per-vector reads.
     Alp(alp::Compressed<f64>),
-    /// `(compressed bytes, value count)` per vector.
-    Codec(codecs::Codec, Vec<(Vec<u8>, usize)>),
-    /// `(compressed bytes, value count)` per row-group block.
-    Gpzip(Vec<(Vec<u8>, usize)>),
+    /// Vector-granular codec: `(compressed bytes, value count)` per
+    /// 1024-value vector.
+    Vectors(&'static dyn ColumnCodec, Vec<(Vec<u8>, usize)>),
+    /// Block-granular codec: `(compressed bytes, value count)` per row-group
+    /// block (the general-purpose compressors).
+    Blocks(&'static dyn ColumnCodec, Vec<(Vec<u8>, usize)>),
 }
 
 /// Per-vector min/max statistics enabling predicate push-down: a vector whose
@@ -121,23 +157,31 @@ impl Column {
     pub fn from_f64(data: &[f64], format: Format) -> Self {
         let storage = match format {
             Format::Uncompressed => Storage::Uncompressed(data.to_vec()),
-            Format::Alp => Storage::Alp(alp::Compressor::new().compress(data)),
-            Format::Codec(codec) => {
-                let blocks = data
-                    .chunks(VECTOR_SIZE)
-                    .map(|chunk| (codec.compress_f64(chunk), chunk.len()))
-                    .collect();
-                Storage::Codec(codec, blocks)
+            // ALP is the one codec with random vector access; keep its native
+            // compressed form so per-vector reads stay cheap.
+            Format::Registered(codec) if codec.caps().random_vector_access => {
+                Storage::Alp(alp::Compressor::new().compress(data))
             }
-            Format::Gpzip => {
+            Format::Registered(codec) => {
+                assert!(!codec.caps().ratio_only, "{} cannot back a stored column", codec.id());
+                let mut scratch = Scratch::new();
+                let granularity =
+                    if codec.caps().block_based { ROWGROUP_VALUES } else { VECTOR_SIZE };
                 let blocks = data
-                    .chunks(ROWGROUP_VALUES)
+                    .chunks(granularity)
                     .map(|chunk| {
-                        let bytes: Vec<u8> = chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
-                        (gpzip::compress(&bytes), chunk.len())
+                        let mut bytes = Vec::new();
+                        codec
+                            .try_compress_into(chunk, &mut bytes, &mut scratch)
+                            .expect("in-memory compression of trusted data");
+                        (bytes, chunk.len())
                     })
                     .collect();
-                Storage::Gpzip(blocks)
+                if codec.caps().block_based {
+                    Storage::Blocks(codec, blocks)
+                } else {
+                    Storage::Vectors(codec, blocks)
+                }
             }
         };
         let zone_maps = data.chunks(VECTOR_SIZE).map(ZoneMap::of).collect();
@@ -160,7 +204,7 @@ impl Column {
         let mut result =
             FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
         match &self.storage {
-            Storage::Gpzip(blocks) => {
+            Storage::Blocks(_, blocks) => {
                 let mut vector_idx = 0usize;
                 for (m, (_, count)) in blocks.iter().enumerate() {
                     let n_vectors = count.div_ceil(VECTOR_SIZE);
@@ -235,13 +279,17 @@ impl Column {
                     *vector_idx += 1;
                 }
             }
-            Storage::Codec(codec, blocks) => {
+            Storage::Vectors(codec, blocks) => {
+                let mut scratch = Scratch::new();
+                let mut decoded = Vec::new();
                 let start = m * ROWGROUP_VECTORS;
                 let end = (start + ROWGROUP_VECTORS).min(blocks.len());
                 for (bytes, count) in &blocks[start..end] {
                     if self.zone_maps[*vector_idx].overlaps(lo, hi) {
                         result.vectors_scanned += 1;
-                        let decoded = codec.decompress_f64(bytes, *count);
+                        codec
+                            .try_decompress_into(bytes, *count, &mut decoded, &mut scratch)
+                            .expect("decoding bytes this column compressed");
                         accumulate(&decoded, lo, hi, result);
                     } else {
                         result.vectors_skipped += 1;
@@ -249,7 +297,7 @@ impl Column {
                     *vector_idx += 1;
                 }
             }
-            Storage::Gpzip(_) => unreachable!("handled by sum_where"),
+            Storage::Blocks(..) => unreachable!("handled by sum_where"),
         }
     }
 
@@ -268,8 +316,8 @@ impl Column {
         match &self.storage {
             Storage::Uncompressed(v) => v.len() * 8,
             Storage::Alp(c) => c.compressed_bits() / 8,
-            Storage::Codec(_, blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
-            Storage::Gpzip(blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
+            Storage::Vectors(_, blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
+            Storage::Blocks(_, blocks) => blocks.iter().map(|(b, _)| b.len()).sum(),
         }
     }
 
@@ -278,8 +326,8 @@ impl Column {
         match &self.storage {
             Storage::Uncompressed(v) => v.len().div_ceil(ROWGROUP_VALUES),
             Storage::Alp(c) => c.rowgroups.len(),
-            Storage::Codec(_, blocks) => blocks.len().div_ceil(ROWGROUP_VECTORS),
-            Storage::Gpzip(blocks) => blocks.len(),
+            Storage::Vectors(_, blocks) => blocks.len().div_ceil(ROWGROUP_VECTORS),
+            Storage::Blocks(_, blocks) => blocks.len(),
         }
     }
 
@@ -301,27 +349,29 @@ impl Column {
                     consume(&buf[..n]);
                 }
             }
-            Storage::Codec(codec, blocks) => {
+            Storage::Vectors(codec, blocks) => {
+                let mut scratch = Scratch::new();
+                let mut decoded = Vec::new();
                 let start = m * ROWGROUP_VECTORS;
                 let end = (start + ROWGROUP_VECTORS).min(blocks.len());
                 for (bytes, count) in &blocks[start..end] {
-                    let decoded = codec.decompress_f64(bytes, *count);
+                    codec
+                        .try_decompress_into(bytes, *count, &mut decoded, &mut scratch)
+                        .expect("decoding bytes this column compressed");
                     consume(&decoded);
                 }
             }
-            Storage::Gpzip(blocks) => {
+            Storage::Blocks(codec, blocks) => {
                 // Block-based: the whole row-group inflates before any vector
                 // can be delivered.
+                let mut scratch = Scratch::new();
+                let mut decoded = Vec::new();
                 let (bytes, count) = &blocks[m];
-                let raw = gpzip::decompress(bytes);
-                debug_assert_eq!(raw.len(), count * 8);
-                let mut vector = [0.0f64; VECTOR_SIZE];
-                for chunk in raw.chunks(VECTOR_SIZE * 8) {
-                    let n = chunk.len() / 8;
-                    for (i, b) in chunk.chunks_exact(8).enumerate() {
-                        vector[i] = f64::from_le_bytes(b.try_into().unwrap());
-                    }
-                    consume(&vector[..n]);
+                codec
+                    .try_decompress_into(bytes, *count, &mut decoded, &mut scratch)
+                    .expect("decoding bytes this column compressed");
+                for chunk in decoded.chunks(VECTOR_SIZE) {
+                    consume(chunk);
                 }
             }
         }
@@ -400,24 +450,27 @@ impl Column {
                 vector_idx % ROWGROUP_VECTORS,
                 out,
             ),
-            Storage::Codec(codec, blocks) => {
+            Storage::Vectors(codec, blocks) => {
                 let (bytes, count) = &blocks[vector_idx];
-                let decoded = codec.decompress_f64(bytes, *count);
+                let mut decoded = Vec::new();
+                codec
+                    .try_decompress_into(bytes, *count, &mut decoded, &mut Scratch::new())
+                    .expect("decoding bytes this column compressed");
                 out[..decoded.len()].copy_from_slice(&decoded);
                 decoded.len()
             }
-            Storage::Gpzip(blocks) => {
+            Storage::Blocks(codec, blocks) => {
                 let block_idx = vector_idx / ROWGROUP_VECTORS;
                 let within = vector_idx % ROWGROUP_VECTORS;
-                let (bytes, _) = &blocks[block_idx];
-                let raw = gpzip::decompress(bytes);
-                let start = within * VECTOR_SIZE * 8;
-                let end = (start + VECTOR_SIZE * 8).min(raw.len());
-                let n = (end - start) / 8;
-                for (i, chunk) in raw[start..end].chunks_exact(8).enumerate() {
-                    out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
-                }
-                n
+                let (bytes, count) = &blocks[block_idx];
+                let mut decoded = Vec::new();
+                codec
+                    .try_decompress_into(bytes, *count, &mut decoded, &mut Scratch::new())
+                    .expect("decoding bytes this column compressed");
+                let start = within * VECTOR_SIZE;
+                let end = (start + VECTOR_SIZE).min(decoded.len());
+                out[..end - start].copy_from_slice(&decoded[start..end]);
+                end - start
             }
         }
     }
@@ -508,13 +561,15 @@ fn accumulate(v: &[f64], lo: f64, hi: f64, result: &mut FilteredSum) {
 mod tests {
     use super::*;
 
-    const FORMATS: [Format; 5] = [
-        Format::Uncompressed,
-        Format::Alp,
-        Format::Codec(codecs::Codec::Gorilla),
-        Format::Codec(codecs::Codec::Patas),
-        Format::Gpzip,
-    ];
+    fn formats() -> Vec<Format> {
+        vec![
+            Format::Uncompressed,
+            Format::alp(),
+            Format::by_id("gorilla").unwrap(),
+            Format::by_id("patas").unwrap(),
+            Format::by_id("gpzip").unwrap(),
+        ]
+    }
 
     fn sample_data(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i % 5000) as f64) / 100.0).collect()
@@ -523,7 +578,7 @@ mod tests {
     #[test]
     fn scan_counts_all_tuples_in_every_format() {
         let data = sample_data(250_000);
-        for fmt in FORMATS {
+        for fmt in formats() {
             let col = Column::from_f64(&data, fmt);
             assert_eq!(col.scan(), data.len(), "{}", fmt.name());
         }
@@ -533,7 +588,7 @@ mod tests {
     fn sum_agrees_across_formats() {
         let data = sample_data(123_456);
         let expected: f64 = data.iter().sum();
-        for fmt in FORMATS {
+        for fmt in formats() {
             let col = Column::from_f64(&data, fmt);
             let got = col.sum();
             assert!(
@@ -547,7 +602,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let data = sample_data(300_000);
-        for fmt in [Format::Alp, Format::Uncompressed] {
+        for fmt in [Format::alp(), Format::Uncompressed] {
             let col = Column::from_f64(&data, fmt);
             assert_eq!(col.par_scan(4), col.scan());
             let serial = col.sum();
@@ -560,8 +615,8 @@ mod tests {
     fn compressed_sizes_are_sane() {
         let data = sample_data(200_000);
         let raw = Column::from_f64(&data, Format::Uncompressed).compressed_bytes();
-        let alp = Column::from_f64(&data, Format::Alp).compressed_bytes();
-        let zstd_sub = Column::from_f64(&data, Format::Gpzip).compressed_bytes();
+        let alp = Column::from_f64(&data, Format::alp()).compressed_bytes();
+        let zstd_sub = Column::from_f64(&data, Format::by_id("gpzip").unwrap()).compressed_bytes();
         assert_eq!(raw, data.len() * 8);
         assert!(alp < raw / 2, "alp {alp} raw {raw}");
         assert!(zstd_sub < raw, "gpzip {zstd_sub} raw {raw}");
@@ -569,7 +624,7 @@ mod tests {
 
     #[test]
     fn empty_column_works() {
-        for fmt in FORMATS {
+        for fmt in formats() {
             let col = Column::from_f64(&[], fmt);
             assert!(col.is_empty());
             assert_eq!(col.scan(), 0);
@@ -581,7 +636,7 @@ mod tests {
     #[test]
     fn zone_maps_match_data() {
         let data = sample_data(5000);
-        let col = Column::from_f64(&data, Format::Alp);
+        let col = Column::from_f64(&data, Format::alp());
         assert_eq!(col.zone_maps().len(), 5);
         for (i, zm) in col.zone_maps().iter().enumerate() {
             let chunk = &data[i * VECTOR_SIZE..((i + 1) * VECTOR_SIZE).min(data.len())];
@@ -597,7 +652,7 @@ mod tests {
         let (lo, hi) = (50.0, 80.0);
         let reference: f64 = data.iter().filter(|&&x| (lo..=hi).contains(&x)).sum();
         let ref_matches = data.iter().filter(|&&x| (lo..=hi).contains(&x)).count();
-        for fmt in FORMATS {
+        for fmt in formats() {
             let col = Column::from_f64(&data, fmt);
             let r = col.sum_where(lo, hi);
             assert_eq!(r.matches, ref_matches, "{}", fmt.name());
@@ -611,8 +666,8 @@ mod tests {
         let data: Vec<f64> = (0..500_000).map(|i| i as f64).collect();
         // A range covering ~2 vectors.
         let (lo, hi) = (250_000.0, 252_000.0);
-        let alp = Column::from_f64(&data, Format::Alp).sum_where(lo, hi);
-        let gz = Column::from_f64(&data, Format::Gpzip).sum_where(lo, hi);
+        let alp = Column::from_f64(&data, Format::alp()).sum_where(lo, hi);
+        let gz = Column::from_f64(&data, Format::by_id("gpzip").unwrap()).sum_where(lo, hi);
         assert_eq!(alp.matches, gz.matches);
         assert!(alp.vectors_scanned <= 4, "alp scanned {}", alp.vectors_scanned);
         // GPZip had to inflate its whole 100-vector block.
@@ -623,7 +678,7 @@ mod tests {
     fn sum_where_ignores_nans_and_handles_empty_range() {
         let mut data = sample_data(10_000);
         data[5] = f64::NAN;
-        for fmt in [Format::Alp, Format::Uncompressed] {
+        for fmt in [Format::alp(), Format::Uncompressed] {
             let col = Column::from_f64(&data, fmt);
             let all = col.sum_where(f64::NEG_INFINITY, f64::INFINITY);
             assert_eq!(all.matches, data.len() - 1); // NaN never matches
@@ -636,7 +691,7 @@ mod tests {
     #[test]
     fn short_tail_vectors_are_delivered() {
         let data = sample_data(ROWGROUP_VALUES + 700);
-        for fmt in FORMATS {
+        for fmt in formats() {
             let col = Column::from_f64(&data, fmt);
             assert_eq!(col.scan(), data.len(), "{}", fmt.name());
         }

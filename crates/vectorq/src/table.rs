@@ -217,14 +217,14 @@ mod tests {
         let n = 300_000;
         let time: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let price: Vec<f64> = (0..n).map(|i| ((i * 7) % 1000) as f64 / 100.0).collect();
-        Table::from_columns(vec![("time", time, Format::Alp), ("price", price, Format::Alp)])
+        Table::from_columns(vec![("time", time, Format::alp()), ("price", price, Format::alp())])
             .unwrap()
     }
 
     #[test]
     fn aggregates_match_reference() {
         let data: Vec<f64> = (0..50_000).map(|i| ((i % 997) as f64) / 10.0).collect();
-        let col = Column::from_f64(&data, Format::Alp);
+        let col = Column::from_f64(&data, Format::alp());
         assert_eq!(col.aggregate(Aggregate::Count), data.len() as f64);
         let sum: f64 = data.iter().sum();
         assert!((col.aggregate(Aggregate::Sum) - sum).abs() < sum.abs() * 1e-12);
@@ -237,8 +237,8 @@ mod tests {
     #[test]
     fn table_rejects_mismatched_lengths() {
         let result = Table::from_columns(vec![
-            ("a", vec![1.0; 10], Format::Alp),
-            ("b", vec![1.0; 11], Format::Alp),
+            ("a", vec![1.0; 10], Format::alp()),
+            ("b", vec![1.0; 11], Format::alp()),
         ]);
         assert!(matches!(result, Err(TableError::LengthMismatch { .. })));
     }
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn filter_indices_match_predicate() {
         let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
-        let col = Column::from_f64(&data, Format::Alp);
+        let col = Column::from_f64(&data, Format::alp());
         let ids = col.filter_indices(5000.0, 5004.0);
         assert_eq!(ids, vec![5000, 5001, 5002, 5003, 5004]);
     }
@@ -278,7 +278,12 @@ mod tests {
     fn decompress_vector_at_every_format() {
         let data: Vec<f64> = (0..250_000).map(|i| (i % 333) as f64 / 4.0).collect();
         for fmt in
-            [Format::Uncompressed, Format::Alp, Format::Codec(codecs::Codec::Patas), Format::Gpzip]
+            [
+                Format::Uncompressed,
+                Format::alp(),
+                Format::by_id("patas").unwrap(),
+                Format::by_id("gpzip").unwrap(),
+            ]
         {
             let col = Column::from_f64(&data, fmt);
             let mut buf = vec![0.0f64; VECTOR_SIZE];

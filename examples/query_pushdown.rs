@@ -29,7 +29,7 @@ fn main() {
     };
     println!("column: {} doubles ({} MB uncompressed)\n", data.len(), data.len() * 8 / 1_000_000);
 
-    for fmt in [Format::Uncompressed, Format::Alp, Format::Gpzip] {
+    for fmt in [Format::Uncompressed, Format::alp(), Format::by_id("gpzip").unwrap()] {
         println!("{}:", fmt.name());
         let col = time("compress (COMP)", || Column::from_f64(&data, fmt));
         println!(
@@ -72,8 +72,8 @@ fn main() {
     let time: Vec<f64> = (0..n_rows).map(|i| i as f64).collect();
     let price = datagen::generate("Stocks-USA", n_rows, 3);
     let table = vectorq::table::Table::from_columns(vec![
-        ("time", time, vectorq::Format::Alp),
-        ("price", price, vectorq::Format::Alp),
+        ("time", time, vectorq::Format::alp()),
+        ("price", price, vectorq::Format::alp()),
     ])
     .unwrap();
     let t0 = Instant::now();

@@ -148,6 +148,55 @@ pub fn assert_decoder_robust<T, E: core::fmt::Debug>(
     }
 }
 
+/// Runs [`assert_decoder_robust`] over every serializable codec in the
+/// workspace [`alp_core::Registry`], twice per codec: once on the raw
+/// compressed bytes, once wrapped in the checksummed container envelope.
+///
+/// New codecs are covered automatically the moment they are registered —
+/// there is no per-codec list to keep in sync.
+pub fn assert_registry_robust(data: &[f64], seed: u64) {
+    use alp_core::{Registry, Scratch};
+    for codec in Registry::all().iter().filter(|c| !c.caps().ratio_only) {
+        let mut bytes = Vec::new();
+        codec
+            .try_compress_into(data, &mut bytes, &mut Scratch::new())
+            .unwrap_or_else(|e| panic!("{}: compress failed: {e}", codec.id()));
+        let codec_seed = seed ^ alp::hash::xxh64(codec.id().as_bytes(), 0);
+
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        assert_decoder_robust(&bytes, codec_seed, |b| {
+            codec.try_decompress_into(b, data.len(), &mut out, &mut scratch)
+        });
+
+        let frame = alp_core::write_container(*codec, data, &mut scratch)
+            .unwrap_or_else(|e| panic!("{}: container write failed: {e}", codec.id()));
+        assert_decoder_robust(&frame, codec_seed.rotate_left(17), |b| {
+            alp_core::try_read_container_into(b, &mut out, &mut scratch)
+        });
+    }
+}
+
+/// The `f32` twin of [`assert_registry_robust`]: every codec whose
+/// capability descriptor advertises `f32` support runs the corpus on its
+/// single-precision path.
+pub fn assert_registry_robust_f32(data: &[f32], seed: u64) {
+    use alp_core::{Registry, Scratch};
+    for codec in Registry::all().iter().filter(|c| c.caps().f32) {
+        let mut bytes = Vec::new();
+        codec
+            .try_compress_f32_into(data, &mut bytes, &mut Scratch::new())
+            .unwrap_or_else(|e| panic!("{}: f32 compress failed: {e}", codec.id()));
+        let codec_seed = seed ^ alp::hash::xxh64(codec.id().as_bytes(), 1);
+
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        assert_decoder_robust(&bytes, codec_seed, |b| {
+            codec.try_decompress_f32_into(b, data.len(), &mut out, &mut scratch)
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

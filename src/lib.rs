@@ -8,6 +8,7 @@
 pub mod corruption;
 
 pub use alp;
+pub use alp_core;
 pub use bitstream;
 pub use codecs;
 pub use datagen;

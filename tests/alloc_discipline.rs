@@ -1,0 +1,135 @@
+//! Hot-loop allocation discipline, enforced by a counting allocator: once
+//! scratch buffers are warm, decompression must touch the heap zero times
+//! per vector.
+//!
+//! Scope matches the scratch-buffer design (DESIGN.md §9):
+//!
+//! * every registered byte-serializable codec's `try_decompress_into`,
+//!   except the gpzip modes — their entropy stages build per-block Huffman /
+//!   match tables on the heap by design, which is why `Capabilities::
+//!   block_based` exists and why they are excluded here;
+//! * ALP's per-vector random access (`Compressed::decompress_vector`), the
+//!   skip-friendly path the paper's query engine relies on. ALP's registry
+//!   `try_decompress_into` parses the checksummed column format first, and
+//!   building that column index allocates once per *column*, not per vector.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper that counts allocation events per thread.
+///
+/// The counter is thread-local so the other test threads of the harness
+/// cannot perturb a measurement, and `try_with` keeps the hook safe during
+/// thread setup/teardown when the TLS slot may not be live.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_count() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: delegated verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `alloc`/`realloc` above with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: same contract as `System::realloc`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation events triggered by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = alloc_count();
+    f();
+    alloc_count() - before
+}
+
+/// Decimal-flavored data with a sprinkle of exceptions, so ALP exercises its
+/// patch path and the XOR codecs see realistic tails.
+fn sample(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| if i % 1000 == 999 { (i as f64).sqrt() * 1e-7 } else { i as f64 * 0.05 - 31.7 })
+        .collect()
+}
+
+#[test]
+fn registry_decompression_is_allocation_free_after_warmup() {
+    let excluded = ["alp", "lwc-alp", "gpzip", "gpzip-fast"];
+    let data = sample(4 * alp::VECTOR_SIZE);
+    let mut scratch = alp_core::Scratch::new();
+    let mut out = Vec::new();
+    for codec in alp_core::Registry::all().iter().filter(|c| !excluded.contains(&c.id())) {
+        let mut bytes = Vec::new();
+        codec.try_compress_into(&data, &mut bytes, &mut scratch).expect("compress");
+        for _ in 0..2 {
+            codec.try_decompress_into(&bytes, data.len(), &mut out, &mut scratch).expect("warm-up");
+        }
+        let allocs = allocations_in(|| {
+            for _ in 0..8 {
+                codec
+                    .try_decompress_into(&bytes, data.len(), &mut out, &mut scratch)
+                    .expect("decode");
+            }
+        });
+        assert_eq!(allocs, 0, "{}: decompression allocated after warm-up", codec.id());
+        assert_eq!(out.len(), data.len(), "{}", codec.id());
+    }
+}
+
+#[test]
+fn alp_per_vector_decode_is_allocation_free_after_warmup() {
+    let vectors = 6;
+    let data = sample(vectors * alp::VECTOR_SIZE);
+    let compressed = alp::Compressor::new().compress(&data);
+    let mut buf = vec![0.0f64; alp::VECTOR_SIZE];
+    for v in 0..vectors {
+        compressed.decompress_vector(0, v, &mut buf); // warm-up sweep
+    }
+    let allocs = allocations_in(|| {
+        for _ in 0..4 {
+            for v in 0..vectors {
+                compressed.decompress_vector(0, v, &mut buf);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "ALP per-vector decode allocated after warm-up");
+}
+
+#[test]
+fn baseline_codec_layer_is_allocation_free_after_warmup() {
+    // The same guarantee one layer down, where the registry impls delegate:
+    // `codecs::Codec::try_decompress_f64_into` over a caller-owned scratch.
+    let data = sample(2 * alp::VECTOR_SIZE);
+    let mut scratch = codecs::DecodeScratch::default();
+    let mut out = Vec::new();
+    for codec in codecs::Codec::EXTENDED {
+        let bytes = codec.compress_f64(&data);
+        for _ in 0..2 {
+            codec.try_decompress_f64_into(&bytes, data.len(), &mut out, &mut scratch).expect("warm");
+        }
+        let allocs = allocations_in(|| {
+            for _ in 0..8 {
+                codec
+                    .try_decompress_f64_into(&bytes, data.len(), &mut out, &mut scratch)
+                    .expect("decode");
+            }
+        });
+        assert_eq!(allocs, 0, "{}: codec layer allocated after warm-up", codec.name());
+    }
+}

@@ -1,10 +1,17 @@
-//! Corrupt-input fault injection across every decoder in the workspace: the
-//! seven baseline codecs (f64 and f32 paths), both gpzip modes, the ALP
-//! column format, and the streaming layer. All of them run the shared
-//! corpus from `alp_repro::corruption` — truncations, bit flips, garbage —
-//! and must return `Err` or a valid value, never panic.
+//! Corrupt-input fault injection across every decoder in the workspace.
+//!
+//! The per-codec coverage is registry-driven: `assert_registry_robust`
+//! iterates `alp_core::Registry`, so a newly registered codec is fault-tested
+//! automatically with no list to update here. The remaining tests cover the
+//! layers the registry cannot express — the gpzip byte-stream API, ALP's
+//! integrity/salvage/legacy formats, and the streaming reader. Everything
+//! runs the shared corpus from `alp_repro::corruption` — truncations, bit
+//! flips, garbage — and must return `Err` or a valid value, never panic.
 
-use alp_repro::corruption::{assert_decoder_robust, corpus, single_bit_flips};
+use alp_repro::corruption::{
+    assert_decoder_robust, assert_registry_robust, assert_registry_robust_f32, corpus,
+    single_bit_flips,
+};
 
 fn sample_f64() -> Vec<f64> {
     // Decimal-looking values, noise, and specials: exercises every scheme
@@ -20,25 +27,13 @@ fn sample_f32() -> Vec<f32> {
 }
 
 #[test]
-fn every_f64_codec_survives_the_corruption_corpus() {
-    let data = sample_f64();
-    for codec in codecs::Codec::EXTENDED {
-        let bytes = codec.compress_f64(&data);
-        assert_decoder_robust(&bytes, 0xC0DEC + codec.name().len() as u64, |b| {
-            codec.try_decompress_f64(b, data.len())
-        });
-    }
+fn every_registered_codec_survives_the_corruption_corpus() {
+    assert_registry_robust(&sample_f64(), 0xC0DEC);
 }
 
 #[test]
-fn every_f32_codec_survives_the_corruption_corpus() {
-    let data = sample_f32();
-    for codec in codecs::Codec::EXTENDED.into_iter().filter(|c| c.supports_f32()) {
-        let bytes = codec.compress_f32(&data).unwrap();
-        assert_decoder_robust(&bytes, 0xF32 + codec.name().len() as u64, |b| {
-            codec.try_decompress_f32(b, data.len())
-        });
-    }
+fn every_registered_f32_codec_survives_the_corruption_corpus() {
+    assert_registry_robust_f32(&sample_f32(), 0xF32);
 }
 
 #[test]
@@ -53,16 +48,6 @@ fn gpzip_fast_mode_survives_the_corruption_corpus() {
     let raw: Vec<u8> = sample_f64().iter().flat_map(|v| v.to_le_bytes()).collect();
     let bytes = gpzip::fast::compress(&raw);
     assert_decoder_robust(&bytes, 0x6661, gpzip::fast::try_decompress);
-}
-
-#[test]
-fn alp_column_format_survives_the_corruption_corpus() {
-    let data = sample_f64();
-    let bytes = alp::format::to_bytes(&alp::Compressor::new().compress(&data));
-    // A strict parse that succeeds must also decompress without panicking.
-    assert_decoder_robust(&bytes, 0xA172, |b| {
-        alp::format::from_bytes::<f64>(b).map(|c| c.decompress())
-    });
 }
 
 #[test]

@@ -3,9 +3,11 @@
 
 use vectorq::{Column, Format};
 
+/// Every storage format the engine supports: raw plus every registered,
+/// serializable codec.
 fn all_formats() -> Vec<Format> {
-    let mut f = vec![Format::Uncompressed, Format::Alp, Format::Gpzip];
-    f.extend(codecs::Codec::ALL.iter().map(|&c| Format::Codec(c)));
+    let mut f = vec![Format::Uncompressed];
+    f.extend(alp_core::Registry::all().iter().filter_map(|c| Format::by_id(c.id())));
     f
 }
 
@@ -39,7 +41,7 @@ fn scan_counts_are_exact() {
 #[test]
 fn parallelism_does_not_change_answers() {
     let data = datagen::generate("Food-prices", 400_000, 5);
-    let col = Column::from_f64(&data, Format::Alp);
+    let col = Column::from_f64(&data, Format::alp());
     let serial = col.sum();
     for threads in [2, 3, 4, 8] {
         let parallel = col.par_sum(threads);
@@ -57,8 +59,9 @@ fn compressed_footprints_rank_sensibly_on_decimals() {
     // XOR codecs clearly (the paper's Table 4 shape).
     let data = datagen::generate("City-Temp", 300_000, 5);
     let raw = Column::from_f64(&data, Format::Uncompressed).compressed_bytes();
-    let alp = Column::from_f64(&data, Format::Alp).compressed_bytes();
-    let gorilla = Column::from_f64(&data, Format::Codec(codecs::Codec::Gorilla)).compressed_bytes();
+    let alp = Column::from_f64(&data, Format::alp()).compressed_bytes();
+    let gorilla =
+        Column::from_f64(&data, Format::by_id("gorilla").unwrap()).compressed_bytes();
     assert!(alp * 3 < raw, "ALP {alp} vs raw {raw}");
     assert!(alp < gorilla, "ALP {alp} vs Gorilla {gorilla}");
 }

@@ -122,7 +122,7 @@ fn alp_decompression_is_much_faster_than_xor_codecs() {
     let v = {
         let c = Compressor::new().compress(&data);
         match &c.rowgroups[0] {
-            alp::RowGroup::Alp(vs) => vs[0].clone(),
+            alp::RowGroup::Alp(g) => g.owned_vector(0).expect("non-empty row-group"),
             _ => panic!("expected ALP row-group"),
         }
     };
@@ -131,7 +131,7 @@ fn alp_decompression_is_much_faster_than_xor_codecs() {
 
     let t0 = std::time::Instant::now();
     for _ in 0..reps {
-        alp::decode::decode_vector(&v, &mut out);
+        alp::decode::decode_vector(&v, v.view(), &mut out);
         std::hint::black_box(&out);
     }
     let alp_time = t0.elapsed();

@@ -66,7 +66,7 @@ proptest! {
         let f = f_rel.min(e);
         let v = alp::encode::encode_vector(&data, e, f);
         let mut out = vec![0.0f64; alp::VECTOR_SIZE];
-        let n = alp::decode::decode_vector(&v, &mut out);
+        let n = alp::decode::decode_vector(&v, v.view(), &mut out);
         assert_eq!(n, data.len());
         assert_bits_eq(&data, &out[..n]);
     }
