@@ -163,7 +163,9 @@ pub fn dataset_metrics(data: &[f64]) -> DatasetMetrics {
         lz_sum += x.leading_zeros() as u64;
         tz_sum += x.trailing_zeros() as u64;
     }
-    let pairs = (data.len() - 1).max(1) as f64;
+    // `saturating_sub`: a length-0 slice is guarded above, but a plain `- 1`
+    // here would underflow in debug builds if that guard ever moved.
+    let pairs = data.len().saturating_sub(1).max(1) as f64;
 
     let prec_summary = summarize(precisions.iter().map(|&p| p as f64));
     DatasetMetrics {
@@ -223,6 +225,24 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert_eq!(s.min, 1.0);
         assert!((s.std_dev - 1.118_033_988_749_895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_on_empty_dataset_do_not_panic() {
+        // Regression: the XOR pair count used `(len - 1).max(1)`, which
+        // underflows in debug builds for empty input.
+        let m = dataset_metrics(&[]);
+        assert_eq!(m.penc_per_value, 0.0);
+        assert_eq!(m.xor_leading_zeros, 0.0);
+        assert_eq!(m.xor_trailing_zeros, 0.0);
+    }
+
+    #[test]
+    fn metrics_on_single_value_are_finite() {
+        let m = dataset_metrics(&[1.25]);
+        assert!(m.penc_per_value.is_finite());
+        assert_eq!(m.xor_leading_zeros, 0.0);
+        assert_eq!(m.non_unique_fraction, 0.0);
     }
 
     #[test]

@@ -239,10 +239,7 @@ pub fn encode_vector_into<F: AlpFloat>(
 
     // Fetch exceptions into the shared arena and patch their slots.
     let exc_start = u32::try_from(exceptions.len()).unwrap_or(u32::MAX);
-    assert!(
-        exc_start as usize == exceptions.len(),
-        "exception arena exceeds u32 addressing"
-    );
+    assert!(exc_start as usize == exceptions.len(), "exception arena exceeds u32 addressing");
     for &p in &exc_positions_buf[..exc_count] {
         exceptions.push(p, input[p as usize].to_bits_u64());
         encoded[p as usize] = first_encoded;

@@ -454,16 +454,7 @@ fn read_alp_vector(buf: &mut &[u8], arena: &mut ExcArena) -> Result<AlpVector, F
     if arena.positions.get(start..).is_some_and(|ps| ps.iter().any(|&p| p >= len)) {
         return Err(FormatError::Corrupt("alp exception position"));
     }
-    Ok(AlpVector {
-        exponent,
-        factor,
-        bit_width,
-        for_base,
-        packed,
-        exc_start,
-        exc_count,
-        len,
-    })
+    Ok(AlpVector { exponent, factor, bit_width, for_base, packed, exc_start, exc_count, len })
 }
 
 fn read_rd_vector(

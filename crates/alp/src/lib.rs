@@ -31,6 +31,7 @@
 //! * [`mod@format`] — byte serialization of compressed columns.
 //! * [`cascade`] — Dictionary/RLE cascades (the "LWC+ALP" column of Table 4).
 //! * [`stream`] — incremental `std::io` writer/reader (one row-group in memory).
+//! * [`par`] — the morsel-driven scheduler behind the `*_parallel` paths.
 //! * [`analysis`] — the dataset statistics of Table 2.
 
 #![forbid(unsafe_code)]
@@ -41,6 +42,7 @@ pub mod decode;
 pub mod encode;
 pub mod format;
 pub mod hash;
+pub mod par;
 pub mod rd;
 pub mod rowgroup;
 pub mod sampler;
@@ -48,9 +50,11 @@ pub mod stream;
 pub mod traits;
 pub(crate) mod wire;
 
-pub use encode::{decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector};
-pub use rowgroup::{AlpGroup, Compressed, Compressor, RowGroup, Scheme};
-pub use sampler::{Combination, SamplerParams, SamplerStats};
+pub use encode::{
+    decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector,
+};
+pub use rowgroup::{AlpGroup, Compressed, Compressor, RowGroup, Scheme, VectorIndexError};
+pub use sampler::{Combination, ConfigError, SamplerParams, SamplerStats};
 pub use traits::AlpFloat;
 
 /// Values per vector — the unit of vectorized execution.

@@ -1,0 +1,287 @@
+//! Morsel-driven parallelism primitives shared by the whole workspace.
+//!
+//! A *morsel* is one index in `0..total` — a row-group, a vector, or a block,
+//! depending on the caller. Workers are scoped `std::thread`s that claim
+//! morsels from a single shared atomic counter ([`MorselQueue`]): whichever
+//! worker finishes first grabs the next index, so skew in per-morsel cost
+//! balances itself without any work-splitting heuristics. This is the
+//! Tectorwise/morsel-driven design `vectorq` originally carried privately;
+//! it now lives here so the compressor ([`crate::Compressor::compress_parallel`]),
+//! the codec registry (`alp_core::par`), and the query engine all share one
+//! scheduler.
+//!
+//! Ownership rules (DESIGN.md §10):
+//!
+//! * each worker owns exactly one scratch state, built by the caller's `init`
+//!   closure before the claim loop starts — nothing hot is shared mutably;
+//! * results are merged only after every worker has joined, so the reduction
+//!   runs single-threaded on the caller's thread;
+//! * `threads <= 1` (or a single morsel) short-circuits to a plain serial
+//!   loop on the calling thread — no threads are spawned, which keeps
+//!   single-threaded callers allocation- and syscall-free.
+//!
+//! No external dependencies: only `std::thread::scope` and atomics.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`resolve_threads`] when the caller does
+/// not pin a thread count explicitly.
+pub const THREADS_ENV: &str = "ALP_THREADS";
+
+/// Resolves a worker count: an explicit nonzero request wins, then a nonzero
+/// `ALP_THREADS`, then [`std::thread::available_parallelism`], then 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(t) = requested {
+        if t > 0 {
+            return t;
+        }
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A shared claim counter over `total` morsels. `claim` hands out each index
+/// in `0..total` exactly once across all workers.
+#[derive(Debug)]
+pub struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl MorselQueue {
+    /// Queue over morsels `0..total`.
+    pub fn new(total: usize) -> Self {
+        Self { next: AtomicUsize::new(0), total }
+    }
+
+    /// Claims the next unclaimed morsel, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<usize> {
+        let m = self.next.fetch_add(1, Ordering::Relaxed);
+        (m < self.total).then_some(m)
+    }
+
+    /// Number of morsels the queue was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Runs `work` over every morsel in `0..morsels` on up to `threads` workers
+/// and returns the results in morsel order, stopping at the first error.
+///
+/// `init` builds one per-worker scratch state (e.g. a decode buffer pool)
+/// before that worker's claim loop starts; `work` receives the worker's
+/// scratch and the claimed morsel index. When any morsel fails, remaining
+/// workers stop claiming and the first error (in claim order, not morsel
+/// order) is returned. A panicking worker is resumed on the calling thread.
+pub fn try_map_morsels<T, E, S>(
+    threads: usize,
+    morsels: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> Result<T, E> + Sync,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    if threads <= 1 || morsels <= 1 {
+        let mut scratch = init();
+        let mut out = Vec::with_capacity(morsels);
+        for m in 0..morsels {
+            out.push(work(&mut scratch, m)?);
+        }
+        return Ok(out);
+    }
+
+    let queue = MorselQueue::new(morsels);
+    let stop = AtomicBool::new(false);
+    let workers = threads.min(morsels);
+    let joined = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let Some(m) = queue.claim() else { break };
+                        match work(&mut scratch, m) {
+                            Ok(v) => done.push((m, v)),
+                            Err(e) => {
+                                stop.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Ok(done)
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        results
+    });
+
+    let mut pairs: Vec<(usize, T)> = Vec::with_capacity(morsels);
+    for r in joined {
+        pairs.extend(r?);
+    }
+    pairs.sort_by_key(|&(m, _)| m);
+    Ok(pairs.into_iter().map(|(_, v)| v).collect())
+}
+
+/// Infallible [`try_map_morsels`]: maps every morsel, results in order.
+pub fn map_morsels<T, S>(
+    threads: usize,
+    morsels: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T>
+where
+    T: Send,
+{
+    let mapped =
+        try_map_morsels::<T, core::convert::Infallible, S>(threads, morsels, init, |scratch, m| {
+            Ok(work(scratch, m))
+        });
+    match mapped {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Folds every morsel into per-worker accumulators, then reduces the
+/// accumulators on the calling thread. This is the aggregation shape of
+/// `vectorq`'s `par_scan`/`par_sum`: order-insensitive, no per-morsel
+/// allocation.
+pub fn fold_morsels<A>(
+    threads: usize,
+    morsels: usize,
+    init: impl Fn() -> A + Sync,
+    work: impl Fn(&mut A, usize) + Sync,
+    reduce: impl Fn(A, A) -> A,
+) -> A
+where
+    A: Send,
+{
+    if threads <= 1 || morsels <= 1 {
+        let mut acc = init();
+        for m in 0..morsels {
+            work(&mut acc, m);
+        }
+        return acc;
+    }
+
+    let queue = MorselQueue::new(morsels);
+    let workers = threads.min(morsels);
+    let partials = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    while let Some(m) = queue.claim() {
+                        work(&mut acc, m);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                Ok(a) => results.push(a),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        results
+    });
+    partials.into_iter().reduce(reduce).unwrap_or_else(init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hands_out_each_morsel_once() {
+        let q = MorselQueue::new(5);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.claim()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn map_preserves_morsel_order() {
+        for threads in [1, 2, 7] {
+            let out = map_morsels(threads, 100, || (), |(), m| m * 3);
+            assert_eq!(out, (0..100).map(|m| m * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert_eq!(map_morsels(4, 0, || (), |(), m| m), Vec::<usize>::new());
+        assert_eq!(map_morsels(4, 1, || (), |(), m| m + 10), vec![10]);
+    }
+
+    #[test]
+    fn try_map_surfaces_first_error() {
+        for threads in [1, 3] {
+            let r = try_map_morsels(
+                threads,
+                50,
+                || (),
+                |(), m| {
+                    if m == 17 {
+                        Err("boom")
+                    } else {
+                        Ok(m)
+                    }
+                },
+            );
+            assert_eq!(r, Err("boom"));
+        }
+    }
+
+    #[test]
+    fn fold_matches_serial_sum() {
+        for threads in [1, 2, 7] {
+            let total = fold_morsels(threads, 1000, || 0usize, |acc, m| *acc += m, |a, b| a + b);
+            assert_eq!(total, 1000 * 999 / 2);
+        }
+    }
+
+    #[test]
+    fn workers_build_independent_scratch() {
+        // Each worker must see its own scratch: the counter per scratch can
+        // never exceed the total morsel count, and sums across workers to it.
+        let out = map_morsels(
+            4,
+            64,
+            || 0usize,
+            |local, _m| {
+                *local += 1;
+                *local
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&c| (1..=64).contains(&c)));
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

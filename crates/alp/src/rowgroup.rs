@@ -7,8 +7,44 @@ use fastlanes::VECTOR_SIZE;
 use crate::decode::{decode_vector, decode_vector_unfused};
 use crate::encode::{encode_vector_into, AlpVector, ExcArena, ExcView, OwnedAlpVector};
 use crate::rd::{choose_cut, decode_rd_vector, encode_rd_vector, RdMeta, RdVector};
-use crate::sampler::{first_level, second_level, SamplerParams, SamplerStats};
+use crate::sampler::{first_level, second_level, ConfigError, SamplerParams, SamplerStats};
 use crate::traits::AlpFloat;
+
+/// An out-of-range `(rowgroup, vector)` coordinate passed to
+/// [`Compressed::try_decompress_vector`], naming the failing axis and the
+/// live count on that axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorIndexError {
+    /// The row-group index was `index` but the column has `count` row-groups.
+    RowGroup {
+        /// Requested row-group index.
+        index: usize,
+        /// Number of row-groups in the column.
+        count: usize,
+    },
+    /// The vector index was `index` but the row-group has `count` vectors.
+    Vector {
+        /// Requested vector index.
+        index: usize,
+        /// Number of vectors in the addressed row-group.
+        count: usize,
+    },
+}
+
+impl core::fmt::Display for VectorIndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::RowGroup { index, count } => {
+                write!(f, "row-group index {index} out of range (column has {count} row-groups)")
+            }
+            Self::Vector { index, count } => {
+                write!(f, "vector index {index} out of range (row-group has {count} vectors)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VectorIndexError {}
 
 /// Which encoding a row-group uses (§3.4: the decision is per row-group).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,21 +200,85 @@ impl<F: AlpFloat> Compressed<F> {
         out
     }
 
+    /// Decompresses the whole column on up to `threads` morsel-claiming
+    /// workers (one row-group per morsel), each with its own vector-sized
+    /// scratch buffer. Values are identical to [`Compressed::decompress`].
+    // ANALYZER-ALLOW(no-panic): decode kernels return n <= VECTOR_SIZE, the
+    // exact length of each worker's reused scratch buffer being sliced; the
+    // morsel index is < rowgroups.len() by MorselQueue construction.
+    pub fn decompress_parallel(&self, threads: usize) -> Vec<F> {
+        let parts = crate::par::map_morsels(
+            threads,
+            self.rowgroups.len(),
+            || vec![F::from_bits_u64(0); VECTOR_SIZE],
+            |buf, m| {
+                let rg = &self.rowgroups[m];
+                let mut part = Vec::with_capacity(rg.len());
+                match rg {
+                    RowGroup::Alp(g) => {
+                        for v in &g.vectors {
+                            let n = decode_vector(v, g.view(v), buf);
+                            part.extend_from_slice(&buf[..n]);
+                        }
+                    }
+                    RowGroup::Rd(meta, vs) => {
+                        for v in vs {
+                            let n = decode_rd_vector(v, meta, buf);
+                            part.extend_from_slice(&buf[..n]);
+                        }
+                    }
+                }
+                part
+            },
+        );
+        let mut out = Vec::with_capacity(self.len);
+        for p in &parts {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
     /// Decompresses a single vector (`rowgroup`, `vector`) into `out`
-    /// (≥ 1024 elements); returns the live count. This is the skip-friendly
-    /// access path that block-based compressors cannot offer.
+    /// (≥ 1024 elements); returns the live count, or a typed
+    /// [`VectorIndexError`] naming the out-of-range axis. This is the
+    /// skip-friendly access path that block-based compressors cannot offer.
+    pub fn try_decompress_vector(
+        &self,
+        rowgroup: usize,
+        vector: usize,
+        out: &mut [F],
+    ) -> Result<usize, VectorIndexError> {
+        let rg = self
+            .rowgroups
+            .get(rowgroup)
+            .ok_or(VectorIndexError::RowGroup { index: rowgroup, count: self.rowgroups.len() })?;
+        match rg {
+            RowGroup::Alp(g) => {
+                let v = g
+                    .vectors
+                    .get(vector)
+                    .ok_or(VectorIndexError::Vector { index: vector, count: g.vectors.len() })?;
+                Ok(decode_vector(v, g.view(v), out))
+            }
+            RowGroup::Rd(meta, vs) => {
+                let v = vs
+                    .get(vector)
+                    .ok_or(VectorIndexError::Vector { index: vector, count: vs.len() })?;
+                Ok(decode_rd_vector(v, meta, out))
+            }
+        }
+    }
+
+    /// Panicking convenience over [`Compressed::try_decompress_vector`].
     ///
     /// # Panics
     /// Panics if `rowgroup`/`vector` are out of range, like slice indexing.
     // ANALYZER-ALLOW(no-panic): positional panic is this accessor's documented
-    // contract; counts are available via rowgroups() for callers that check.
+    // contract; try_decompress_vector is the checked twin.
     pub fn decompress_vector(&self, rowgroup: usize, vector: usize, out: &mut [F]) -> usize {
-        match &self.rowgroups[rowgroup] {
-            RowGroup::Alp(g) => {
-                let v = &g.vectors[vector];
-                decode_vector(v, g.view(v), out)
-            }
-            RowGroup::Rd(meta, vs) => decode_rd_vector(&vs[vector], meta, out),
+        match self.try_decompress_vector(rowgroup, vector, out) {
+            Ok(n) => n,
+            Err(e) => panic!("decompress_vector: {e}"),
         }
     }
 
@@ -224,8 +324,13 @@ impl Compressor {
     }
 
     /// Compressor with custom sampling parameters.
-    pub fn with_params(params: SamplerParams) -> Self {
-        Self { params }
+    ///
+    /// Returns [`ConfigError`] when any count in `params` is zero — a zero
+    /// `vectors_per_rowgroup` used to be silently clamped to one vector per
+    /// row-group, which hid misconfiguration behind a 100× size change.
+    pub fn with_params(params: SamplerParams) -> Result<Self, ConfigError> {
+        params.validate()?;
+        Ok(Self { params })
     }
 
     /// The active sampling parameters.
@@ -233,42 +338,82 @@ impl Compressor {
         &self.params
     }
 
+    /// Values per row-group under the active parameters (`w × 1024`).
+    fn rowgroup_values(&self) -> usize {
+        // Nonzero by construction: every constructor validates the params.
+        self.params.vectors_per_rowgroup * VECTOR_SIZE
+    }
+
+    /// Compresses one row-group's worth of values. Sampling state is strictly
+    /// row-group-local (level 1 runs on `rg_data` alone; level 2 only ever
+    /// *adds* to `stats`), which is what makes the parallel path byte-exact:
+    /// each worker produces the same `RowGroup` the serial loop would.
+    fn compress_rowgroup<F: AlpFloat>(&self, rg_data: &[F], stats: &mut SamplerStats) -> RowGroup {
+        let outcome = first_level(rg_data, &self.params);
+        if outcome.should_use_rd::<F>() {
+            stats.rowgroups_rd += 1;
+            let meta =
+                choose_cut::<F>(rg_data, self.params.sample_vectors * self.params.sample_values);
+            let vectors =
+                rg_data.chunks(VECTOR_SIZE).map(|chunk| encode_rd_vector(chunk, &meta)).collect();
+            RowGroup::Rd(meta, vectors)
+        } else {
+            stats.rowgroups_alp += 1;
+            let mut group = AlpGroup {
+                vectors: Vec::with_capacity(rg_data.len().div_ceil(VECTOR_SIZE)),
+                exceptions: ExcArena::new(),
+            };
+            for chunk in rg_data.chunks(VECTOR_SIZE) {
+                let combo = second_level(chunk, &outcome.combinations, &self.params, stats);
+                group.vectors.push(encode_vector_into(
+                    chunk,
+                    combo.e,
+                    combo.f,
+                    &mut group.exceptions,
+                ));
+            }
+            RowGroup::Alp(group)
+        }
+    }
+
     /// Compresses a column of floats.
     pub fn compress<F: AlpFloat>(&self, data: &[F]) -> Compressed<F> {
-        let rg_values = self.params.vectors_per_rowgroup * VECTOR_SIZE;
+        let rg_values = self.rowgroup_values();
         let mut stats = SamplerStats::default();
-        let mut rowgroups = Vec::with_capacity(data.len().div_ceil(rg_values.max(1)));
-
-        for rg_data in data.chunks(rg_values.max(1)) {
-            let outcome = first_level(rg_data, &self.params);
-            if outcome.should_use_rd::<F>() {
-                stats.rowgroups_rd += 1;
-                let meta = choose_cut::<F>(
-                    rg_data,
-                    self.params.sample_vectors * self.params.sample_values,
-                );
-                let vectors = rg_data
-                    .chunks(VECTOR_SIZE)
-                    .map(|chunk| encode_rd_vector(chunk, &meta))
-                    .collect();
-                rowgroups.push(RowGroup::Rd(meta, vectors));
-            } else {
-                stats.rowgroups_alp += 1;
-                let mut group = AlpGroup {
-                    vectors: Vec::with_capacity(rg_data.len().div_ceil(VECTOR_SIZE)),
-                    exceptions: ExcArena::new(),
-                };
-                for chunk in rg_data.chunks(VECTOR_SIZE) {
-                    let combo =
-                        second_level(chunk, &outcome.combinations, &self.params, &mut stats);
-                    group
-                        .vectors
-                        .push(encode_vector_into(chunk, combo.e, combo.f, &mut group.exceptions));
-                }
-                rowgroups.push(RowGroup::Alp(group));
-            }
+        let mut rowgroups = Vec::with_capacity(data.len().div_ceil(rg_values));
+        for rg_data in data.chunks(rg_values) {
+            let rg = self.compress_rowgroup(rg_data, &mut stats);
+            rowgroups.push(rg);
         }
+        Compressed { rowgroups, len: data.len(), stats, _marker: core::marker::PhantomData }
+    }
 
+    /// Compresses a column on up to `threads` morsel-claiming workers, one
+    /// row-group per morsel. The output — row-groups, exception arenas, and
+    /// sampling statistics — is byte-identical to [`Compressor::compress`]:
+    /// sampling is row-group-local and the per-worker [`SamplerStats`]
+    /// partials are pure sums (see [`SamplerStats::merge`]).
+    pub fn compress_parallel<F: AlpFloat>(&self, data: &[F], threads: usize) -> Compressed<F> {
+        let rg_values = self.rowgroup_values();
+        let morsels = data.len().div_ceil(rg_values);
+        let pieces = crate::par::map_morsels(
+            threads,
+            morsels,
+            || (),
+            |(), m| {
+                let start = m * rg_values;
+                let end = (start + rg_values).min(data.len());
+                let mut stats = SamplerStats::default();
+                let rg = self.compress_rowgroup(&data[start..end], &mut stats);
+                (rg, stats)
+            },
+        );
+        let mut stats = SamplerStats::default();
+        let mut rowgroups = Vec::with_capacity(pieces.len());
+        for (rg, partial) in pieces {
+            stats.merge(&partial);
+            rowgroups.push(rg);
+        }
         Compressed { rowgroups, len: data.len(), stats, _marker: core::marker::PhantomData }
     }
 }
@@ -335,6 +480,89 @@ mod tests {
         let n_last = c.decompress_vector(0, 4, &mut buf);
         assert_eq!(n_last, 5000 - 4096);
         assert_eq!(&full[4096..], &buf[..n_last]);
+    }
+
+    #[test]
+    fn with_params_rejects_zero_counts() {
+        let p = SamplerParams { vectors_per_rowgroup: 0, ..SamplerParams::default() };
+        let err = Compressor::with_params(p).unwrap_err();
+        assert_eq!(err.param, "vectors_per_rowgroup");
+
+        let p = SamplerParams { sample_values: 0, ..SamplerParams::default() };
+        assert_eq!(Compressor::with_params(p).unwrap_err().param, "sample_values");
+
+        assert!(Compressor::with_params(SamplerParams::default()).is_ok());
+    }
+
+    #[test]
+    fn parallel_compress_is_identical_to_serial() {
+        // Mixed schemes across three row-groups plus a tail row-group.
+        let mut data: Vec<f64> = (0..102_400).map(|i| (i % 1000) as f64 * 0.25).collect();
+        data.extend((0..102_400).map(|i| ((i as f64) * 0.31).cos() * 1e-5));
+        data.extend((0..5_000).map(|i| (i as f64) / 64.0));
+        let comp = Compressor::new();
+        let serial = comp.compress(&data);
+        for threads in [1, 2, 7] {
+            let par = comp.compress_parallel(&data, threads);
+            assert_eq!(par.len, serial.len);
+            assert_eq!(par.rowgroups.len(), serial.rowgroups.len());
+            assert_eq!(par.compressed_bits(), serial.compressed_bits(), "t={threads}");
+            assert_eq!(par.decompress(), serial.decompress(), "t={threads}");
+            assert_eq!(par.stats, serial.stats, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_decompress_matches_serial() {
+        let mut data: Vec<f64> = (0..150_000).map(|i| ((i * 13) % 9973) as f64 / 100.0).collect();
+        data.extend((0..50_000).map(|i| (i as f64 * 0.577).sin() * 0.001));
+        let c = Compressor::new().compress(&data);
+        let serial = c.decompress();
+        for threads in [1, 2, 7] {
+            let par = c.decompress_parallel(threads);
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={threads} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paths_handle_empty_and_single_value() {
+        let comp = Compressor::new();
+        for threads in [1, 2, 7] {
+            let empty = comp.compress_parallel::<f64>(&[], threads);
+            assert_eq!(empty.len, 0);
+            assert!(empty.decompress_parallel(threads).is_empty());
+
+            let one = comp.compress_parallel(&[42.5f64], threads);
+            assert_eq!(one.decompress_parallel(threads), vec![42.5]);
+        }
+    }
+
+    #[test]
+    fn try_decompress_vector_reports_out_of_range_axes() {
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64) * 0.5).collect();
+        let c = Compressor::new().compress(&data);
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        assert_eq!(c.try_decompress_vector(0, 2, &mut buf), Ok(1024));
+        assert_eq!(
+            c.try_decompress_vector(3, 0, &mut buf),
+            Err(VectorIndexError::RowGroup { index: 3, count: 1 })
+        );
+        assert_eq!(
+            c.try_decompress_vector(0, 5, &mut buf),
+            Err(VectorIndexError::Vector { index: 5, count: 5 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decompress_vector")]
+    fn decompress_vector_panics_out_of_range() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let c = Compressor::new().compress(&data);
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        c.decompress_vector(7, 0, &mut buf);
     }
 
     #[test]

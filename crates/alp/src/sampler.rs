@@ -40,6 +40,46 @@ impl Default for SamplerParams {
     }
 }
 
+impl SamplerParams {
+    /// Validates the configuration: every count must be nonzero. A zero
+    /// `vectors_per_rowgroup` used to be silently clamped to 1 deep inside
+    /// the compressor; zero sampling counts divide by zero in
+    /// [`equidistant_indices`]. Both are now rejected up front.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let checks = [
+            ("vectors_per_rowgroup", self.vectors_per_rowgroup),
+            ("sample_vectors", self.sample_vectors),
+            ("sample_values", self.sample_values),
+            ("max_combinations", self.max_combinations),
+            ("second_level_values", self.second_level_values),
+        ];
+        for (param, value) in checks {
+            if value == 0 {
+                return Err(ConfigError { param });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sampling parameter held a value the compressor cannot honor (today:
+/// zero, where a positive count is required). Returned by
+/// [`SamplerParams::validate`] and surfaced through every constructor that
+/// accepts custom parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the rejected parameter.
+    pub param: &'static str,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid sampler configuration: `{}` must be nonzero", self.param)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// An (exponent, factor) candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Combination {
@@ -131,7 +171,7 @@ impl FirstLevelOutcome {
 /// breaking that resonance; it is deterministic, so compression stays
 /// reproducible.
 pub fn equidistant_indices(len: usize, count: usize) -> Vec<usize> {
-    if len == 0 {
+    if len == 0 || count == 0 {
         return Vec::new();
     }
     if count >= len {
@@ -203,7 +243,7 @@ pub fn first_level<F: AlpFloat>(rowgroup: &[F], params: &SamplerParams) -> First
 }
 
 /// Counters the §4.2 "Sampling Overhead" analysis reports.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SamplerStats {
     /// Vectors encoded with the decimal (non-rd) scheme.
     pub vectors_encoded: usize,
@@ -219,6 +259,22 @@ pub struct SamplerStats {
     /// Vectors whose row-group candidates all failed locally and that were
     /// re-searched individually (see `rescue_if_poor`).
     pub rescued_vectors: usize,
+}
+
+impl SamplerStats {
+    /// Folds another accumulation into `self`. Every counter is a sum, so
+    /// parallel workers can accumulate per-row-group partials and merge them
+    /// at the join barrier in any order without changing the totals.
+    pub fn merge(&mut self, other: &SamplerStats) {
+        self.vectors_encoded += other.vectors_encoded;
+        self.second_level_skipped += other.second_level_skipped;
+        for (mine, theirs) in self.combinations_tried.iter_mut().zip(other.combinations_tried) {
+            *mine += theirs;
+        }
+        self.rowgroups_alp += other.rowgroups_alp;
+        self.rowgroups_rd += other.rowgroups_rd;
+        self.rescued_vectors += other.rescued_vectors;
+    }
 }
 
 /// Level-2 sampling: picks the combination for one vector from the row-group

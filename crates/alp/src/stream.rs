@@ -45,7 +45,7 @@ use fastlanes::VECTOR_SIZE;
 use crate::format::{read_rowgroup, write_rowgroup, FormatError};
 use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::rowgroup::{Compressor, RowGroup};
-use crate::sampler::SamplerParams;
+use crate::sampler::{ConfigError, SamplerParams};
 use crate::traits::AlpFloat;
 
 /// Magic bytes of a streamed column (current, checksummed format).
@@ -90,25 +90,30 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
 impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
     /// Writer with the paper's default sampling parameters.
     pub fn new(sink: W) -> Self {
-        Self::with_params(sink, SamplerParams::default())
+        Self::build(sink, Compressor::new(), StreamVersion::V2)
     }
 
     /// Writer with custom sampling parameters.
-    pub fn with_params(sink: W, params: SamplerParams) -> Self {
-        Self::build(sink, params, StreamVersion::V2)
+    ///
+    /// Returns [`ConfigError`] when any count in `params` is zero — notably a
+    /// zero `vectors_per_rowgroup`, which would make [`ColumnWriter::push`]
+    /// flush empty row-groups forever (it used to be silently clamped to 1).
+    pub fn with_params(sink: W, params: SamplerParams) -> Result<Self, ConfigError> {
+        Ok(Self::build(sink, Compressor::with_params(params)?, StreamVersion::V2))
     }
 
     /// Writer emitting the legacy pre-checksum `"ALPS"` layout, for
     /// interoperability with readers that predate frame checksums.
     pub fn legacy(sink: W) -> Self {
-        Self::build(sink, SamplerParams::default(), StreamVersion::V1)
+        Self::build(sink, Compressor::new(), StreamVersion::V1)
     }
 
-    fn build(sink: W, params: SamplerParams, version: StreamVersion) -> Self {
-        let rowgroup_values = params.vectors_per_rowgroup * VECTOR_SIZE;
+    fn build(sink: W, compressor: Compressor, version: StreamVersion) -> Self {
+        // Nonzero: every `Compressor` constructor validates its params.
+        let rowgroup_values = compressor.params().vectors_per_rowgroup * VECTOR_SIZE;
         Self {
             sink,
-            compressor: Compressor::with_params(params),
+            compressor,
             buffer: Vec::with_capacity(rowgroup_values),
             rowgroup_values,
             header_written: false,
@@ -349,9 +354,10 @@ mod tests {
     use super::*;
 
     fn stream_roundtrip(data: &[f64], chunk: usize) {
+        assert!(chunk > 0, "test chunking granularity must be nonzero");
         let mut file = Vec::new();
         let mut writer = ColumnWriter::<f64, _>::new(&mut file);
-        for c in data.chunks(chunk.max(1)) {
+        for c in data.chunks(chunk) {
             writer.push(c).unwrap();
         }
         let summary = writer.finish().unwrap();
@@ -374,6 +380,34 @@ mod tests {
         for chunk in [1usize << 20, 102_400, 1024, 999, 37] {
             stream_roundtrip(&data, chunk);
         }
+    }
+
+    #[test]
+    fn zero_rowgroup_config_is_rejected_with_typed_error() {
+        let params = SamplerParams { vectors_per_rowgroup: 0, ..SamplerParams::default() };
+        let sink: Vec<u8> = Vec::new();
+        let err = match ColumnWriter::<f64, _>::with_params(sink, params) {
+            Err(e) => e,
+            Ok(_) => panic!("zero vectors_per_rowgroup must be rejected"),
+        };
+        assert_eq!(err.param, "vectors_per_rowgroup");
+    }
+
+    #[test]
+    fn custom_params_still_roundtrip() {
+        let params = SamplerParams { vectors_per_rowgroup: 3, ..SamplerParams::default() };
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 777) as f64 / 4.0).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::with_params(&mut file, params).unwrap();
+        writer.push(&data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.rowgroups, 10_000usize.div_ceil(3 * VECTOR_SIZE));
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(restored, data);
     }
 
     #[test]

@@ -108,10 +108,7 @@ fn registry_bad_flags_unregistered_duplicate_and_ghost() {
     let found = scan("crates/core/src/registry.rs", include_str!("fixtures/registry_bad.rs"));
     // Line 6: `Beta` implements the trait but is never registered, 10: the
     // second `Alpha` entry is a duplicate, 11: `Ghost` has no impl.
-    assert_eq!(
-        found,
-        pairs(&[("registry-sync", 6), ("registry-sync", 10), ("registry-sync", 11)])
-    );
+    assert_eq!(found, pairs(&[("registry-sync", 6), ("registry-sync", 10), ("registry-sync", 11)]));
 }
 
 #[test]

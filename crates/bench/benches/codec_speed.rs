@@ -46,7 +46,9 @@ fn bench_alp_reference(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec_alp");
     g.throughput(Throughput::Elements(VECTOR_SIZE as u64));
     g.bench_function("compress", |b| b.iter(|| alp::encode::encode_vector(&data, 14, 13)));
-    g.bench_function("decompress", |b| b.iter(|| alp::decode::decode_vector(&v, v.view(), &mut out)));
+    g.bench_function("decompress", |b| {
+        b.iter(|| alp::decode::decode_vector(&v, v.view(), &mut out))
+    });
     g.finish();
 }
 

@@ -22,7 +22,7 @@ fn run(params: SamplerParams) -> (f64, f64) {
     let mut bits = 0usize;
     let mut values = 0usize;
     let mut seconds = 0.0;
-    let compressor = Compressor::with_params(params);
+    let compressor = Compressor::with_params(params).expect("ablation params are nonzero");
     for name in DATASETS {
         let data = bench::dataset(name);
         let t0 = Instant::now();

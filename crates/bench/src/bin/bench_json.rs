@@ -1,19 +1,39 @@
 //! Machine-readable benchmark output: per-scheme bits-per-value and
-//! throughput for every dataset, written as JSON to `results/BENCH_*.json`
-//! so downstream tooling (plotting scripts, regression dashboards) can
-//! consume runs without scraping table text.
+//! throughput for every dataset, plus a morsel-scheduler thread sweep,
+//! written as JSON to `results/BENCH_*.json` so downstream tooling (plotting
+//! scripts, regression dashboards) can consume runs without scraping table
+//! text.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin bench_json
 //! ```
 //!
-//! Speed measurement is skipped for ratio-only schemes (their `compress_tpc`
-//! / `decompress_tpc` fields are `null`). `ALP_BENCH_MS=0` skips speed
-//! entirely for a fast ratio-only run.
+//! Ratio-only schemes have no timed byte path, so their records carry no
+//! `compress_tpc` / `decompress_tpc` keys at all (consumers test for key
+//! presence, never for `null`). `ALP_BENCH_MS=0` skips speed measurement and
+//! the thread sweep entirely for a fast ratio-only run.
 
 use alp_core::{Registry, Scratch, TABLE4_IDS};
+use bench::scaling::{measure_scaling, sweep_threads};
 use bench::schemes::{bits_per_value, measure_speed};
 use bench::tables::results_dir;
+
+/// Self-describing schema embedded in the file header, so the format is
+/// explicit in every emitted file rather than documented only here.
+const SCHEMA: &str = concat!(
+    "records[]: one object per (dataset, codec) with bits_per_value always ",
+    "present; compress_tpc/decompress_tpc (tuples per CPU cycle, ",
+    "single-thread microbenchmark) appear only for codecs with a timed byte ",
+    "path — ratio-only codecs omit both keys. thread_sweep[]: wall-clock ",
+    "MB/s of par_compress/par_decompress per (codec, threads) on the sweep ",
+    "dataset, with *_speedup relative to that codec's threads=1 row and ",
+    "verdict in {ok, sublinear, collapse}; threads_available is the host ",
+    "hardware parallelism the sweep ran under."
+);
+
+/// Dataset the thread sweep runs on: decimal-heavy and scheme-mixed, so both
+/// ALP vector decoding and exception patching are exercised.
+const SWEEP_DATASET: &str = "City-Temp";
 
 /// Minimal JSON string escape (registry ids and dataset names are ASCII, but
 /// stay correct regardless).
@@ -30,10 +50,11 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn json_f64(v: Option<f64>) -> String {
-    match v {
-        Some(x) if x.is_finite() => format!("{x:.6}"),
-        _ => "null".to_string(),
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -50,47 +71,103 @@ fn main() {
         for codec in &codecs {
             let bpv = bits_per_value(*codec, &data, &mut scratch)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", codec.id(), ds.name));
-            let speed = if batch_ms > 0 { measure_speed(*codec, &data, batch_ms).ok() } else { None };
+            let speed =
+                if batch_ms > 0 { measure_speed(*codec, &data, batch_ms).ok() } else { None };
             if !first {
                 records.push_str(",\n");
             }
             first = false;
+            // Ratio-only codecs (and ALP_BENCH_MS=0 runs) omit the timing
+            // keys instead of writing literal nulls.
+            let timing = match speed {
+                Some(s) => format!(
+                    ", \"compress_tpc\": {}, \"decompress_tpc\": {}",
+                    json_f64(s.compress_tpc()),
+                    json_f64(s.decompress_tpc()),
+                ),
+                None => String::new(),
+            };
             records.push_str(&format!(
                 concat!(
                     "    {{\"dataset\": \"{}\", \"time_series\": {}, \"codec\": \"{}\", ",
-                    "\"name\": \"{}\", \"bits_per_value\": {}, ",
-                    "\"compress_tpc\": {}, \"decompress_tpc\": {}}}"
+                    "\"name\": \"{}\", \"bits_per_value\": {}{}}}"
                 ),
                 esc(ds.name),
                 ds.time_series,
                 esc(codec.id()),
                 esc(codec.name()),
-                json_f64(Some(bpv)),
-                json_f64(speed.map(|s| s.compress_tpc())),
-                json_f64(speed.map(|s| s.decompress_tpc())),
+                json_f64(bpv),
+                timing,
             ));
         }
         eprintln!("done: {}", ds.name);
     }
 
+    let sweep_json = if batch_ms > 0 { thread_sweep_json() } else { String::new() };
+
     let doc = format!(
         concat!(
             "{{\n",
+            "  \"schema\": \"{}\",\n",
             "  \"values_per_dataset\": {},\n",
             "  \"seed\": {},\n",
             "  \"batch_ms\": {},\n",
-            "  \"records\": [\n{}\n  ]\n",
+            "  \"threads_available\": {},\n",
+            "  \"sweep_dataset\": \"{}\",\n",
+            "  \"records\": [\n{}\n  ],\n",
+            "  \"thread_sweep\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        esc(SCHEMA),
         bench::bench_values(),
         bench::bench_seed(),
         batch_ms,
+        alp_core::par::resolve_threads(None),
+        esc(SWEEP_DATASET),
         records,
+        sweep_json,
     );
 
     std::fs::create_dir_all(results_dir()).ok();
-    let path = results_dir()
-        .join(format!("BENCH_s{}_v{}.json", bench::bench_seed(), bench::bench_values()));
+    let path = results_dir().join(format!(
+        "BENCH_s{}_v{}.json",
+        bench::bench_seed(),
+        bench::bench_values()
+    ));
     std::fs::write(&path, &doc).expect("write json");
     println!("wrote {}", path.display());
+}
+
+/// Runs the 1/2/4/N morsel-scheduler sweep on every codec with a timed byte
+/// path and renders the `thread_sweep` records.
+fn thread_sweep_json() -> String {
+    let sweep = sweep_threads();
+    let data = bench::dataset(SWEEP_DATASET);
+    let mut rows = Vec::new();
+    for codec in Registry::all() {
+        if codec.caps().ratio_only {
+            continue;
+        }
+        let points = measure_scaling(*codec, &data, &sweep, 3)
+            .unwrap_or_else(|e| panic!("{} sweep: {e}", codec.id()));
+        for p in &points {
+            rows.push(format!(
+                concat!(
+                    "    {{\"codec\": \"{}\", \"threads\": {}, ",
+                    "\"compress_mbps\": {}, \"decompress_mbps\": {}, ",
+                    "\"compress_speedup\": {}, \"decompress_speedup\": {}, ",
+                    "\"verdict\": \"{}\"}}"
+                ),
+                esc(codec.id()),
+                p.threads,
+                json_f64(p.compress_mbps),
+                json_f64(p.decompress_mbps),
+                json_f64(p.compress_speedup),
+                json_f64(p.decompress_speedup),
+                p.verdict(),
+            ));
+        }
+        eprintln!("sweep done: {}", codec.id());
+    }
+    rows.join(",\n")
 }

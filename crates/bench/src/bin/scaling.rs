@@ -1,0 +1,110 @@
+//! Morsel-scheduler scaling harness: sweeps thread counts 1/2/4/N for every
+//! codec with a timed byte path, prints speedup and parallel efficiency, and
+//! flags sublinear scaling or outright collapse (more threads, less
+//! throughput). Writes `results/SCALING_*.json`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin scaling
+//! ```
+//!
+//! Knobs: `ALP_BENCH_VALUES`, `ALP_BENCH_SEED` (dataset size/seed) and
+//! `ALP_BENCH_MS` is not used — each point is best-of-3 wall clock.
+
+use alp_core::Registry;
+use bench::scaling::{measure_scaling, sweep_threads};
+use bench::tables::results_dir;
+
+const DATASET: &str = "City-Temp";
+
+fn main() {
+    let sweep = sweep_threads();
+    let hw = alp_core::par::resolve_threads(None);
+    let data = bench::dataset(DATASET);
+    println!(
+        "scaling sweep on {DATASET} ({} values), hardware threads: {hw}, sweep: {sweep:?}",
+        data.len()
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>9} {:>11} {:<10}",
+        "codec", "threads", "comp MB/s", "dec MB/s", "speedup", "efficiency", "verdict"
+    );
+
+    let mut collapsed = Vec::new();
+    let mut json_rows = Vec::new();
+    for codec in Registry::all() {
+        if codec.caps().ratio_only {
+            continue;
+        }
+        let points = measure_scaling(*codec, &data, &sweep, 3)
+            .unwrap_or_else(|e| panic!("{}: {e}", codec.id()));
+        for p in &points {
+            let verdict = p.verdict();
+            println!(
+                "{:<10} {:>7} {:>12.0} {:>12.0} {:>8.2}x {:>10.0}% {:<10}",
+                codec.id(),
+                p.threads,
+                p.compress_mbps,
+                p.decompress_mbps,
+                p.decompress_speedup,
+                p.efficiency() * 100.0,
+                verdict
+            );
+            if verdict != "ok" {
+                collapsed.push(format!("{} @ {} threads ({verdict})", codec.id(), p.threads));
+            }
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"codec\": \"{}\", \"threads\": {}, ",
+                    "\"compress_mbps\": {:.3}, \"decompress_mbps\": {:.3}, ",
+                    "\"compress_speedup\": {:.4}, \"decompress_speedup\": {:.4}, ",
+                    "\"efficiency\": {:.4}, \"verdict\": \"{}\"}}"
+                ),
+                codec.id(),
+                p.threads,
+                p.compress_mbps,
+                p.decompress_mbps,
+                p.compress_speedup,
+                p.decompress_speedup,
+                p.efficiency(),
+                verdict,
+            ));
+        }
+    }
+
+    if collapsed.is_empty() {
+        println!("\nscaling healthy: every point at >= 50% parallel efficiency");
+    } else {
+        println!("\nSUBLINEAR SCALING FLAGGED ({} points):", collapsed.len());
+        for c in &collapsed {
+            println!("  {c}");
+        }
+        println!(
+            "  (expected when the sweep oversubscribes the host: {hw} hardware thread(s) here)"
+        );
+    }
+
+    let doc = format!(
+        concat!(
+            "{{\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"values\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"threads_available\": {},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        DATASET,
+        data.len(),
+        bench::bench_seed(),
+        hw,
+        json_rows.join(",\n"),
+    );
+    std::fs::create_dir_all(results_dir()).ok();
+    let path = results_dir().join(format!(
+        "SCALING_s{}_v{}.json",
+        bench::bench_seed(),
+        bench::bench_values()
+    ));
+    std::fs::write(&path, &doc).expect("write json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,157 @@
+//! Thread-scaling measurement over the morsel scheduler.
+//!
+//! Wall-clock throughput of [`ColumnCodec::par_compress`] /
+//! [`ColumnCodec::par_decompress`] at a sweep of thread counts, with speedup
+//! relative to the single-thread run. Cycle counters are the right tool for
+//! single-core kernel speed (see [`crate::timing`]); scaling is a wall-clock
+//! question — the point is elapsed time across cores, not work per core.
+
+use alp_core::{ColumnCodec, CoreError};
+use std::time::Instant;
+
+/// One measured thread count for one codec.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker threads requested (the scheduler caps at the morsel count).
+    pub threads: usize,
+    /// Wall-clock compression throughput in MB/s of raw input.
+    pub compress_mbps: f64,
+    /// Wall-clock decompression throughput in MB/s of raw output.
+    pub decompress_mbps: f64,
+    /// Decompression speedup over the `threads = 1` point of the same sweep.
+    pub decompress_speedup: f64,
+    /// Compression speedup over the `threads = 1` point of the same sweep.
+    pub compress_speedup: f64,
+}
+
+impl ScalingPoint {
+    /// Parallel efficiency of decompression: speedup / threads (1.0 = linear).
+    pub fn efficiency(&self) -> f64 {
+        self.decompress_speedup / self.threads as f64
+    }
+
+    /// Classifies this point: `"ok"` (efficiency >= 50%), `"sublinear"`
+    /// (positive but below-half speedup per thread), or `"collapse"` (more
+    /// threads made decompression *slower* than one thread — the scheduler
+    /// is oversubscribed, e.g. more workers than hardware cores).
+    pub fn verdict(&self) -> &'static str {
+        if self.threads <= 1 || self.efficiency() >= 0.5 {
+            "ok"
+        } else if self.decompress_speedup < 1.0 {
+            "collapse"
+        } else {
+            "sublinear"
+        }
+    }
+}
+
+/// The standard sweep: 1, 2, 4, and the hardware thread count, deduplicated
+/// and sorted. On a single-core host this is still `[1, 2, 4]` — the higher
+/// counts document oversubscription honestly rather than being skipped.
+pub fn sweep_threads() -> Vec<usize> {
+    let n = alp_core::par::resolve_threads(None);
+    let mut sweep = vec![1, 2, 4, n];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// Measures `codec` at each thread count in `sweep` on `data`, best-of-
+/// `repeats` wall clock per point. The chunk size shrinks below the default
+/// when the column is small so every sweep still has enough morsels to fan
+/// out (at least two per requested worker where possible).
+pub fn measure_scaling(
+    codec: &dyn ColumnCodec,
+    data: &[f64],
+    sweep: &[usize],
+    repeats: u32,
+) -> Result<Vec<ScalingPoint>, CoreError> {
+    let max_threads = sweep.iter().copied().max().unwrap_or(1);
+    let chunk = chunk_for(data.len(), max_threads);
+    let mb = data.len() as f64 * 8.0 / 1e6;
+
+    let mut points = Vec::with_capacity(sweep.len());
+    let mut base: Option<(f64, f64)> = None;
+    for &threads in sweep {
+        let mut best_c = f64::INFINITY;
+        let mut best_d = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let t0 = Instant::now();
+            let blocks = codec.par_compress(data, chunk, threads)?;
+            best_c = best_c.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let back = codec.par_decompress(&blocks, threads)?;
+            best_d = best_d.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&back);
+        }
+        let (base_c, base_d) = *base.get_or_insert((best_c, best_d));
+        points.push(ScalingPoint {
+            threads,
+            compress_mbps: mb / best_c,
+            decompress_mbps: mb / best_d,
+            compress_speedup: base_c / best_c,
+            decompress_speedup: base_d / best_d,
+        });
+    }
+    Ok(points)
+}
+
+/// Chunk size giving at least two morsels per worker on columns that allow
+/// it, never below one ALP vector, capped at the library default.
+fn chunk_for(values: usize, max_threads: usize) -> usize {
+    let target_morsels = (2 * max_threads).max(1);
+    (values.div_ceil(target_morsels))
+        .next_multiple_of(alp::VECTOR_SIZE)
+        .min(alp_core::par::DEFAULT_CHUNK_VALUES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_core::Registry;
+
+    #[test]
+    fn sweep_is_sorted_and_unique() {
+        let s = sweep_threads();
+        assert!(s.contains(&1) && s.contains(&2) && s.contains(&4));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scaling_points_cover_the_sweep_with_finite_throughput() {
+        let data: Vec<f64> = (0..40_000).map(|i| (i % 811) as f64 / 4.0).collect();
+        let codec = Registry::get("gorilla").unwrap();
+        let points = measure_scaling(codec, &data, &[1, 2, 4], 1).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.compress_mbps.is_finite() && p.compress_mbps > 0.0);
+            assert!(p.decompress_mbps.is_finite() && p.decompress_mbps > 0.0);
+        }
+        assert_eq!(points[0].threads, 1);
+        assert_eq!(points[0].decompress_speedup, 1.0);
+    }
+
+    #[test]
+    fn verdict_thresholds() {
+        let mk = |threads, decompress_speedup| ScalingPoint {
+            threads,
+            compress_mbps: 1.0,
+            decompress_mbps: 1.0,
+            compress_speedup: 1.0,
+            decompress_speedup,
+        };
+        assert_eq!(mk(1, 1.0).verdict(), "ok");
+        assert_eq!(mk(4, 3.6).verdict(), "ok");
+        assert_eq!(mk(4, 1.5).verdict(), "sublinear");
+        assert_eq!(mk(4, 0.7).verdict(), "collapse");
+    }
+
+    #[test]
+    fn chunks_give_every_worker_morsels() {
+        let chunk = chunk_for(100_000, 4);
+        assert!(chunk >= alp::VECTOR_SIZE);
+        assert!(100_000usize.div_ceil(chunk) >= 8);
+        // Large columns stay at the default granularity.
+        assert_eq!(chunk_for(10_000_000, 4), alp_core::par::DEFAULT_CHUNK_VALUES);
+    }
+}

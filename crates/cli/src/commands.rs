@@ -110,21 +110,22 @@ fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_byte
     }
 }
 
-/// `alp verify <in.alp>` — integrity-check a stored column without writing
-/// anything: validates the header, every row-group checksum (`ALP2`), and the
-/// declared value count, then reports what a salvage pass could recover if
-/// the strict read fails. Exits non-zero on any damage.
-pub fn verify_column(input: &str) -> Result<()> {
+/// `alp verify <in.alp> [--threads N]` — integrity-check a stored column
+/// without writing anything: validates the header, every row-group checksum
+/// (`ALP2`), and the declared value count, then reports what a salvage pass
+/// could recover if the strict read fails. The proving decode runs on
+/// `threads` morsel-claiming workers. Exits non-zero on any damage.
+pub fn verify_column(input: &str, threads: usize) -> Result<()> {
     let bytes = fs::read(input)?;
     let bits = *bytes.get(4).ok_or("file too short")?;
     match bits {
-        64 => verify_typed::<f64>(input, &bytes),
-        32 => verify_typed::<f32>(input, &bytes),
+        64 => verify_typed::<f64>(input, &bytes, threads),
+        32 => verify_typed::<f32>(input, &bytes, threads),
         other => Err(format!("unsupported float width {other}").into()),
     }
 }
 
-fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8]) -> Result<()> {
+fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8], threads: usize) -> Result<()> {
     let layout = if bytes.starts_with(alp::format::MAGIC) {
         "ALP2 (per-row-group checksums)"
     } else if bytes.starts_with(alp::format::MAGIC_V1) {
@@ -136,7 +137,7 @@ fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8]) -> Result<()> {
         Ok(col) => {
             // A column that parses strictly must also decode; do so to prove
             // the payload is usable, not just well-framed.
-            let values = col.decompress();
+            let values = col.decompress_parallel(threads);
             println!(
                 "{input}: OK — {layout}, {} values of f{}, {} row-groups",
                 values.len(),
@@ -221,19 +222,21 @@ pub fn list_datasets() -> Result<()> {
     Ok(())
 }
 
-/// `alp shootout <in>` — every registered codec, one loop. Ratio-only
+/// `alp shootout <in> [--threads N]` — every registered codec, one loop.
+/// Timed compression and decompression run through the morsel scheduler
+/// (`par_compress`/`par_decompress`) at the requested thread count; ratio-only
 /// schemes report bits/value with dashes for the timing columns.
-pub fn shootout(input: &str) -> Result<()> {
+pub fn shootout(input: &str, threads: usize) -> Result<()> {
     let data = read_f64(input)?;
     if data.is_empty() {
         return Err("empty input".into());
     }
+    let chunk = alp_core::par::DEFAULT_CHUNK_VALUES;
     let mb = data.len() as f64 * 8.0 / 1e6;
+    println!("threads: {threads}, chunk: {chunk} values");
     println!("{:<10} {:>11} {:>12} {:>12}", "scheme", "bits/value", "comp MB/s", "dec MB/s");
 
     let mut scratch = alp_core::Scratch::new();
-    let mut bytes = Vec::new();
-    let mut back = Vec::new();
     for codec in alp_core::Registry::all() {
         let bpv = codec.verified_compressed_bits(&data, &mut scratch)? as f64 / data.len() as f64;
         if codec.caps().ratio_only {
@@ -241,10 +244,10 @@ pub fn shootout(input: &str) -> Result<()> {
             continue;
         }
         let t0 = Instant::now();
-        codec.try_compress_into(&data, &mut bytes, &mut scratch)?;
+        let blocks = codec.par_compress(&data, chunk, threads)?;
         let c = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        codec.try_decompress_into(&bytes, data.len(), &mut back, &mut scratch)?;
+        let back = codec.par_decompress(&blocks, threads)?;
         let d = t0.elapsed().as_secs_f64();
         verify(&data, &back, codec.name())?;
         println!("{:<10} {bpv:>11.2} {:>12.0} {:>12.0}", codec.name(), mb / c, mb / d);
@@ -404,14 +407,24 @@ mod tests {
         let data: Vec<f64> = (0..120_000).map(|i| (i % 500) as f64 / 4.0).collect();
         write_f64(&input, &data).unwrap();
         compress(&input, &packed, false).unwrap();
-        verify_column(&packed).unwrap();
+        verify_column(&packed, 2).unwrap();
 
         let mut bytes = fs::read(&packed).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         let damaged = tmp("verify_damaged.alp");
         fs::write(&damaged, &bytes).unwrap();
-        assert!(verify_column(&damaged).is_err());
+        assert!(verify_column(&damaged, 2).is_err());
+    }
+
+    #[test]
+    fn shootout_runs_across_thread_counts() {
+        let input = tmp("shootout.f64");
+        let data: Vec<f64> = (0..120_000).map(|i| (i % 321) as f64 / 8.0).collect();
+        write_f64(&input, &data).unwrap();
+        for threads in [1, 3] {
+            shootout(&input, threads).unwrap();
+        }
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! alp compress   <in.f64> <out.alp> [--f32]     raw LE floats -> ALP column
 //! alp decompress <in.alp> <out.f64>             ALP column -> raw LE floats
 //! alp inspect    <in.alp>                       header, row-groups, schemes
-//! alp verify     <in.alp>                       checksum + salvage report
+//! alp verify     <in.alp> [--threads N]         checksum + salvage report
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
-//! alp shootout   <in.f64>                       ratio/speed of every codec
+//! alp shootout   <in.f64> [--threads N]         ratio/speed of every codec
 //! alp codecs                                    list the codec registry
 //! alp datasets                                  list generatable datasets
 //! alp analyze    [--root <path>] [--format text|json]   workspace lint pass
@@ -20,12 +20,30 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `analyze` owns its value-taking flags (--root, --format), which the
     // generic boolean-flag partition below would mangle.
     if args.first().map(String::as_str) == Some("analyze") {
         return commands::analyze(&args[1..]);
     }
+    // `--threads` takes a value, so extract it (and its argument) before the
+    // boolean-flag partition below.
+    let mut threads_flag: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--threads requires a value");
+            return usage();
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => threads_flag = Some(n),
+            _ => {
+                eprintln!("--threads expects a positive integer, got {value:?}");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let threads = alp_core::par::resolve_threads(threads_flag);
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
     let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
@@ -41,10 +59,10 @@ fn main() -> ExitCode {
                 ("compress", [input, output]) => commands::compress(input, output, f32_mode),
                 ("decompress", [input, output]) => commands::decompress(input, output),
                 ("inspect", [input]) => commands::inspect(input),
-                ("verify", [input]) => commands::verify_column(input),
+                ("verify", [input]) => commands::verify_column(input, threads),
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
-                ("shootout", [input]) => commands::shootout(input),
+                ("shootout", [input]) => commands::shootout(input, threads),
                 ("codecs", []) => commands::list_codecs(),
                 ("datasets", []) => commands::list_datasets(),
                 _ => return usage(),
@@ -64,7 +82,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp>\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64>\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

@@ -54,7 +54,6 @@ impl Predictor {
         self.dfcm_hash = 0;
         self.last = 0;
     }
-
 }
 
 impl Default for Predictor {

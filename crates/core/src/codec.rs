@@ -25,7 +25,12 @@ pub struct Capabilities {
 impl Capabilities {
     /// Defaults of a vector-granular, f64-only, fully serializable codec.
     pub const fn vector() -> Self {
-        Capabilities { random_vector_access: false, f32: false, ratio_only: false, block_based: false }
+        Capabilities {
+            random_vector_access: false,
+            f32: false,
+            ratio_only: false,
+            block_based: false,
+        }
     }
 }
 
@@ -114,6 +119,31 @@ pub trait ColumnCodec: Sync {
         scratch.stage = stage;
         scratch.floats = floats;
         result
+    }
+
+    /// Compresses `data` as independent `chunk_values`-sized chunks on up to
+    /// `threads` morsel-claiming workers, one [`Scratch`] per worker.
+    /// Returns `(bytes, values)` per chunk in column order; the output is
+    /// byte-identical at every thread count because chunk boundaries, not
+    /// thread count, define the encoding units. See [`crate::par`].
+    fn par_compress(
+        &self,
+        data: &[f64],
+        chunk_values: usize,
+        threads: usize,
+    ) -> Result<Vec<(Vec<u8>, usize)>, CoreError> {
+        crate::par::compress_chunks(self, data, chunk_values, threads)
+    }
+
+    /// Decompresses chunks produced by [`ColumnCodec::par_compress`] on up
+    /// to `threads` workers (one [`Scratch`] each) and concatenates them in
+    /// order. Values are identical to decompressing each chunk serially.
+    fn par_decompress(
+        &self,
+        blocks: &[(Vec<u8>, usize)],
+        threads: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        crate::par::decompress_chunks(self, blocks, threads)
     }
 
     /// Compresses trusted data, panicking on failure — use

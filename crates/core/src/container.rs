@@ -75,9 +75,7 @@ fn read_u64_le(bytes: &[u8]) -> Option<(u64, &[u8])> {
 pub fn try_read_header(bytes: &[u8]) -> Result<Container<'_>, CoreError> {
     use alp::format::FormatError;
     let truncated = || CoreError::Format(FormatError::Truncated);
-    let rest = bytes
-        .strip_prefix(&MAGIC)
-        .ok_or(CoreError::Format(FormatError::BadMagic))?;
+    let rest = bytes.strip_prefix(&MAGIC).ok_or(CoreError::Format(FormatError::BadMagic))?;
     let (&id_len, rest) = rest.split_first().ok_or_else(truncated)?;
     let (id, rest) = rest.split_at_checked(id_len as usize).ok_or_else(truncated)?;
     let id = core::str::from_utf8(id)
@@ -88,10 +86,8 @@ pub fn try_read_header(bytes: &[u8]) -> Result<Container<'_>, CoreError> {
     if count > usize::MAX as u64 {
         return Err(truncated());
     }
-    let payload = usize::try_from(payload_len)
-        .ok()
-        .and_then(|n| rest.get(..n))
-        .ok_or_else(truncated)?;
+    let payload =
+        usize::try_from(payload_len).ok().and_then(|n| rest.get(..n)).ok_or_else(truncated)?;
     let computed = alp::hash::xxh64(payload, CHECKSUM_SEED);
     if computed != stored {
         return Err(CoreError::Format(FormatError::ChecksumMismatch {
@@ -153,7 +149,9 @@ mod tests {
         let mut frame = write_container(alp_codec, &sample(), &mut scratch).expect("compress");
         // Overwrite the stored id "alp" -> "zzz".
         frame[5..8].copy_from_slice(b"zzz");
-        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch).map(|c| c.id()).unwrap_err();
+        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch)
+            .map(|c| c.id())
+            .unwrap_err();
         assert_eq!(err, CoreError::UnknownCodec("zzz".to_owned()));
     }
 
@@ -164,7 +162,9 @@ mod tests {
         let mut frame = write_container(alp_codec, &sample(), &mut scratch).expect("compress");
         let last = frame.len() - 1;
         frame[last] ^= 0x40;
-        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch).map(|c| c.id()).unwrap_err();
+        let err = try_read_container_into(&frame, &mut Vec::new(), &mut scratch)
+            .map(|c| c.id())
+            .unwrap_err();
         assert!(
             matches!(err, CoreError::Format(alp::format::FormatError::ChecksumMismatch { .. })),
             "got {err:?}"

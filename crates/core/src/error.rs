@@ -43,6 +43,9 @@ pub enum CoreError {
     },
     /// A container named a codec id absent from the registry.
     UnknownCodec(String),
+    /// A configuration value (sampler parameter, parallel chunk size) was
+    /// rejected before any work started.
+    Config(alp::ConfigError),
 }
 
 impl From<CodecError> for CoreError {
@@ -54,6 +57,12 @@ impl From<CodecError> for CoreError {
 impl From<alp::format::FormatError> for CoreError {
     fn from(e: alp::format::FormatError) -> Self {
         CoreError::Format(e)
+    }
+}
+
+impl From<alp::ConfigError> for CoreError {
+    fn from(e: alp::ConfigError) -> Self {
+        CoreError::Config(e)
     }
 }
 
@@ -73,6 +82,7 @@ impl core::fmt::Display for CoreError {
                 write!(f, "{codec}: unsupported operation ({what})")
             }
             CoreError::UnknownCodec(id) => write!(f, "unknown codec id {id:?}"),
+            CoreError::Config(e) => write!(f, "{e}"),
         }
     }
 }

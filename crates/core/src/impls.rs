@@ -10,7 +10,11 @@ use crate::error::CoreError;
 use crate::scratch::Scratch;
 
 /// Shared compress path of the seven per-value baselines.
-fn baseline_compress(codec: codecs::Codec, data: &[f64], out: &mut Vec<u8>) -> Result<(), CoreError> {
+fn baseline_compress(
+    codec: codecs::Codec,
+    data: &[f64],
+    out: &mut Vec<u8>,
+) -> Result<(), CoreError> {
     out.clear();
     out.extend_from_slice(&codec.compress_f64(data));
     Ok(())

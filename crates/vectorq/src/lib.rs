@@ -9,7 +9,9 @@
 //! * [`Column::sum`] — SCAN plus a vectorized SUM aggregation;
 //! * [`Column::par_scan`] / [`Column::par_sum`] — the same with morsel-driven
 //!   parallelism (each morsel = one row-group, claimed from an atomic
-//!   counter).
+//!   counter). The scheduler is the workspace-shared [`alp_core::par`]
+//!   (this engine's original private copy was extracted there), which also
+//!   powers [`Column::from_f64_parallel`] on the write side.
 //!
 //! Block-granularity matters: ALP and the per-value codecs decompress a
 //! single vector at a time; GPZip (the Zstd stand-in) must inflate an entire
@@ -19,8 +21,6 @@
 #![forbid(unsafe_code)]
 
 pub mod table;
-
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use alp_core::{ColumnCodec, Registry, Scratch};
 use fastlanes::VECTOR_SIZE;
@@ -155,28 +155,29 @@ impl Column {
     /// Compresses `data` into the requested format (the COMP query measures
     /// this constructor).
     pub fn from_f64(data: &[f64], format: Format) -> Self {
+        Self::from_f64_parallel(data, format, 1)
+    }
+
+    /// Like [`Column::from_f64`], but compresses on up to `threads`
+    /// morsel-claiming workers through the shared [`alp_core::par`]
+    /// scheduler. The stored bytes are identical to the serial constructor's
+    /// at every thread count: chunk boundaries, not thread count, define the
+    /// encoding units.
+    pub fn from_f64_parallel(data: &[f64], format: Format, threads: usize) -> Self {
         let storage = match format {
             Format::Uncompressed => Storage::Uncompressed(data.to_vec()),
             // ALP is the one codec with random vector access; keep its native
             // compressed form so per-vector reads stay cheap.
             Format::Registered(codec) if codec.caps().random_vector_access => {
-                Storage::Alp(alp::Compressor::new().compress(data))
+                Storage::Alp(alp::Compressor::new().compress_parallel(data, threads))
             }
             Format::Registered(codec) => {
                 assert!(!codec.caps().ratio_only, "{} cannot back a stored column", codec.id());
-                let mut scratch = Scratch::new();
                 let granularity =
                     if codec.caps().block_based { ROWGROUP_VALUES } else { VECTOR_SIZE };
-                let blocks = data
-                    .chunks(granularity)
-                    .map(|chunk| {
-                        let mut bytes = Vec::new();
-                        codec
-                            .try_compress_into(chunk, &mut bytes, &mut scratch)
-                            .expect("in-memory compression of trusted data");
-                        (bytes, chunk.len())
-                    })
-                    .collect();
+                let blocks = codec
+                    .par_compress(data, granularity, threads)
+                    .expect("in-memory compression of trusted data");
                 if codec.caps().block_based {
                     Storage::Blocks(codec, blocks)
                 } else {
@@ -495,39 +496,17 @@ impl Column {
         ids
     }
 
-    /// Morsel scheduler: workers claim row-groups from a shared counter and
-    /// accumulate a partial result; partials are added at the barrier.
+    /// Morsel scheduler: workers claim row-groups from the workspace-shared
+    /// [`alp_core::par`] queue and accumulate a partial result; partials are
+    /// added at the join barrier.
     fn parallel(&self, threads: usize, work: impl Fn(&Column, usize) -> f64 + Sync) -> f64 {
-        let threads = threads.max(1);
-        let next = AtomicUsize::new(0);
-        let morsels = self.morsel_count();
-        if threads == 1 {
-            let mut total = 0.0;
-            for m in 0..morsels {
-                total += work(self, m);
-            }
-            return total;
-        }
-        let work = &work;
-        let next = &next;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(move || {
-                        let mut partial = 0.0f64;
-                        loop {
-                            let m = next.fetch_add(1, Ordering::Relaxed);
-                            if m >= morsels {
-                                break;
-                            }
-                            partial += work(self, m);
-                        }
-                        partial
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        })
+        alp_core::par::fold_morsels(
+            threads.max(1),
+            self.morsel_count(),
+            || 0.0f64,
+            |acc, m| *acc += work(self, m),
+            |a, b| a + b,
+        )
     }
 }
 
@@ -608,6 +587,26 @@ mod tests {
             let serial = col.sum();
             let parallel = col.par_sum(4);
             assert!((serial - parallel).abs() <= serial.abs() * 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_construction_is_identical_to_serial() {
+        let data = sample_data(3 * ROWGROUP_VALUES + 700);
+        for fmt in formats() {
+            let serial = Column::from_f64(&data, fmt);
+            for threads in [1, 2, 7] {
+                let par = Column::from_f64_parallel(&data, fmt, threads);
+                assert_eq!(
+                    par.compressed_bytes(),
+                    serial.compressed_bytes(),
+                    "{} t={threads}",
+                    fmt.name()
+                );
+                assert_eq!(par.scan(), serial.scan(), "{} t={threads}", fmt.name());
+                let (a, b) = (par.sum(), serial.sum());
+                assert!((a - b).abs() <= b.abs() * 1e-12, "{} t={threads}", fmt.name());
+            }
         }
     }
 

@@ -277,14 +277,12 @@ mod tests {
     #[test]
     fn decompress_vector_at_every_format() {
         let data: Vec<f64> = (0..250_000).map(|i| (i % 333) as f64 / 4.0).collect();
-        for fmt in
-            [
-                Format::Uncompressed,
-                Format::alp(),
-                Format::by_id("patas").unwrap(),
-                Format::by_id("gpzip").unwrap(),
-            ]
-        {
+        for fmt in [
+            Format::Uncompressed,
+            Format::alp(),
+            Format::by_id("patas").unwrap(),
+            Format::by_id("gpzip").unwrap(),
+        ] {
             let col = Column::from_f64(&data, fmt);
             let mut buf = vec![0.0f64; VECTOR_SIZE];
             for v_idx in [0usize, 101, 207, 244] {

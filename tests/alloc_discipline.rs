@@ -31,6 +31,8 @@ fn alloc_count() -> u64 {
     ALLOCS.try_with(Cell::get).unwrap_or(0)
 }
 
+// SAFETY: a counting veneer; every allocator duty is delegated verbatim to
+// `System`, which upholds the `GlobalAlloc` contract.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
@@ -121,7 +123,9 @@ fn baseline_codec_layer_is_allocation_free_after_warmup() {
     for codec in codecs::Codec::EXTENDED {
         let bytes = codec.compress_f64(&data);
         for _ in 0..2 {
-            codec.try_decompress_f64_into(&bytes, data.len(), &mut out, &mut scratch).expect("warm");
+            codec
+                .try_decompress_f64_into(&bytes, data.len(), &mut out, &mut scratch)
+                .expect("warm");
         }
         let allocs = allocations_in(|| {
             for _ in 0..8 {

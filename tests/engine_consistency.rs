@@ -60,8 +60,7 @@ fn compressed_footprints_rank_sensibly_on_decimals() {
     let data = datagen::generate("City-Temp", 300_000, 5);
     let raw = Column::from_f64(&data, Format::Uncompressed).compressed_bytes();
     let alp = Column::from_f64(&data, Format::alp()).compressed_bytes();
-    let gorilla =
-        Column::from_f64(&data, Format::by_id("gorilla").unwrap()).compressed_bytes();
+    let gorilla = Column::from_f64(&data, Format::by_id("gorilla").unwrap()).compressed_bytes();
     assert!(alp * 3 < raw, "ALP {alp} vs raw {raw}");
     assert!(alp < gorilla, "ALP {alp} vs Gorilla {gorilla}");
 }
