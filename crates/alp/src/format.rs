@@ -226,6 +226,27 @@ fn read_header<F: AlpFloat>(buf: &mut &[u8]) -> Result<Header, FormatError> {
     Ok(Header { version, len, rg_count })
 }
 
+/// Verifies and parses one already-delimited `ALP2` frame body: checksum
+/// first, then a full-body parse. This is the per-morsel work unit of
+/// [`from_bytes_salvage_parallel`] — it touches nothing outside `body`, so
+/// frames verify and decode independently.
+fn decode_frame<F: AlpFloat>(
+    body: &[u8],
+    stored: u64,
+    index: usize,
+) -> Result<RowGroup, FormatError> {
+    let computed = xxh64(body, CHECKSUM_SEED);
+    if computed != stored {
+        return Err(FormatError::ChecksumMismatch { rowgroup: index, stored, computed });
+    }
+    let mut cursor = body;
+    let rg = read_rowgroup::<F>(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(FormatError::Corrupt("row-group frame length"));
+    }
+    Ok(rg)
+}
+
 /// Reads one `ALP2` integrity frame: verifies the checksum, parses the body,
 /// and requires the body length to match the frame exactly. On success the
 /// cursor sits on the next frame.
@@ -238,21 +259,39 @@ fn read_framed_rowgroup<F: AlpFloat>(
     }
     let rg_len = buf.get_u32_le() as usize;
     let stored = buf.get_u64_le();
-    if buf.len() < rg_len {
+    let Some(body) = buf.get(..rg_len) else {
         return Err(FormatError::Truncated);
-    }
-    let body = &buf[..rg_len]; // ANALYZER-ALLOW(no-panic): length checked above
-    let computed = xxh64(body, CHECKSUM_SEED);
-    if computed != stored {
-        return Err(FormatError::ChecksumMismatch { rowgroup: index, stored, computed });
-    }
-    let mut cursor = body;
-    let rg = read_rowgroup::<F>(&mut cursor)?;
-    if !cursor.is_empty() {
-        return Err(FormatError::Corrupt("row-group frame length"));
-    }
+    };
+    let rg = decode_frame::<F>(body, stored, index)?;
     buf.advance(rg_len);
     Ok(rg)
+}
+
+/// One discovered `ALP2` integrity frame: its stored checksum and body slice.
+struct FrameBounds<'a> {
+    stored: u64,
+    body: &'a [u8],
+}
+
+/// Serial frame-boundary scan over an `ALP2` payload: walks the length
+/// prefixes (cheap — no checksumming, no parsing) and records each frame's
+/// body slice. Stops at the first frame whose length field runs past the
+/// buffer — from there on, byte alignment cannot be trusted.
+fn scan_frames(mut buf: &[u8], rg_count: usize) -> Vec<FrameBounds<'_>> {
+    let mut frames = Vec::with_capacity(rg_count.min(1 << 20));
+    while frames.len() < rg_count {
+        if buf.len() < 4 + 8 {
+            break; // truncated mid-frame-header: the rest is lost
+        }
+        let rg_len = buf.get_u32_le() as usize;
+        let stored = buf.get_u64_le();
+        let Some(body) = buf.get(..rg_len) else {
+            break; // implausible length: resync impossible
+        };
+        frames.push(FrameBounds { stored, body });
+        buf.advance(rg_len);
+    }
+    frames
 }
 
 /// Deserializes a column previously produced by [`to_bytes`] (or the legacy
@@ -308,7 +347,23 @@ impl<F: AlpFloat> Salvage<F> {
 /// `ALP1` columns have no frames, so the first damaged row-group ends
 /// recovery the same way. A damaged header is unrecoverable and returns
 /// `Err` like [`from_bytes`].
-pub fn from_bytes_salvage<F: AlpFloat>(mut buf: &[u8]) -> Result<Salvage<F>, FormatError> {
+///
+/// Single-threaded shorthand for [`from_bytes_salvage_parallel`].
+pub fn from_bytes_salvage<F: AlpFloat>(buf: &[u8]) -> Result<Salvage<F>, FormatError> {
+    from_bytes_salvage_parallel(buf, 1)
+}
+
+/// [`from_bytes_salvage`] on up to `threads` morsel-claiming workers: a
+/// serial scan walks the `ALP2` length prefixes to find frame boundaries
+/// (cheap — no checksums, no parsing), then checksum verification and body
+/// decoding of the discovered frames fan out over the morsel scheduler, one
+/// frame per morsel. `threads <= 1` never spawns. The salvage report is
+/// identical to the serial path's for any input; legacy `ALP1` columns have
+/// no frame boundaries to scan, so they always walk serially.
+pub fn from_bytes_salvage_parallel<F: AlpFloat>(
+    mut buf: &[u8],
+    threads: usize,
+) -> Result<Salvage<F>, FormatError> {
     let header = read_header::<F>(&mut buf)?;
     // A corrupt header can claim billions of row-groups; clamp the loss report
     // to what the buffer could physically hold (smallest body is 5 bytes).
@@ -319,39 +374,42 @@ pub fn from_bytes_salvage<F: AlpFloat>(mut buf: &[u8]) -> Result<Salvage<F>, For
     let rg_count = header.rg_count.min(buf.len() / min_frame + 1);
     let mut rowgroups = Vec::new();
     let mut lost = Vec::new();
-    let mut i = 0;
-    while i < rg_count {
-        match header.version {
-            Version::V2 => {
-                if buf.len() < 4 + 8 {
-                    break; // truncated mid-frame: the rest is lost
-                }
-                let mut peek = buf;
-                let rg_len = peek.get_u32_le() as usize;
-                let _stored = peek.get_u64_le();
-                if peek.len() < rg_len {
-                    break; // cannot trust the length field: resync impossible
-                }
-                match read_framed_rowgroup::<F>(&mut buf, i) {
-                    Ok(rg) => rowgroups.push(rg),
-                    Err(_) => {
-                        // Frame is self-delimiting: skip the damaged body and
-                        // continue with the next row-group.
-                        lost.push(i);
-                        // ANALYZER-ALLOW(no-panic): rg_len <= peek.len() checked above
-                        buf = &peek[rg_len..];
-                    }
+    match header.version {
+        Version::V2 => {
+            let frames = scan_frames(buf, rg_count);
+            // Phase 2: verify + decode every discovered frame independently.
+            let decoded = crate::par::map_morsels(
+                threads,
+                frames.len(),
+                || (),
+                |(), m| {
+                    let frame = frames.get(m)?;
+                    decode_frame::<F>(frame.body, frame.stored, m).ok()
+                },
+            );
+            for (i, rg) in decoded.into_iter().enumerate() {
+                match rg {
+                    Some(rg) => rowgroups.push(rg),
+                    // Frame was delimited but damaged inside: one lost
+                    // row-group, the scan already resynced past it.
+                    None => lost.push(i),
                 }
             }
-            Version::V1 => match read_rowgroup::<F>(&mut buf) {
-                Ok(rg) => rowgroups.push(rg),
-                // No framing: a parse failure loses byte alignment for good.
-                Err(_) => break,
-            },
+            lost.extend(frames.len()..rg_count);
         }
-        i += 1;
+        Version::V1 => {
+            let mut i = 0;
+            while i < rg_count {
+                match read_rowgroup::<F>(&mut buf) {
+                    Ok(rg) => rowgroups.push(rg),
+                    // No framing: a parse failure loses byte alignment for good.
+                    Err(_) => break,
+                }
+                i += 1;
+            }
+            lost.extend(i..rg_count);
+        }
     }
-    lost.extend(i..rg_count);
 
     let salvaged_len: usize = rowgroups.iter().map(|rg| rg.len()).sum();
     Ok(Salvage {
@@ -669,6 +727,47 @@ mod tests {
         let salvage = from_bytes_salvage::<f64>(&bytes[..cut]).unwrap();
         assert!(!salvage.lost_rowgroups.is_empty());
         assert!(salvage.column.rowgroups.len() < clean.rowgroups.len());
+    }
+
+    #[test]
+    fn parallel_salvage_matches_serial_on_damage() {
+        let (_, mut bytes) = multi_rowgroup_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        let serial = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert!(!serial.is_complete());
+        for threads in [2, 4] {
+            let par = from_bytes_salvage_parallel::<f64>(&bytes, threads).unwrap();
+            assert_eq!(par.lost_rowgroups, serial.lost_rowgroups, "t={threads}");
+            assert_eq!(par.total_rowgroups, serial.total_rowgroups);
+            assert_eq!(par.expected_len, serial.expected_len);
+            assert_eq!(par.column.len, serial.column.len);
+            assert_eq!(par.column.decompress(), serial.column.decompress());
+        }
+    }
+
+    #[test]
+    fn parallel_salvage_matches_serial_on_truncation() {
+        let (_, bytes) = multi_rowgroup_bytes();
+        for cut in [bytes.len() - 1, bytes.len() * 2 / 3, bytes.len() / 3, 20, 17] {
+            let serial = from_bytes_salvage::<f64>(&bytes[..cut]).unwrap();
+            let par = from_bytes_salvage_parallel::<f64>(&bytes[..cut], 4).unwrap();
+            assert_eq!(par.lost_rowgroups, serial.lost_rowgroups, "cut {cut}");
+            assert_eq!(par.total_rowgroups, serial.total_rowgroups, "cut {cut}");
+            assert_eq!(par.column.decompress(), serial.column.decompress(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn parallel_salvage_on_clean_column_is_complete() {
+        let (data, bytes) = multi_rowgroup_bytes();
+        let salvage = from_bytes_salvage_parallel::<f64>(&bytes, 4).unwrap();
+        assert!(salvage.is_complete());
+        assert_eq!(salvage.column.len, data.len());
+        let decoded = salvage.column.decompress();
+        for (a, b) in data.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

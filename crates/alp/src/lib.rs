@@ -31,6 +31,7 @@
 //! * [`mod@format`] — byte serialization of compressed columns.
 //! * [`cascade`] — Dictionary/RLE cascades (the "LWC+ALP" column of Table 4).
 //! * [`stream`] — incremental `std::io` writer/reader (one row-group in memory).
+//! * [`mod@io`] — fault injection, bounded retry, and the fault taxonomy.
 //! * [`par`] — the morsel-driven scheduler behind the `*_parallel` paths.
 //! * [`analysis`] — the dataset statistics of Table 2.
 
@@ -42,6 +43,7 @@ pub mod decode;
 pub mod encode;
 pub mod format;
 pub mod hash;
+pub mod io;
 pub mod par;
 pub mod rd;
 pub mod rowgroup;
@@ -53,7 +55,10 @@ pub(crate) mod wire;
 pub use encode::{
     decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector,
 };
-pub use rowgroup::{AlpGroup, Compressed, Compressor, RowGroup, Scheme, VectorIndexError};
+pub use par::MorselFailure;
+pub use rowgroup::{
+    AlpGroup, Compressed, Compressor, DecompressSalvage, RowGroup, Scheme, VectorIndexError,
+};
 pub use sampler::{Combination, ConfigError, SamplerParams, SamplerStats};
 pub use traits::AlpFloat;
 

@@ -20,9 +20,72 @@
 //!   loop on the calling thread — no threads are spawned, which keeps
 //!   single-threaded callers allocation- and syscall-free.
 //!
+//! Panics inside `work` are handled by the *containment* seam (DESIGN.md
+//! §11): the strict entry points ([`try_map_morsels`], [`map_morsels`],
+//! [`fold_morsels`]) re-raise the panic on the calling thread with the
+//! poisoned morsel's index attached, while [`run_morsels_contained`]
+//! quarantines it into a [`MorselFailure`] report and keeps going — the
+//! degraded path behind `decompress_parallel_salvage`.
+//!
 //! No external dependencies: only `std::thread::scope` and atomics.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The one place in the workspace where unwinding is caught (enforced by the
+/// analyzer's `contained-unwind` rule): every `catch_unwind` goes through
+/// here so panic policy — what is caught, how payloads are rendered, how
+/// strict paths re-raise — lives in a single seam.
+mod containment {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runs `f`, turning a panic into its boxed payload. `AssertUnwindSafe`
+    /// is sound here because callers either re-raise (strict paths — the
+    /// possibly-torn state is abandoned with the unwind) or rebuild the
+    /// worker scratch from `init` before touching it again (contained path).
+    pub(super) fn run<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn Any + Send>> {
+        catch_unwind(AssertUnwindSafe(f))
+    }
+
+    /// Renders a panic payload's message — panics carry `&str` or `String`
+    /// payloads in practice; anything else gets a placeholder.
+    pub(super) fn payload_message(payload: &(dyn Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// Re-raises a contained panic on the calling thread with the morsel
+    /// index prepended, so the abort says *which* work unit died instead of
+    /// the bare payload the scheduler used to forward.
+    pub(super) fn resume_with_morsel(morsel: usize, payload: Box<dyn Any + Send>) -> ! {
+        std::panic::resume_unwind(Box::new(format!(
+            "morsel {morsel} panicked: {}",
+            payload_message(&*payload)
+        )))
+    }
+}
+
+/// A morsel whose `work` panicked, quarantined by [`run_morsels_contained`]
+/// instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MorselFailure {
+    /// Index of the poisoned morsel.
+    pub morsel: usize,
+    /// Rendered panic message.
+    pub message: String,
+}
+
+impl core::fmt::Display for MorselFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "morsel {} panicked: {}", self.morsel, self.message)
+    }
+}
 
 /// Environment variable consulted by [`resolve_threads`] when the caller does
 /// not pin a thread count explicitly.
@@ -79,7 +142,9 @@ impl MorselQueue {
 /// before that worker's claim loop starts; `work` receives the worker's
 /// scratch and the claimed morsel index. When any morsel fails, remaining
 /// workers stop claiming and the first error (in claim order, not morsel
-/// order) is returned. A panicking worker is resumed on the calling thread.
+/// order) is returned. A panicking morsel is re-raised on the calling thread
+/// with its index attached; see [`run_morsels_contained`] for the variant
+/// that quarantines it instead.
 pub fn try_map_morsels<T, E, S>(
     threads: usize,
     morsels: usize,
@@ -99,6 +164,16 @@ where
         return Ok(out);
     }
 
+    /// How one strict worker's claim loop ended.
+    enum StrictEnd<T, E> {
+        /// Queue drained (or another worker raised `stop`).
+        Done(Vec<(usize, T)>),
+        /// A morsel returned `Err`.
+        Failed(E),
+        /// A morsel panicked; re-raised with context after the join.
+        Panicked(usize, Box<dyn Any + Send>),
+    }
+
     let queue = MorselQueue::new(morsels);
     let stop = AtomicBool::new(false);
     let workers = threads.min(morsels);
@@ -110,22 +185,28 @@ where
                     let mut done: Vec<(usize, T)> = Vec::new();
                     while !stop.load(Ordering::Relaxed) {
                         let Some(m) = queue.claim() else { break };
-                        match work(&mut scratch, m) {
-                            Ok(v) => done.push((m, v)),
-                            Err(e) => {
+                        match containment::run(|| work(&mut scratch, m)) {
+                            Ok(Ok(v)) => done.push((m, v)),
+                            Ok(Err(e)) => {
                                 stop.store(true, Ordering::Relaxed);
-                                return Err(e);
+                                return StrictEnd::Failed(e);
+                            }
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                return StrictEnd::Panicked(m, payload);
                             }
                         }
                     }
-                    Ok(done)
+                    StrictEnd::Done(done)
                 })
             })
             .collect();
         let mut results = Vec::with_capacity(workers);
         for h in handles {
             match h.join() {
-                Ok(r) => results.push(r),
+                Ok(end) => results.push(end),
+                // Only `init` runs outside containment; nothing is known
+                // about the payload, so forward it untouched.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -133,11 +214,107 @@ where
     });
 
     let mut pairs: Vec<(usize, T)> = Vec::with_capacity(morsels);
-    for r in joined {
-        pairs.extend(r?);
+    let mut first_err: Option<E> = None;
+    for end in joined {
+        match end {
+            StrictEnd::Done(r) => pairs.extend(r),
+            StrictEnd::Failed(e) => {
+                first_err.get_or_insert(e);
+            }
+            // A panic outranks any `Err`: it must never be swallowed.
+            StrictEnd::Panicked(m, payload) => containment::resume_with_morsel(m, payload),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
     pairs.sort_by_key(|&(m, _)| m);
     Ok(pairs.into_iter().map(|(_, v)| v).collect())
+}
+
+/// Like [`map_morsels`], but a panicking morsel is *contained* instead of
+/// aborting the run: the panic is caught at the morsel boundary, the morsel
+/// is quarantined into a [`MorselFailure`] (index + rendered payload), the
+/// worker rebuilds its scratch from `init` (the panic may have torn it
+/// mid-mutation), and every other morsel still completes.
+///
+/// Returns the surviving `(morsel, result)` pairs and the failure reports,
+/// both sorted by morsel index. This is the engine behind
+/// `Compressed::decompress_parallel_salvage`, where one poisoned row-group
+/// degrades to a lost-row-group report rather than a process abort.
+pub fn run_morsels_contained<T, S>(
+    threads: usize,
+    morsels: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> T + Sync,
+) -> (Vec<(usize, T)>, Vec<MorselFailure>)
+where
+    T: Send,
+{
+    if threads <= 1 || morsels <= 1 {
+        let mut scratch = init();
+        let mut ok = Vec::with_capacity(morsels);
+        let mut failed = Vec::new();
+        for m in 0..morsels {
+            match containment::run(|| work(&mut scratch, m)) {
+                Ok(v) => ok.push((m, v)),
+                Err(payload) => {
+                    failed.push(MorselFailure {
+                        morsel: m,
+                        message: containment::payload_message(&*payload),
+                    });
+                    scratch = init();
+                }
+            }
+        }
+        return (ok, failed);
+    }
+
+    let queue = MorselQueue::new(morsels);
+    let workers = threads.min(morsels);
+    let joined = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut ok: Vec<(usize, T)> = Vec::new();
+                    let mut failed: Vec<MorselFailure> = Vec::new();
+                    while let Some(m) = queue.claim() {
+                        match containment::run(|| work(&mut scratch, m)) {
+                            Ok(v) => ok.push((m, v)),
+                            Err(payload) => {
+                                failed.push(MorselFailure {
+                                    morsel: m,
+                                    message: containment::payload_message(&*payload),
+                                });
+                                scratch = init();
+                            }
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                Ok(p) => parts.push(p),
+                // Only `init` runs outside containment.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        parts
+    });
+
+    let mut ok = Vec::with_capacity(morsels);
+    let mut failed = Vec::new();
+    for (o, f) in joined {
+        ok.extend(o);
+        failed.extend(f);
+    }
+    ok.sort_by_key(|&(m, _)| m);
+    failed.sort_by_key(|f| f.morsel);
+    (ok, failed)
 }
 
 /// Infallible [`try_map_morsels`]: maps every morsel, results in order.
@@ -190,16 +367,21 @@ where
                 scope.spawn(|| {
                     let mut acc = init();
                     while let Some(m) = queue.claim() {
-                        work(&mut acc, m);
+                        if let Err(payload) = containment::run(|| work(&mut acc, m)) {
+                            return Err((m, payload));
+                        }
                     }
-                    acc
+                    Ok(acc)
                 })
             })
             .collect();
         let mut results = Vec::with_capacity(workers);
         for h in handles {
             match h.join() {
-                Ok(a) => results.push(a),
+                Ok(Ok(a)) => results.push(a),
+                // Re-raise with the poisoned morsel's index attached.
+                Ok(Err((m, payload))) => containment::resume_with_morsel(m, payload),
+                // Only `init` runs outside containment.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -283,5 +465,91 @@ mod tests {
     fn resolve_threads_prefers_explicit_request() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn contained_run_quarantines_poisoned_morsels() {
+        for threads in [1, 4] {
+            let (ok, failed) = run_morsels_contained(
+                threads,
+                40,
+                || (),
+                |(), m| {
+                    if m == 7 || m == 23 {
+                        panic!("poisoned morsel {m}");
+                    }
+                    m * 2
+                },
+            );
+            assert_eq!(ok.len(), 38);
+            assert!(ok.iter().all(|&(m, v)| v == m * 2));
+            let lost: Vec<usize> = failed.iter().map(|f| f.morsel).collect();
+            assert_eq!(lost, vec![7, 23]);
+            assert!(failed[0].message.contains("poisoned morsel 7"), "got: {}", failed[0].message);
+        }
+    }
+
+    #[test]
+    fn contained_run_rebuilds_scratch_after_panic() {
+        // The scratch is re-initialized after a contained panic, so torn
+        // mutations from the poisoned morsel never leak into later ones.
+        let (ok, failed) = run_morsels_contained(
+            1,
+            3,
+            || 0usize,
+            |scratch, m| {
+                *scratch += 100;
+                if m == 1 {
+                    panic!("die");
+                }
+                *scratch
+            },
+        );
+        assert_eq!(ok, vec![(0, 100), (2, 100)]);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].morsel, 1);
+    }
+
+    #[test]
+    fn strict_map_panic_carries_morsel_context() {
+        let caught = std::panic::catch_unwind(|| {
+            map_morsels(
+                4,
+                32,
+                || (),
+                |(), m| {
+                    if m == 17 {
+                        panic!("kaboom");
+                    }
+                    m
+                },
+            )
+        });
+        let payload = caught.expect_err("the poisoned morsel must abort the strict path");
+        let msg = payload.downcast_ref::<String>().expect("context payload is a String");
+        assert!(msg.contains("morsel 17"), "got: {msg}");
+        assert!(msg.contains("kaboom"), "got: {msg}");
+    }
+
+    #[test]
+    fn strict_fold_panic_carries_morsel_context() {
+        let caught = std::panic::catch_unwind(|| {
+            fold_morsels(
+                3,
+                64,
+                || 0usize,
+                |acc, m| {
+                    if m == 9 {
+                        panic!("fold-bomb");
+                    }
+                    *acc += m;
+                },
+                |a, b| a + b,
+            )
+        });
+        let payload = caught.expect_err("the poisoned morsel must abort the fold");
+        let msg = payload.downcast_ref::<String>().expect("context payload is a String");
+        assert!(msg.contains("morsel 9"), "got: {msg}");
+        assert!(msg.contains("fold-bomb"), "got: {msg}");
     }
 }

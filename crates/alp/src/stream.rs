@@ -1,10 +1,12 @@
 //! Streaming compression over `std::io` — write a column row-group by
 //! row-group without ever materializing it, and read it back incrementally.
 //!
-//! The stream format is a sequence of self-contained frames:
+//! The stream format is a sequence of self-contained frames followed by a
+//! commit footer:
 //!
 //! ```text
 //! "ALPT" | bits:u8 | { frame_len:u32 | xxh64:u64 | row-group bytes }* | frame_len = 0
+//! "ALPF" | values:u64 | rowgroups:u32 | xxh64:u64            (commit footer)
 //! ```
 //!
 //! Each frame holds one serialized row-group (see [`crate::format`]) plus the
@@ -15,8 +17,17 @@
 //! [`ColumnReader::next_rowgroup_salvaged`] — losing exactly the row-groups
 //! whose frames were hit.
 //!
+//! The commit footer is written only by [`ColumnWriter::finish`], so its
+//! presence (checked by [`ColumnReader::is_committed`]) distinguishes a
+//! cleanly finished stream from one whose writer died mid-row-group: a torn
+//! write can never fabricate the footer's magic, counts, and checksum. Both
+//! ends absorb *transient* I/O faults (`Interrupted`, `WouldBlock`, short
+//! reads/writes) under a bounded [`RetryPolicy`](crate::io::RetryPolicy) and
+//! surface hard faults as [`StreamError::Io`]; see [`crate::io`] for the
+//! taxonomy.
+//!
 //! Legacy `"ALPS"` streams (the pre-checksum layout, identical but with no
-//! `xxh64` field) are still read transparently.
+//! `xxh64` field and no commit footer) are still read transparently.
 //!
 //! # Example
 //! ```
@@ -44,15 +55,33 @@ use fastlanes::VECTOR_SIZE;
 
 use crate::format::{read_rowgroup, write_rowgroup, FormatError};
 use crate::hash::{xxh64, CHECKSUM_SEED};
+use crate::io::{flush_retry, read_full_retry, write_all_retry, RetryPolicy};
 use crate::rowgroup::{Compressor, RowGroup};
 use crate::sampler::{ConfigError, SamplerParams};
 use crate::traits::AlpFloat;
+use crate::wire::{GetExt, PutExt};
 
 /// Magic bytes of a streamed column (current, checksummed format).
 pub const STREAM_MAGIC: &[u8; 4] = b"ALPT";
 
 /// Magic bytes of the legacy, pre-checksum stream format.
 pub const STREAM_MAGIC_V1: &[u8; 4] = b"ALPS";
+
+/// Magic bytes of the commit footer a finished `"ALPT"` stream ends with.
+pub const COMMIT_MAGIC: &[u8; 4] = b"ALPF";
+
+/// Serialized size of the commit footer: magic + values + rowgroups + xxh64.
+pub const COMMIT_FOOTER_LEN: usize = 4 + 8 + 4 + 8;
+
+/// The commit footer of a cleanly finished stream: what the writer intended
+/// the stream to contain, attested by an XXH64 over the footer fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFooter {
+    /// Total values the writer emitted.
+    pub values: u64,
+    /// Row-group frames the writer emitted.
+    pub rowgroups: u32,
+}
 
 /// On-disk stream flavor, decided by the magic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +114,7 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
     summary: StreamSummary,
     scratch: Vec<u8>,
     version: StreamVersion,
+    retry: RetryPolicy,
 }
 
 impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
@@ -120,7 +150,16 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             summary: StreamSummary { values: 0, rowgroups: 0, compressed_bytes: 0 },
             scratch: Vec::new(),
             version,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the transient-fault retry policy (default:
+    /// [`RetryPolicy::default`]). Transient sink faults (`Interrupted`,
+    /// `WouldBlock`, short writes) are absorbed up to the policy budget;
+    /// hard faults always surface immediately.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Appends values; full row-groups are compressed and flushed eagerly.
@@ -138,14 +177,29 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
         Ok(())
     }
 
-    /// Flushes any buffered tail and writes the end-of-stream marker.
+    /// Flushes any buffered tail, writes the end-of-stream marker, and — for
+    /// the current `"ALPT"` layout — commits the stream with a footer.
+    ///
+    /// The footer (`"ALPF" | values:u64 | rowgroups:u32 | xxh64:u64`) is the
+    /// stream's commit record: a reader that finds it intact knows the writer
+    /// finished cleanly, while a torn write — the process dying mid-frame —
+    /// can never fabricate it. Legacy `"ALPS"` streams stay footer-free.
     pub fn finish(mut self) -> io::Result<StreamSummary> {
         if !self.buffer.is_empty() {
             self.flush_rowgroup()?;
         }
         self.ensure_header()?;
-        self.sink.write_all(&0u32.to_le_bytes())?;
-        self.sink.flush()?;
+        write_all_retry(&mut self.sink, &0u32.to_le_bytes(), &self.retry)?;
+        if self.version == StreamVersion::V2 {
+            let mut footer = Vec::with_capacity(COMMIT_FOOTER_LEN);
+            footer.put_slice(COMMIT_MAGIC);
+            footer.put_u64_le(self.summary.values as u64);
+            footer.put_u32_le(self.summary.rowgroups as u32);
+            let checksum = xxh64(&footer, CHECKSUM_SEED);
+            footer.put_u64_le(checksum);
+            write_all_retry(&mut self.sink, &footer, &self.retry)?;
+        }
+        flush_retry(&mut self.sink, &self.retry)?;
         Ok(self.summary)
     }
 
@@ -155,8 +209,8 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
                 StreamVersion::V1 => STREAM_MAGIC_V1,
                 StreamVersion::V2 => STREAM_MAGIC,
             };
-            self.sink.write_all(magic)?;
-            self.sink.write_all(&[F::BITS as u8])?;
+            write_all_retry(&mut self.sink, magic, &self.retry)?;
+            write_all_retry(&mut self.sink, &[F::BITS as u8], &self.retry)?;
             self.header_written = true;
         }
         Ok(())
@@ -172,14 +226,18 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
         for rg in &compressed.rowgroups {
             self.scratch.clear();
             write_rowgroup::<F>(&mut self.scratch, rg);
-            self.sink.write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+            write_all_retry(
+                &mut self.sink,
+                &(self.scratch.len() as u32).to_le_bytes(),
+                &self.retry,
+            )?;
             let mut frame_overhead = 4;
             if self.version == StreamVersion::V2 {
                 let checksum = xxh64(&self.scratch, CHECKSUM_SEED);
-                self.sink.write_all(&checksum.to_le_bytes())?;
+                write_all_retry(&mut self.sink, &checksum.to_le_bytes(), &self.retry)?;
                 frame_overhead += 8;
             }
-            self.sink.write_all(&self.scratch)?;
+            write_all_retry(&mut self.sink, &self.scratch, &self.retry)?;
             self.summary.rowgroups += 1;
             self.summary.compressed_bytes += frame_overhead + self.scratch.len();
         }
@@ -197,6 +255,12 @@ pub struct ColumnReader<F: AlpFloat, R: Read> {
     next_index: usize,
     /// Row-group indices skipped by the salvage path.
     lost: Vec<usize>,
+    /// Whether the stream's commit record was found intact (see
+    /// [`ColumnReader::is_committed`]).
+    committed: bool,
+    /// The parsed commit footer, when one was found and verified.
+    footer: Option<StreamFooter>,
+    retry: RetryPolicy,
     _marker: core::marker::PhantomData<F>,
 }
 
@@ -235,9 +299,33 @@ impl From<FormatError> for StreamError {
 impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
     /// Opens a stream, validating the header. Accepts both the current
     /// checksummed `"ALPT"` format and the legacy `"ALPS"` one.
-    pub fn new(mut source: R) -> Result<Self, StreamError> {
+    pub fn new(source: R) -> Result<Self, StreamError> {
+        Self::with_retry_policy(source, RetryPolicy::default())
+    }
+
+    /// Like [`ColumnReader::new`], but with an explicit transient-fault
+    /// retry policy covering every read, the 5-byte header included.
+    pub fn with_retry_policy(mut source: R, retry: RetryPolicy) -> Result<Self, StreamError> {
         let mut header = [0u8; 5];
-        source.read_exact(&mut header)?;
+        read_full_retry(&mut source, &mut header, &retry)?;
+        let version = Self::parse_header(&header)?;
+        Ok(Self {
+            source,
+            frame: Vec::new(),
+            done: false,
+            version,
+            next_index: 0,
+            lost: Vec::new(),
+            committed: false,
+            footer: None,
+            retry,
+            _marker: core::marker::PhantomData,
+        })
+    }
+
+    /// Validates the 5-byte stream header: the magic (either flavor) picks
+    /// the [`StreamVersion`], and the element width must match `F`.
+    fn parse_header(header: &[u8; 5]) -> Result<StreamVersion, StreamError> {
         let version = if &header[..4] == STREAM_MAGIC {
             StreamVersion::V2
         } else if &header[..4] == STREAM_MAGIC_V1 {
@@ -251,15 +339,15 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
                 expected: F::BITS as u8,
             }));
         }
-        Ok(Self {
-            source,
-            frame: Vec::new(),
-            done: false,
-            version,
-            next_index: 0,
-            lost: Vec::new(),
-            _marker: core::marker::PhantomData,
-        })
+        Ok(version)
+    }
+
+    /// Replaces the transient-fault retry policy (default:
+    /// [`RetryPolicy::default`]). Transient source faults (`Interrupted`,
+    /// `WouldBlock`, short reads) are absorbed up to the policy budget; hard
+    /// faults always surface as [`StreamError::Io`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Reads and decompresses the next row-group; `None` at end of stream.
@@ -285,20 +373,21 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
             return Ok(None);
         }
         let mut len_bytes = [0u8; 4];
-        self.source.read_exact(&mut len_bytes)?;
+        read_full_retry(&mut self.source, &mut len_bytes, &self.retry)?;
         let len = u32::from_le_bytes(len_bytes) as usize;
         if len == 0 {
             self.done = true;
+            self.read_commit_footer();
             return Ok(None);
         }
         let mut stored_checksum = 0u64;
         if self.version == StreamVersion::V2 {
             let mut checksum_bytes = [0u8; 8];
-            self.source.read_exact(&mut checksum_bytes)?;
+            read_full_retry(&mut self.source, &mut checksum_bytes, &self.retry)?;
             stored_checksum = u64::from_le_bytes(checksum_bytes);
         }
         self.frame.resize(len, 0);
-        self.source.read_exact(&mut self.frame)?;
+        read_full_retry(&mut self.source, &mut self.frame, &self.retry)?;
         // The frame is fully consumed from here on: every error below is
         // recoverable by reading the next frame.
         let index = self.next_index;
@@ -323,14 +412,26 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
 
     /// Like [`ColumnReader::next_rowgroup`], but skips damaged frames instead
     /// of failing, recording their indices in
-    /// [`ColumnReader::lost_rowgroups`]. Only I/O errors (including a
-    /// truncated source, where resync is impossible because the next frame
-    /// boundary is gone) still surface as `Err`.
+    /// [`ColumnReader::lost_rowgroups`]. A torn tail — the source ending
+    /// mid-frame, where resync is impossible because the next frame boundary
+    /// is gone — ends the walk with the cut frame recorded as lost, so the
+    /// caller keeps exactly the committed prefix. Other I/O errors (hard
+    /// faults, exhausted retry budgets) still surface as `Err`.
     pub fn next_rowgroup_salvaged(&mut self) -> Result<Option<Vec<F>>, StreamError> {
         loop {
             let before = self.next_index;
             match self.next_rowgroup() {
                 Ok(result) => return Ok(result),
+                Err(StreamError::Io(e))
+                    if e.kind() == io::ErrorKind::UnexpectedEof && !self.done =>
+                {
+                    // Torn write: the writer died mid-frame (or the tail was
+                    // truncated). `is_committed` stays false — the terminator
+                    // and footer were never reached.
+                    self.lost.push(before);
+                    self.done = true;
+                    return Ok(None);
+                }
                 Err(StreamError::Io(e)) => return Err(StreamError::Io(e)),
                 Err(StreamError::Format(_)) if self.next_index > before => {
                     // The frame was consumed but its contents were bad: note
@@ -346,6 +447,54 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
     /// [`ColumnReader::next_rowgroup_salvaged`].
     pub fn lost_rowgroups(&self) -> &[usize] {
         &self.lost
+    }
+
+    /// Whether the stream's commit record was found intact. Meaningful once
+    /// the stream has been drained (a `None` from one of the `next_*`
+    /// methods): `true` means the writer's [`ColumnWriter::finish`] ran to
+    /// completion and its row-group count matches what this reader walked.
+    /// In-place frame damage does *not* clear the flag — a committed stream
+    /// with losses was written whole and corrupted later.
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// The verified commit footer, when the stream had one. Like
+    /// [`ColumnReader::is_committed`], populated once the terminator is
+    /// reached; legacy `"ALPS"` streams never carry one.
+    pub fn footer(&self) -> Option<StreamFooter> {
+        self.footer
+    }
+
+    /// Best-effort read of the commit record after the terminator frame.
+    /// Any defect — missing bytes, wrong magic, checksum mismatch — leaves
+    /// the stream uncommitted rather than erroring: an absent footer is the
+    /// *signal* a torn write leaves behind, not a failure of this reader.
+    fn read_commit_footer(&mut self) {
+        if self.version == StreamVersion::V1 {
+            // The legacy layout has no footer: its terminator is the only
+            // commit record there is.
+            self.committed = true;
+            return;
+        }
+        let mut raw = [0u8; COMMIT_FOOTER_LEN];
+        if read_full_retry(&mut self.source, &mut raw, &self.retry).is_err() {
+            return;
+        }
+        let Some(attested) = raw.get(..COMMIT_FOOTER_LEN - 8) else { return };
+        let mut cursor: &[u8] = &raw;
+        if cursor.get(..4) != Some(COMMIT_MAGIC.as_slice()) {
+            return;
+        }
+        cursor.advance(4);
+        let values = cursor.get_u64_le();
+        let rowgroups = cursor.get_u32_le();
+        let stored = cursor.get_u64_le();
+        if xxh64(attested, CHECKSUM_SEED) != stored {
+            return;
+        }
+        self.footer = Some(StreamFooter { values, rowgroups });
+        self.committed = rowgroups as usize == self.next_index;
     }
 }
 
@@ -539,6 +688,127 @@ mod tests {
         for (a, b) in data.iter().zip(&restored) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn clean_stream_is_committed_with_footer() {
+        let (data, file) = two_rowgroup_stream();
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        assert!(!reader.is_committed(), "commit is only known once drained");
+        while reader.next_rowgroup().unwrap().is_some() {}
+        assert!(reader.is_committed());
+        let footer = reader.footer().expect("V2 stream must carry a footer");
+        assert_eq!(footer.values, data.len() as u64);
+        assert_eq!(footer.rowgroups, 2);
+    }
+
+    #[test]
+    fn torn_stream_salvages_committed_prefix() {
+        let (data, file) = two_rowgroup_stream();
+        let rowgroup_len = 102_400;
+        // Cut inside the second frame's payload: the writer "died" mid-frame.
+        let cut = file.len() - COMMIT_FOOTER_LEN - 4 - 1000;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..cut]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert!(!reader.is_committed());
+        assert!(reader.footer().is_none());
+        assert_eq!(reader.lost_rowgroups(), &[1]);
+        assert_eq!(restored.len(), rowgroup_len);
+        for (a, b) in data[..rowgroup_len].iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_footer_recovers_all_data_but_stays_uncommitted() {
+        let (data, file) = two_rowgroup_stream();
+        // Cut mid-footer: every frame is intact but the commit record is torn.
+        let cut = file.len() - 1;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..cut]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert!(reader.lost_rowgroups().is_empty());
+        assert_eq!(restored.len(), data.len());
+        assert!(!reader.is_committed());
+        assert!(reader.footer().is_none());
+    }
+
+    #[test]
+    fn corrupted_footer_checksum_stays_uncommitted() {
+        let (_, mut file) = two_rowgroup_stream();
+        let last = file.len() - 1;
+        file[last] ^= 0x01;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        while reader.next_rowgroup().unwrap().is_some() {}
+        assert!(!reader.is_committed());
+        assert!(reader.footer().is_none());
+    }
+
+    #[test]
+    fn damaged_midframe_stream_is_still_committed() {
+        let (_, mut file) = two_rowgroup_stream();
+        file[FIRST_BODY + 100] ^= 0x10;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        while reader.next_rowgroup_salvaged().unwrap().is_some() {}
+        assert_eq!(reader.lost_rowgroups(), &[0]);
+        // The writer finished cleanly; the damage happened in place.
+        assert!(reader.is_committed());
+        assert_eq!(reader.footer().unwrap().rowgroups, 2);
+    }
+
+    #[test]
+    fn legacy_v1_commits_at_terminator() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 / 2.0).collect();
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::legacy(&mut file);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        while reader.next_rowgroup().unwrap().is_some() {}
+        assert!(reader.is_committed());
+        assert!(reader.footer().is_none(), "V1 streams carry no footer");
+    }
+
+    #[test]
+    fn transient_read_faults_are_absorbed() {
+        use crate::io::{FaultPlan, FaultyRead};
+        let (data, file) = two_rowgroup_stream();
+        let plan = FaultPlan::clean(7).with_transients(4).with_short_ops(3);
+        let faulty = FaultyRead::new(&file[..], plan);
+        let mut reader = ColumnReader::<f64, _>::new(faulty).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert!(reader.lost_rowgroups().is_empty());
+        assert!(reader.is_committed());
+        assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn transient_write_faults_are_absorbed() {
+        use crate::io::{FaultPlan, FaultyWrite};
+        let data: Vec<f64> = (0..150_000).map(|i| ((i % 777) as f64) / 8.0).collect();
+        let mut clean = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut clean);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+
+        // Retries make the faulty sink byte-identical to the clean one.
+        let plan = FaultPlan::clean(11).with_transients(4).with_short_ops(3);
+        let mut sink = FaultyWrite::new(Vec::new(), plan);
+        let mut writer = ColumnWriter::<f64, _>::new(&mut sink);
+        writer.push(&data).unwrap();
+        writer.finish().unwrap();
+        assert_eq!(sink.into_inner(), clean);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   deserialize paths (`wire-tag-sync`),
 //! * every `ColumnCodec` implementation appears exactly once in the codec
 //!   registry's literal `ENTRIES` list, and every entry names a live impl
-//!   (`registry-sync`).
+//!   (`registry-sync`),
+//! * `catch_unwind` is only legal inside the parallel scheduler's panic
+//!   containment seam (`contained-unwind`).
 //!
 //! Run it as `cargo run -p analyzer` or `alp analyze`; findings are reported
 //! as `file:line: [rule] message`, or as JSON with `--format json`, and the
@@ -78,6 +80,9 @@ pub struct Config {
     pub reader_fn_patterns: Vec<String>,
     /// Crates exempt from the `#![forbid(unsafe_code)]` requirement.
     pub unsafe_allowed_crates: Vec<String>,
+    /// The only files allowed to `catch_unwind` (the scheduler's panic
+    /// containment seam), checked by `contained-unwind`.
+    pub unwind_allowed_files: Vec<String>,
     /// The file holding the codec registry's `static ENTRIES` block, checked
     /// by `registry-sync`.
     pub registry_file: String,
@@ -140,6 +145,8 @@ impl Default for Config {
             ]),
             // `bench` reads the x86 time-stamp counter directly.
             unsafe_allowed_crates: strings(&["bench"]),
+            // `alp::par` hosts the one containment module (DESIGN.md §11).
+            unwind_allowed_files: strings(&["crates/alp/src/par.rs"]),
             registry_file: "crates/core/src/registry.rs".to_string(),
             codec_trait: "ColumnCodec".to_string(),
         }

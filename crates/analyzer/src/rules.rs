@@ -16,6 +16,9 @@
 //! * `registry-sync` — every `ColumnCodec` impl must appear exactly once in
 //!   the codec registry's literal `ENTRIES` list, and every entry must name
 //!   a live impl.
+//! * `contained-unwind` — `catch_unwind` is only legal inside the parallel
+//!   scheduler's containment seam (`alp::par`); swallowing panics anywhere
+//!   else hides poisoned state instead of quarantining it.
 //! * `allow-syntax` — malformed or unknown-rule `ANALYZER-ALLOW` annotations
 //!   (a typo in an annotation must not silently disable a lint).
 
@@ -25,8 +28,14 @@ use crate::parse::{FileInfo, FnItem};
 use crate::{Config, Finding};
 
 /// All valid rule ids, as used in `ANALYZER-ALLOW(<rule>)`.
-pub const RULE_IDS: &[&str] =
-    &["no-panic", "undocumented-unsafe", "fallible-pairing", "wire-tag-sync", "registry-sync"];
+pub const RULE_IDS: &[&str] = &[
+    "no-panic",
+    "undocumented-unsafe",
+    "fallible-pairing",
+    "wire-tag-sync",
+    "registry-sync",
+    "contained-unwind",
+];
 
 /// A parsed `ANALYZER-ALLOW(rule): reason` annotation and the lines it covers.
 #[derive(Debug)]
@@ -51,6 +60,7 @@ pub fn run_all(files: &BTreeMap<String, FileInfo>, cfg: &Config) -> Vec<Finding>
         no_panic(path, info, cfg, &mut findings);
         undocumented_unsafe(path, info, &mut findings);
         fallible_pairing(path, info, cfg, &mut findings);
+        contained_unwind(path, info, cfg, &mut findings);
     }
     forbid_unsafe_crates(files, cfg, &mut findings);
     wire_tag_sync(files, cfg, &mut findings);
@@ -518,6 +528,40 @@ fn wire_tag_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mu
                 ));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: contained-unwind
+// ---------------------------------------------------------------------------
+
+/// `catch_unwind` is only legal in the scheduler's containment seam
+/// ([`Config::unwind_allowed_files`]): that module re-initializes worker
+/// scratch after a caught panic and either re-raises with context or reports
+/// a quarantined morsel. A `catch_unwind` anywhere else swallows a panic
+/// while leaving possibly-torn state live. Test functions are exempt — they
+/// catch panics to assert on them.
+fn contained_unwind(path: &str, info: &FileInfo, cfg: &Config, findings: &mut Vec<Finding>) {
+    if cfg.unwind_allowed_files.iter().any(|f| f == path) {
+        return;
+    }
+    for (idx, l) in info.lines.iter().enumerate() {
+        let line = idx + 1;
+        if !word_in(&l.code, "catch_unwind") {
+            continue;
+        }
+        let in_test =
+            info.fns.iter().any(|f| f.in_test && f.start_line <= line && line <= f.end_line);
+        if in_test {
+            continue;
+        }
+        findings.push(Finding::new(
+            "contained-unwind",
+            path,
+            line,
+            "`catch_unwind` outside the scheduler's containment module — \
+             route panic containment through `alp::par` (run_morsels_contained)",
+        ));
     }
 }
 

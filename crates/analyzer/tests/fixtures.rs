@@ -118,6 +118,27 @@ fn registry_good_is_clean() {
 }
 
 #[test]
+fn contained_unwind_bad_flags_catch_unwind_outside_the_seam() {
+    let found = scan("crates/core/src/worker.rs", include_str!("fixtures/unwind_bad.rs"));
+    // Line 4: the `use std::panic::catch_unwind` import, 7: the call site.
+    assert_eq!(found, pairs(&[("contained-unwind", 4), ("contained-unwind", 7)]));
+}
+
+#[test]
+fn contained_unwind_good_exempts_test_functions() {
+    let found = scan("crates/core/src/worker.rs", include_str!("fixtures/unwind_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn contained_unwind_allows_the_scheduler_containment_file() {
+    // The same known-bad source is legal inside `alp::par`, the one file
+    // hosting the containment module.
+    let found = scan("crates/alp/src/par.rs", include_str!("fixtures/unwind_bad.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
 fn malformed_allow_is_reported_and_does_not_suppress() {
     let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/allow_bad.rs"));
     // Line 4: ALLOW missing its reason, 9: ALLOW naming an unknown rule;

@@ -1,0 +1,8 @@
+//! Known-bad fixture for `contained-unwind`: a worker pool swallowing
+//! panics outside the scheduler's containment seam.
+
+use std::panic::catch_unwind;
+
+pub fn swallow_worker_panic(job: fn()) -> bool {
+    catch_unwind(job).is_ok()
+}

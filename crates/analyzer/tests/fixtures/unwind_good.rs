@@ -1,0 +1,17 @@
+//! Known-good fixture for `contained-unwind`: tests may catch panics to
+//! assert on them, even outside the scheduler's containment seam.
+
+pub fn double(x: u32) -> u32 {
+    x.wrapping_mul(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            assert_eq!(super::double(2), 5);
+        });
+        assert!(caught.is_err());
+    }
+}

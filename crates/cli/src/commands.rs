@@ -110,12 +110,28 @@ fn print_structure(rowgroups: &[alp::RowGroup], len: usize, bits: u32, file_byte
     }
 }
 
+/// `alp verify` exit code: the column is clean.
+pub const VERIFY_EXIT_CLEAN: u8 = 0;
+
+/// `alp verify` exit code: the column is damaged but a salvage pass recovers
+/// part of it.
+pub const VERIFY_EXIT_SALVAGEABLE: u8 = 3;
+
+/// `alp verify` exit code: nothing is recoverable (damaged header, or no
+/// row-group survives).
+pub const VERIFY_EXIT_UNREADABLE: u8 = 4;
+
 /// `alp verify <in.alp> [--threads N]` — integrity-check a stored column
 /// without writing anything: validates the header, every row-group checksum
 /// (`ALP2`), and the declared value count, then reports what a salvage pass
-/// could recover if the strict read fails. The proving decode runs on
-/// `threads` morsel-claiming workers. Exits non-zero on any damage.
-pub fn verify_column(input: &str, threads: usize) -> Result<()> {
+/// could recover if the strict read fails. The proving decode and the
+/// salvage pass both run on `threads` morsel-claiming workers.
+///
+/// Returns the process exit code so scripts can triage archives:
+/// [`VERIFY_EXIT_CLEAN`] (0), [`VERIFY_EXIT_SALVAGEABLE`] (3), or
+/// [`VERIFY_EXIT_UNREADABLE`] (4). `Err` is reserved for operational
+/// failures (unreadable file, unsupported width) and exits 1.
+pub fn verify_column(input: &str, threads: usize) -> Result<u8> {
     let bytes = fs::read(input)?;
     let bits = *bytes.get(4).ok_or("file too short")?;
     match bits {
@@ -125,7 +141,7 @@ pub fn verify_column(input: &str, threads: usize) -> Result<()> {
     }
 }
 
-fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8], threads: usize) -> Result<()> {
+fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8], threads: usize) -> Result<u8> {
     let layout = if bytes.starts_with(alp::format::MAGIC) {
         "ALP2 (per-row-group checksums)"
     } else if bytes.starts_with(alp::format::MAGIC_V1) {
@@ -144,12 +160,12 @@ fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8], threads: usize) -> 
                 F::BITS,
                 col.rowgroups.len()
             );
-            Ok(())
+            Ok(VERIFY_EXIT_CLEAN)
         }
         Err(e) => {
             println!("{input}: CORRUPT — {layout}: {e}");
-            match alp::format::from_bytes_salvage::<F>(bytes) {
-                Ok(s) => {
+            match alp::format::from_bytes_salvage_parallel::<F>(bytes, threads) {
+                Ok(s) if s.column.len > 0 => {
                     println!(
                         "  salvageable: {} of {} values ({} of {} row-groups; lost {:?})",
                         s.column.len,
@@ -158,10 +174,17 @@ fn verify_typed<F: alp::AlpFloat>(input: &str, bytes: &[u8], threads: usize) -> 
                         s.total_rowgroups,
                         s.lost_rowgroups
                     );
+                    Ok(VERIFY_EXIT_SALVAGEABLE)
                 }
-                Err(_) => println!("  salvageable: nothing (header damaged)"),
+                Ok(_) => {
+                    println!("  salvageable: nothing (no row-group survives)");
+                    Ok(VERIFY_EXIT_UNREADABLE)
+                }
+                Err(_) => {
+                    println!("  salvageable: nothing (header damaged)");
+                    Ok(VERIFY_EXIT_UNREADABLE)
+                }
             }
-            Err(format!("{input} failed verification").into())
         }
     }
 }
@@ -407,14 +430,22 @@ mod tests {
         let data: Vec<f64> = (0..120_000).map(|i| (i % 500) as f64 / 4.0).collect();
         write_f64(&input, &data).unwrap();
         compress(&input, &packed, false).unwrap();
-        verify_column(&packed, 2).unwrap();
+        assert_eq!(verify_column(&packed, 2).unwrap(), VERIFY_EXIT_CLEAN);
 
+        // One flipped payload bit: damaged, but the other row-group survives.
         let mut bytes = fs::read(&packed).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         let damaged = tmp("verify_damaged.alp");
         fs::write(&damaged, &bytes).unwrap();
-        assert!(verify_column(&damaged, 2).is_err());
+        assert_eq!(verify_column(&damaged, 2).unwrap(), VERIFY_EXIT_SALVAGEABLE);
+
+        // A wrecked magic makes the header unrecoverable.
+        let mut bytes = fs::read(&packed).unwrap();
+        bytes[0] = b'X';
+        let unreadable = tmp("verify_unreadable.alp");
+        fs::write(&unreadable, &bytes).unwrap();
+        assert_eq!(verify_column(&unreadable, 2).unwrap(), VERIFY_EXIT_UNREADABLE);
     }
 
     #[test]

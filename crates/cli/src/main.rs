@@ -5,6 +5,7 @@
 //! alp decompress <in.alp> <out.f64>             ALP column -> raw LE floats
 //! alp inspect    <in.alp>                       header, row-groups, schemes
 //! alp verify     <in.alp> [--threads N]         checksum + salvage report
+//!                exit codes: 0 clean, 3 salvageable, 4 unreadable, 1 error
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64> [--threads N]         ratio/speed of every codec
@@ -59,7 +60,17 @@ fn main() -> ExitCode {
                 ("compress", [input, output]) => commands::compress(input, output, f32_mode),
                 ("decompress", [input, output]) => commands::decompress(input, output),
                 ("inspect", [input]) => commands::inspect(input),
-                ("verify", [input]) => commands::verify_column(input, threads),
+                // `verify` triages archives through its exit code (clean /
+                // salvageable / unreadable), so it bypasses the unit match.
+                ("verify", [input]) => {
+                    return match commands::verify_column(input, threads) {
+                        Ok(code) => ExitCode::from(code),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    };
+                }
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
                 ("shootout", [input]) => commands::shootout(input, threads),

@@ -339,6 +339,8 @@ macro_rules! proptest {
                     s
                 };
                 let run = || -> () { $body };
+                // ANALYZER-ALLOW(contained-unwind): the test runner catches a
+                // case's panic to report the failing inputs, then re-raises.
                 if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
                     eprintln!(
                         "proptest case {case} of {} failed:\n{rendered}",

@@ -9,6 +9,37 @@
 //!
 //! Everything is deterministic: cases derive from a caller-provided seed via
 //! an inline SplitMix64, so a failure reproduces from its printed label.
+//!
+//! The I/O-side twin lives here too: seeded [`FaultPlan`] schedules
+//! (re-exported from [`alp::io`]) and the [`transient_plans`] family, driven
+//! by `tests/fault_injection.rs` and `tests/stream_faults.rs`.
+
+/// The deterministic fault-injection vocabulary, re-exported from
+/// [`alp::io`] so integration suites build seeded I/O fault schedules from
+/// the same module that hands them the corrupt-input corpus. The base seed
+/// comes from `ALP_FAULT_SEED` (see [`fault_seed`]); CI sweeps it as a
+/// matrix.
+pub use alp::io::{
+    fault_seed, Fault, FaultPlan, FaultyRead, FaultyWrite, RetryPolicy, FAULT_SEED_ENV,
+};
+
+/// A named family of transient-fault schedules derived from one seed: the
+/// cadences are pure functions of the seed, so a failure reproduces from the
+/// seed alone. Hard faults (torn writes, poisoned ops) are deliberately not
+/// in the family — those need byte offsets only the caller knows.
+pub fn transient_plans(seed: u64) -> Vec<(String, FaultPlan)> {
+    let mut rng = SplitMix64::new(seed);
+    let t = 2 + rng.below(5) as u64;
+    let s = 2 + rng.below(6) as u64;
+    vec![
+        (format!("transient 1-in-{t}"), FaultPlan::clean(seed).with_transients(t)),
+        (format!("short 1-in-{s}"), FaultPlan::clean(seed).with_short_ops(s)),
+        (
+            format!("transient 1-in-{t} + short 1-in-{s}"),
+            FaultPlan::clean(seed).with_transients(t).with_short_ops(s),
+        ),
+    ]
+}
 
 /// Minimal deterministic generator for corpus construction (SplitMix64).
 /// Self-contained on purpose: the harness must not drag RNG dependencies
