@@ -31,6 +31,8 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The one place in the workspace where unwinding is caught (enforced by the
 /// analyzer's `contained-unwind` rule): every `catch_unwind` goes through
@@ -68,6 +70,63 @@ mod containment {
             "morsel {morsel} panicked: {}",
             payload_message(&*payload)
         )))
+    }
+}
+
+/// Cooperative cancellation for morsel runs: an explicit `cancel()` flag
+/// and/or a wall-clock deadline, checked by workers **at morsel boundaries**
+/// (between claims, never mid-kernel). Cloning shares the same underlying
+/// state, so a service can hand one token to a query and cancel it from any
+/// thread — the query's workers stop claiming and release themselves at the
+/// next boundary.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+#[derive(Debug)]
+struct TokenState {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self { inner: Arc::new(TokenState { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that auto-cancels once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self {
+            inner: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next morsel
+    /// boundary of any run observing this token.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired — explicitly or by deadline expiry.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -251,15 +310,57 @@ pub fn run_morsels_contained<T, S>(
 where
     T: Send,
 {
+    let run = run_morsels_governed(threads, morsels, &CancelToken::new(), init, work);
+    (run.completed, run.failures)
+}
+
+/// Outcome of [`run_morsels_governed`]: surviving results, quarantined
+/// failures, and whether the run was cut short by its [`CancelToken`].
+#[derive(Debug)]
+pub struct GovernedRun<T> {
+    /// Surviving `(morsel, result)` pairs, sorted by morsel index.
+    pub completed: Vec<(usize, T)>,
+    /// One report per morsel whose `work` panicked, sorted by index.
+    pub failures: Vec<MorselFailure>,
+    /// True when the token fired before every morsel was claimed: the
+    /// results above cover only the morsels processed before the boundary
+    /// check observed cancellation.
+    pub cancelled: bool,
+}
+
+/// The full-policy morsel runner: panic containment *and* cooperative
+/// cancellation. Workers consult `token` before every claim, so a cancelled
+/// or deadline-expired run stops at the next morsel boundary — in-flight
+/// morsels finish (a kernel is never interrupted mid-decode), unclaimed ones
+/// are abandoned, and the workers release themselves back to the caller.
+/// Panic handling is identical to [`run_morsels_contained`]: the poisoned
+/// morsel is quarantined into a [`MorselFailure`] and the worker rebuilds
+/// its scratch from `init`.
+///
+/// This is the execution seam for `vectorq::service` queries: one query =
+/// one governed run, whose token carries the query's deadline.
+pub fn run_morsels_governed<T, S>(
+    threads: usize,
+    morsels: usize,
+    token: &CancelToken,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> T + Sync,
+) -> GovernedRun<T>
+where
+    T: Send,
+{
     if threads <= 1 || morsels <= 1 {
         let mut scratch = init();
-        let mut ok = Vec::with_capacity(morsels);
-        let mut failed = Vec::new();
+        let mut completed = Vec::with_capacity(morsels);
+        let mut failures = Vec::new();
         for m in 0..morsels {
+            if token.is_cancelled() {
+                return GovernedRun { completed, failures, cancelled: true };
+            }
             match containment::run(|| work(&mut scratch, m)) {
-                Ok(v) => ok.push((m, v)),
+                Ok(v) => completed.push((m, v)),
                 Err(payload) => {
-                    failed.push(MorselFailure {
+                    failures.push(MorselFailure {
                         morsel: m,
                         message: containment::payload_message(&*payload),
                     });
@@ -267,11 +368,12 @@ where
                 }
             }
         }
-        return (ok, failed);
+        return GovernedRun { completed, failures, cancelled: false };
     }
 
     let queue = MorselQueue::new(morsels);
     let workers = threads.min(morsels);
+    let cut_short = AtomicBool::new(false);
     let joined = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -279,7 +381,12 @@ where
                     let mut scratch = init();
                     let mut ok: Vec<(usize, T)> = Vec::new();
                     let mut failed: Vec<MorselFailure> = Vec::new();
-                    while let Some(m) = queue.claim() {
+                    loop {
+                        if token.is_cancelled() {
+                            cut_short.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let Some(m) = queue.claim() else { break };
                         match containment::run(|| work(&mut scratch, m)) {
                             Ok(v) => ok.push((m, v)),
                             Err(payload) => {
@@ -306,15 +413,19 @@ where
         parts
     });
 
-    let mut ok = Vec::with_capacity(morsels);
-    let mut failed = Vec::new();
+    let mut completed = Vec::with_capacity(morsels);
+    let mut failures = Vec::new();
     for (o, f) in joined {
-        ok.extend(o);
-        failed.extend(f);
+        completed.extend(o);
+        failures.extend(f);
     }
-    ok.sort_by_key(|&(m, _)| m);
-    failed.sort_by_key(|f| f.morsel);
-    (ok, failed)
+    completed.sort_by_key(|&(m, _)| m);
+    failures.sort_by_key(|f| f.morsel);
+    // "Cancelled" means morsels were actually abandoned: a token that fires
+    // after the queue drained (but before a worker's final boundary check)
+    // cut nothing short.
+    let abandoned = completed.len() + failures.len() < morsels;
+    GovernedRun { completed, failures, cancelled: cut_short.load(Ordering::Relaxed) && abandoned }
 }
 
 /// Infallible [`try_map_morsels`]: maps every morsel, results in order.
@@ -508,6 +619,91 @@ mod tests {
         assert_eq!(ok, vec![(0, 100), (2, 100)]);
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].morsel, 1);
+    }
+
+    #[test]
+    fn governed_run_without_cancellation_matches_contained() {
+        for threads in [1, 4] {
+            let run = run_morsels_governed(
+                threads,
+                40,
+                &CancelToken::new(),
+                || (),
+                |(), m| {
+                    if m == 7 {
+                        panic!("poisoned morsel {m}");
+                    }
+                    m * 2
+                },
+            );
+            assert!(!run.cancelled);
+            assert_eq!(run.completed.len(), 39);
+            assert_eq!(run.failures.len(), 1);
+            assert_eq!(run.failures[0].morsel, 7);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_claim() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let hits = AtomicUsize::new(0);
+            let run = run_morsels_governed(
+                threads,
+                64,
+                &token,
+                || (),
+                |(), m| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    m
+                },
+            );
+            assert!(run.cancelled);
+            assert!(run.completed.is_empty());
+            assert_eq!(hits.load(Ordering::Relaxed), 0, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_abandons_remaining_morsels() {
+        // Serial path: cancel from inside morsel 4's work; the boundary check
+        // before morsel 5 must observe it.
+        let token = CancelToken::new();
+        let run = run_morsels_governed(
+            1,
+            100,
+            &token,
+            || (),
+            |(), m| {
+                if m == 4 {
+                    token.cancel();
+                }
+                m
+            },
+        );
+        assert!(run.cancelled);
+        assert_eq!(run.completed.len(), 5);
+        assert!(run.failures.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_token() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        let run = run_morsels_governed(2, 16, &token, || (), |(), m| m);
+        assert!(run.cancelled);
+        assert!(run.completed.is_empty());
+    }
+
+    #[test]
+    fn token_without_deadline_never_self_cancels() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.deadline(), None);
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled(), "clones share cancellation state");
     }
 
     #[test]

@@ -122,6 +122,9 @@ impl Default for Config {
                 "crates/gpzip/src/*",
                 "crates/alp/src/format.rs",
                 "crates/alp/src/stream.rs",
+                // The query service decodes untrusted-by-policy pages: its
+                // public decompress entry points need fallible twins too.
+                "crates/vectorq/src/*",
             ]),
             wire_files: strings(&["crates/alp/src/format.rs", "crates/alp/src/stream.rs"]),
             writer_fn_patterns: strings(&[

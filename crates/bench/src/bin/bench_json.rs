@@ -28,7 +28,9 @@ const SCHEMA: &str = concat!(
     "MB/s of par_compress/par_decompress per (codec, threads) on the sweep ",
     "dataset, with *_speedup relative to that codec's threads=1 row and ",
     "verdict in {ok, sublinear, collapse}; threads_available is the host ",
-    "hardware parallelism the sweep ran under."
+    "hardware parallelism the sweep ran under. service: one query-service ",
+    "pass over the sweep dataset (cold then warm predicated sums) with the ",
+    "page cache's hit/miss/eviction/bypass counters and byte high-water mark."
 );
 
 /// Dataset the thread sweep runs on: decimal-heavy and scheme-mixed, so both
@@ -115,7 +117,8 @@ fn main() {
             "  \"threads_available\": {},\n",
             "  \"sweep_dataset\": \"{}\",\n",
             "  \"records\": [\n{}\n  ],\n",
-            "  \"thread_sweep\": [\n{}\n  ]\n",
+            "  \"thread_sweep\": [\n{}\n  ],\n",
+            "  \"service\": {}\n",
             "}}\n"
         ),
         esc(SCHEMA),
@@ -126,6 +129,7 @@ fn main() {
         esc(SWEEP_DATASET),
         records,
         sweep_json,
+        service_json(),
     );
 
     std::fs::create_dir_all(results_dir()).ok();
@@ -136,6 +140,42 @@ fn main() {
     ));
     std::fs::write(&path, &doc).expect("write json");
     println!("wrote {}", path.display());
+}
+
+/// One pass through the query service on the sweep dataset: a cold
+/// predicated sum (all cache misses) and a warm repeat (all hits), reporting
+/// the page cache's counters so regression dashboards can watch cache
+/// effectiveness alongside raw codec speed.
+fn service_json() -> String {
+    use vectorq::cache::CacheConfig;
+    use vectorq::service::{QueryOptions, Service, ServiceConfig, Store};
+
+    let data = bench::dataset(SWEEP_DATASET);
+    let column = vectorq::Column::from_f64(&data, vectorq::Format::alp());
+    let store = std::sync::Arc::new(Store::new(column, CacheConfig::default_config()));
+    let service = Service::new(store, ServiceConfig::default());
+    let opts = QueryOptions::default();
+    let (lo, hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    let cold = service.sum_where(lo, hi, &opts).expect("cold service query");
+    let warm = service.sum_where(lo, hi, &opts).expect("warm service query");
+    let stats = service.cache_stats();
+    format!(
+        concat!(
+            "{{\"dataset\": \"{}\", \"pages\": {}, ",
+            "\"cold_query_ms\": {}, \"warm_query_ms\": {}, ",
+            "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, ",
+            "\"cache_bypasses\": {}, \"cache_bytes_peak\": {}}}"
+        ),
+        esc(SWEEP_DATASET),
+        service.store().pages(),
+        json_f64(cold.elapsed.as_secs_f64() * 1e3),
+        json_f64(warm.elapsed.as_secs_f64() * 1e3),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.bypasses,
+        stats.bytes_peak,
+    )
 }
 
 /// Runs the 1/2/4/N morsel-scheduler sweep on every codec with a timed byte

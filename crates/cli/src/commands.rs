@@ -278,6 +278,76 @@ pub fn shootout(input: &str, threads: usize) -> Result<()> {
     Ok(())
 }
 
+/// `alp query <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]` — a
+/// predicated sum served through the query service: bounded page cache,
+/// per-query deadline, quarantine-and-continue. A nonzero `ALP_FAULT_SEED`
+/// poisons a deterministic subset of pages so the degraded path can be
+/// exercised from the shell.
+pub fn query(
+    input: &str,
+    lo: &str,
+    hi: &str,
+    threads: usize,
+    deadline_ms: Option<u64>,
+) -> Result<()> {
+    use vectorq::service::{PoisonPlan, QueryOptions, Service, ServiceConfig, Store};
+
+    let (lo_text, hi_text) = (lo, hi);
+    let lo: f64 = lo.parse().map_err(|_| format!("lo: {lo:?} is not a number"))?;
+    let hi: f64 = hi.parse().map_err(|_| format!("hi: {hi:?} is not a number"))?;
+    let data = read_f64(input)?;
+    let t0 = Instant::now();
+    let column = vectorq::Column::from_f64_parallel(&data, vectorq::Format::alp(), threads);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let store = std::sync::Arc::new(Store::with_poison(
+        column,
+        vectorq::cache::CacheConfig::default_config(),
+        PoisonPlan::from_env(),
+    ));
+    let service = Service::new(store, ServiceConfig { threads, ..ServiceConfig::default() });
+    let opts = QueryOptions {
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
+        threads: Some(threads),
+    };
+    let result = service.sum_where(lo, hi, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "{} values, {} pages  (compressed in {build_ms:.0} ms, {threads} threads)",
+        data.len(),
+        service.store().pages()
+    );
+    println!(
+        "sum({lo_text} <= x <= {hi_text}) = {:.6}  ({} matches, {} vectors scanned, {} skipped, {:.1} ms)",
+        result.value.sum,
+        result.value.matches,
+        result.value.vectors_scanned,
+        result.value.vectors_skipped,
+        result.elapsed.as_secs_f64() * 1e3
+    );
+    if result.loss.is_complete() {
+        println!("result complete: every page served");
+    } else {
+        println!(
+            "PARTIAL result: {} pages / {} rows lost",
+            result.loss.pages.len(),
+            result.loss.rows_lost()
+        );
+        for loss in &result.loss.pages {
+            println!("  page {:>4}  {:>7} rows  {}", loss.page, loss.rows, loss.reason);
+        }
+    }
+    let cache = service.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} bypasses, {} resident pages ({} KiB peak)",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.bypasses,
+        cache.entries,
+        cache.bytes_peak / 1024
+    );
+    Ok(())
+}
+
 /// `alp codecs` — list every registered codec with its capabilities.
 pub fn list_codecs() -> Result<()> {
     println!("{:<12} {:<10} capabilities", "id", "name");

@@ -9,6 +9,9 @@
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64> [--threads N]         ratio/speed of every codec
+//! alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]
+//!                predicated sum through the query service (cache, deadlines,
+//!                quarantine — ALP_FAULT_SEED injects bad pages)
 //! alp codecs                                    list the codec registry
 //! alp datasets                                  list generatable datasets
 //! alp analyze    [--root <path>] [--format text|json]   workspace lint pass
@@ -44,6 +47,22 @@ fn main() -> ExitCode {
         }
         args.drain(i..=i + 1);
     }
+    // `--deadline-ms` (query) takes a value too.
+    let mut deadline_ms: Option<u64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--deadline-ms requires a value");
+            return usage();
+        };
+        match value.parse::<u64>() {
+            Ok(ms) if ms > 0 => deadline_ms = Some(ms),
+            _ => {
+                eprintln!("--deadline-ms expects a positive integer, got {value:?}");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let threads = alp_core::par::resolve_threads(threads_flag);
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
@@ -74,6 +93,7 @@ fn main() -> ExitCode {
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
                 ("shootout", [input]) => commands::shootout(input, threads),
+                ("query", [input, lo, hi]) => commands::query(input, lo, hi, threads, deadline_ms),
                 ("codecs", []) => commands::list_codecs(),
                 ("datasets", []) => commands::list_datasets(),
                 _ => return usage(),
@@ -93,7 +113,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

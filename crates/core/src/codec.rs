@@ -20,6 +20,12 @@ pub struct Capabilities {
     /// block (the general-purpose compressors). Vector-granular codecs leave
     /// this false.
     pub block_based: bool,
+    /// Decoded pages of this codec are worth holding in a page cache:
+    /// decoding costs enough relative to a copy that a long-running query
+    /// service should retain hot decompressed pages (`vectorq::cache`).
+    /// False for ratio-only schemes, which have no byte path to decode at
+    /// all; raw/uncompressed storage is handled by the consumer, not here.
+    pub cacheable_decode: bool,
 }
 
 impl Capabilities {
@@ -30,6 +36,7 @@ impl Capabilities {
             f32: false,
             ratio_only: false,
             block_based: false,
+            cacheable_decode: true,
         }
     }
 }

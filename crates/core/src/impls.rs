@@ -447,7 +447,7 @@ impl ColumnCodec for LwcAlp {
         "LWC+ALP"
     }
     fn caps(&self) -> Capabilities {
-        Capabilities { ratio_only: true, ..Capabilities::vector() }
+        Capabilities { ratio_only: true, cacheable_decode: false, ..Capabilities::vector() }
     }
     fn try_compress_into(
         &self,

@@ -16,8 +16,8 @@
 //! `tests/alloc_discipline.rs` holds per worker.
 
 pub use alp::par::{
-    fold_morsels, map_morsels, resolve_threads, run_morsels_contained, try_map_morsels,
-    MorselFailure, MorselQueue, THREADS_ENV,
+    fold_morsels, map_morsels, resolve_threads, run_morsels_contained, run_morsels_governed,
+    try_map_morsels, CancelToken, GovernedRun, MorselFailure, MorselQueue, THREADS_ENV,
 };
 
 use alp::ConfigError;

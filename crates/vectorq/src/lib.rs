@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod service;
 pub mod table;
 
 use alp_core::{ColumnCodec, Registry, Scratch};
@@ -101,32 +103,51 @@ enum Storage {
 
 /// Per-vector min/max statistics enabling predicate push-down: a vector whose
 /// range is disjoint from the predicate is skipped without decompression.
+///
+/// NaNs are handled explicitly rather than folded into the range: `min`/`max`
+/// cover only the non-NaN values (so a stray NaN can never poison the range
+/// into `NaN` and make [`ZoneMap::overlaps`] silently reject live neighbours),
+/// and [`ZoneMap::has_nan`] records that NaNs were present at all, so
+/// consumers that *do* care about NaNs (e.g. `IS NULL`-style scans) can find
+/// them without a full decompression pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZoneMap {
-    /// Minimum finite value in the vector (`+inf` if none).
+    /// Minimum non-NaN value in the vector (`+inf` if none).
     pub min: f64,
-    /// Maximum finite value in the vector (`-inf` if none).
+    /// Maximum non-NaN value in the vector (`-inf` if none).
     pub max: f64,
+    /// Whether the vector contains at least one NaN.
+    pub has_nan: bool,
 }
 
 impl ZoneMap {
-    fn of(values: &[f64]) -> Self {
+    /// Builds the zone map of one vector of values.
+    pub fn of(values: &[f64]) -> Self {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
+        let mut has_nan = false;
         for &v in values {
-            // NaNs never match a range predicate; exclude them from the map.
-            if !v.is_nan() {
+            // NaNs never match a range predicate; exclude them from the
+            // range but remember they exist.
+            if v.is_nan() {
+                has_nan = true;
+            } else {
                 min = min.min(v);
                 max = max.max(v);
             }
         }
-        Self { min, max }
+        Self { min, max, has_nan }
     }
 
     /// Whether any value in the zone could fall inside `[lo, hi]`.
+    ///
+    /// NaN-only vectors have an empty range (`min = +inf`, `max = -inf`)
+    /// and overlap nothing — the `min <= max` guard matters for predicates
+    /// with infinite bounds, where the sentinel infinities would otherwise
+    /// compare as overlapping and force a pointless scan.
     #[inline]
     pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
-        self.min <= hi && self.max >= lo
+        self.min <= self.max && self.min <= hi && self.max >= lo
     }
 }
 
@@ -142,6 +163,47 @@ pub struct FilteredSum {
     /// Vectors skipped purely from their zone map.
     pub vectors_skipped: usize,
 }
+
+/// Why [`Column::try_decompress_vector_at`] could not deliver a vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VectorAccessError {
+    /// The requested vector index is beyond the column.
+    OutOfRange {
+        /// Requested global vector index.
+        vector: usize,
+        /// Number of vectors in the column.
+        vectors: usize,
+    },
+    /// ALP storage rejected the `(rowgroup, vector)` coordinate.
+    Index(alp::VectorIndexError),
+    /// The stored bytes failed to decode (corruption).
+    Codec(alp_core::CoreError),
+    /// The codec decoded fewer values than the vector's position implies —
+    /// the block is internally inconsistent.
+    Truncated {
+        /// Requested global vector index.
+        vector: usize,
+        /// Values actually present in the decoded block.
+        decoded: usize,
+    },
+}
+
+impl core::fmt::Display for VectorAccessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::OutOfRange { vector, vectors } => {
+                write!(f, "vector index {vector} out of range (column has {vectors} vectors)")
+            }
+            Self::Index(e) => write!(f, "{e}"),
+            Self::Codec(e) => write!(f, "{e}"),
+            Self::Truncated { vector, decoded } => {
+                write!(f, "vector {vector} lies beyond the {decoded} decoded values of its block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VectorAccessError {}
 
 /// A single compressed column plus scan/aggregate operators.
 pub struct Column {
@@ -476,6 +538,93 @@ impl Column {
         }
     }
 
+    /// Fallible twin of [`Column::decompress_vector_at`]: decompresses the
+    /// vector with global index `vector_idx` into `out` (cleared first),
+    /// staging through `scratch`, and returns the live count. Never panics —
+    /// out-of-range indices and corrupt payloads come back as typed
+    /// [`VectorAccessError`]s. This is the decode path the query service uses
+    /// for pages it treats as untrusted-by-policy.
+    pub fn try_decompress_vector_at(
+        &self,
+        vector_idx: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut Scratch,
+    ) -> Result<usize, VectorAccessError> {
+        out.clear();
+        let vectors = self.zone_maps.len();
+        if vector_idx >= vectors {
+            return Err(VectorAccessError::OutOfRange { vector: vector_idx, vectors });
+        }
+        match &self.storage {
+            Storage::Uncompressed(values) => {
+                let start = vector_idx.saturating_mul(VECTOR_SIZE);
+                let end = start.saturating_add(VECTOR_SIZE).min(values.len());
+                let live = values
+                    .get(start..end)
+                    .ok_or(VectorAccessError::OutOfRange { vector: vector_idx, vectors })?;
+                out.extend_from_slice(live);
+                Ok(out.len())
+            }
+            Storage::Alp(c) => {
+                // Stage through the scratch float buffer so repeated calls
+                // stay allocation-free once warm.
+                let mut buf = std::mem::take(&mut scratch.floats);
+                buf.clear();
+                buf.resize(VECTOR_SIZE, 0.0);
+                let decoded = c
+                    .try_decompress_vector(
+                        vector_idx / ROWGROUP_VECTORS,
+                        vector_idx % ROWGROUP_VECTORS,
+                        &mut buf,
+                    )
+                    .map_err(VectorAccessError::Index);
+                let result = decoded.and_then(|n| match buf.get(..n) {
+                    Some(live) => {
+                        out.extend_from_slice(live);
+                        Ok(out.len())
+                    }
+                    None => Err(VectorAccessError::Truncated { vector: vector_idx, decoded: n }),
+                });
+                scratch.floats = buf;
+                result
+            }
+            Storage::Vectors(codec, blocks) => {
+                let (bytes, count) = blocks
+                    .get(vector_idx)
+                    .ok_or(VectorAccessError::OutOfRange { vector: vector_idx, vectors })?;
+                codec
+                    .try_decompress_into(bytes, *count, out, scratch)
+                    .map_err(VectorAccessError::Codec)?;
+                Ok(out.len())
+            }
+            Storage::Blocks(codec, blocks) => {
+                let block_idx = vector_idx / ROWGROUP_VECTORS;
+                let within = vector_idx % ROWGROUP_VECTORS;
+                let (bytes, count) = blocks
+                    .get(block_idx)
+                    .ok_or(VectorAccessError::OutOfRange { vector: vector_idx, vectors })?;
+                // The whole block inflates before one vector can be sliced
+                // out — stage it in the scratch float buffer.
+                let mut decoded = std::mem::take(&mut scratch.floats);
+                let result = codec
+                    .try_decompress_into(bytes, *count, &mut decoded, scratch)
+                    .map_err(VectorAccessError::Codec)
+                    .and_then(|()| {
+                        let start = within.saturating_mul(VECTOR_SIZE);
+                        let end = start.saturating_add(VECTOR_SIZE).min(decoded.len());
+                        let live = decoded.get(start..end).ok_or(VectorAccessError::Truncated {
+                            vector: vector_idx,
+                            decoded: decoded.len(),
+                        })?;
+                        out.extend_from_slice(live);
+                        Ok(out.len())
+                    });
+                scratch.floats = decoded;
+                result
+            }
+        }
+    }
+
     /// `SELECT row_ids WHERE lo <= x <= hi` with zone-map push-down: returns
     /// global row indices of matching values.
     pub fn filter_indices(&self, lo: f64, hi: f64) -> Vec<u64> {
@@ -522,9 +671,10 @@ fn fold_bits(v: &[f64]) -> u64 {
 }
 
 /// Adds the in-range values of `v` into `result` (branch-predictable
-/// predicated accumulation).
+/// predicated accumulation). Shared with [`service`] so a cached page scans
+/// bit-identically to the column's own operators.
 #[inline]
-fn accumulate(v: &[f64], lo: f64, hi: f64, result: &mut FilteredSum) {
+pub(crate) fn accumulate(v: &[f64], lo: f64, hi: f64, result: &mut FilteredSum) {
     let mut sum = 0.0;
     let mut matches = 0usize;
     for &x in v {
@@ -684,6 +834,76 @@ mod tests {
             let none = col.sum_where(1e18, 2e18);
             assert_eq!(none.matches, 0);
             assert_eq!(none.vectors_scanned, 0);
+        }
+    }
+
+    #[test]
+    fn nan_never_poisons_zone_ranges_and_is_tracked_explicitly() {
+        // NaNs scattered through the first vector, right next to in-range
+        // live values. A NaN-poisoned min/max would make `overlaps` return
+        // false and silently drop the live neighbours.
+        let mut data = sample_data(3 * VECTOR_SIZE);
+        data[0] = f64::NAN;
+        data[100] = f64::NAN;
+        data[VECTOR_SIZE - 1] = f64::NAN;
+        let live_in_range =
+            |lo: f64, hi: f64| data.iter().filter(|x| **x >= lo && **x <= hi).count();
+        for fmt in formats() {
+            let col = Column::from_f64(&data, fmt);
+            let zm = col.zone_maps()[0];
+            assert!(zm.min.is_finite() && zm.max.is_finite(), "{}", fmt.name());
+            assert!(zm.has_nan, "{}", fmt.name());
+            assert!(!col.zone_maps()[1].has_nan, "{}", fmt.name());
+            // The NaN-bearing vector must still be scanned for a predicate
+            // covering its live values, and every live row found.
+            let r = col.sum_where(0.0, 49.99);
+            assert_eq!(r.matches, live_in_range(0.0, 49.99), "{}", fmt.name());
+            // Rows adjacent to the NaNs are still addressable by value.
+            let ids = col.filter_indices(0.01, 0.01);
+            assert!(ids.contains(&1), "{}", fmt.name());
+        }
+    }
+
+    #[test]
+    fn all_nan_vectors_have_empty_ranges_that_overlap_nothing() {
+        let zm = ZoneMap::of(&[f64::NAN; 16]);
+        assert!(zm.has_nan);
+        assert_eq!(zm.min, f64::INFINITY);
+        assert_eq!(zm.max, f64::NEG_INFINITY);
+        assert!(!zm.overlaps(f64::NEG_INFINITY, f64::INFINITY));
+        // An all-NaN vector inside a column is pruned, not mis-scanned.
+        let mut data = sample_data(2 * VECTOR_SIZE);
+        for v in data.iter_mut().take(VECTOR_SIZE) {
+            *v = f64::NAN;
+        }
+        for fmt in [Format::alp(), Format::Uncompressed] {
+            let col = Column::from_f64(&data, fmt);
+            let r = col.sum_where(f64::NEG_INFINITY, f64::INFINITY);
+            assert_eq!(r.matches, VECTOR_SIZE, "{}", fmt.name());
+            assert!(r.vectors_skipped >= 1, "{} should prune the NaN vector", fmt.name());
+        }
+    }
+
+    #[test]
+    fn try_decompress_vector_at_matches_the_panicking_twin() {
+        let data = sample_data(ROWGROUP_VALUES + 700);
+        let mut scratch = Scratch::new();
+        for fmt in formats() {
+            let col = Column::from_f64(&data, fmt);
+            let mut reference = vec![0.0f64; VECTOR_SIZE];
+            let mut got = Vec::new();
+            let vectors = col.zone_maps().len();
+            for v in 0..vectors {
+                let n = col.decompress_vector_at(v, &mut reference);
+                let m = col.try_decompress_vector_at(v, &mut got, &mut scratch).unwrap();
+                assert_eq!(n, m, "{} v={v}", fmt.name());
+                for (a, b) in reference[..n].iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} v={v}", fmt.name());
+                }
+            }
+            // Out-of-range is a typed error, not a panic.
+            let err = col.try_decompress_vector_at(vectors, &mut got, &mut scratch).unwrap_err();
+            assert_eq!(err, VectorAccessError::OutOfRange { vector: vectors, vectors });
         }
     }
 

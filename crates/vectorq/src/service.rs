@@ -1,0 +1,806 @@
+//! `vectorq::service` — a concurrent query service over one shared,
+//! immutable [`Column`], built to degrade instead of dying (DESIGN.md §12).
+//!
+//! The moving parts, and the failure each one absorbs:
+//!
+//! * **[`Store`]** — the column plus per-page quarantine flags and a bounded
+//!   [`PageCache`]. Pages are the unit of decode, caching, quarantine, and
+//!   parallelism (one page = one morsel).
+//! * **Admission control** — at most `max_concurrent` queries run and at most
+//!   `max_queued` wait; the next caller gets a typed
+//!   [`ServiceError::Overloaded`] with a retry hint derived from recent query
+//!   durations, instead of an unbounded queue.
+//! * **Deadlines** — each query carries a [`CancelToken`]; workers check it
+//!   at every morsel boundary, so an expired deadline abandons unclaimed
+//!   pages and returns [`ServiceError::DeadlineExceeded`] without ever
+//!   interrupting a kernel mid-decode.
+//! * **Quarantine-and-continue** — a page that fails decode, or poisons a
+//!   worker with a panic (contained by [`run_morsels_governed`]'s seam), is
+//!   quarantined in the store; the query returns a **partial result** with a
+//!   [`LossReport`] naming the lost pages, and every later query skips them
+//!   without re-decoding.
+//!
+//! Results are deterministic: per-page partials are reduced in page order on
+//! the caller's thread, so a query over an unpoisoned store returns
+//! bit-identical sums at every thread count and cache state.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use alp::io::{fault_seed, splitmix64};
+use alp_core::par::{resolve_threads, run_morsels_governed, CancelToken};
+use alp_core::Scratch;
+use fastlanes::VECTOR_SIZE;
+
+use crate::cache::{CacheConfig, CacheStats, PageCache};
+use crate::{accumulate, Column, FilteredSum};
+
+// ---------------------------------------------------------------------------
+// Errors and reports
+// ---------------------------------------------------------------------------
+
+/// Why the service refused or abandoned a query. Queries never panic and are
+/// never silently dropped — every refusal is one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The run and wait queues are both full. Retry after roughly
+    /// `retry_after_hint` (an exponentially-weighted average of recent query
+    /// durations — the expected time for a slot to free up).
+    Overloaded {
+        /// Suggested client back-off before retrying.
+        retry_after_hint: Duration,
+    },
+    /// The query's deadline expired — while queued, or mid-run at a morsel
+    /// boundary. Work already done (including quarantine verdicts) is kept.
+    DeadlineExceeded {
+        /// Time spent before the service gave up.
+        elapsed: Duration,
+    },
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Overloaded { retry_after_hint } => {
+                write!(f, "service overloaded; retry after ~{retry_after_hint:?}")
+            }
+            Self::DeadlineExceeded { elapsed } => {
+                write!(f, "query deadline exceeded after {elapsed:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Why a page's rows are missing from a query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LossReason {
+    /// The page was already quarantined by an earlier query; it was skipped
+    /// without touching its payload.
+    Quarantined,
+    /// Decoding the page's payload failed with a typed error.
+    Decode(String),
+    /// The page panicked a worker; the panic was contained at the morsel
+    /// boundary and the page quarantined.
+    Poisoned(String),
+}
+
+impl core::fmt::Display for LossReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Quarantined => write!(f, "previously quarantined"),
+            Self::Decode(e) => write!(f, "decode failed: {e}"),
+            Self::Poisoned(e) => write!(f, "worker poisoned: {e}"),
+        }
+    }
+}
+
+/// One page missing from a query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageLoss {
+    /// Page index within the store.
+    pub page: usize,
+    /// Rows the page would have contributed.
+    pub rows: usize,
+    /// Why the page is missing.
+    pub reason: LossReason,
+}
+
+/// Which pages a query could not serve. An empty report means the result is
+/// complete; a non-empty one means the result is a partial over the healthy
+/// pages — the paper-faithful aggregate minus `rows_lost()` rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LossReport {
+    /// Lost pages, sorted by page index.
+    pub pages: Vec<PageLoss>,
+}
+
+impl LossReport {
+    /// Whether every page was served.
+    pub fn is_complete(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total rows missing from the result.
+    pub fn rows_lost(&self) -> usize {
+        self.pages.iter().map(|p| p.rows).sum()
+    }
+}
+
+/// A completed (possibly partial) query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The aggregate over every healthy page.
+    pub value: FilteredSum,
+    /// Pages that could not be served; empty for a complete result.
+    pub loss: LossReport,
+    /// Wall-clock time inside the service (queueing included).
+    pub elapsed: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What an injected page fault does to the touching query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoisonKind {
+    /// Panic inside the worker (contained at the morsel boundary).
+    Panic,
+    /// Fail with a typed decode error.
+    Corrupt,
+}
+
+/// Deterministic bad-page injection for the robustness suites: a pure
+/// function of `(seed, page)` through the same [`splitmix64`] mixer as the
+/// I/O fault layer, so a seed reproduces the exact same poisoned pages on
+/// every run and thread count. Seed `0` injects nothing (production).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPlan {
+    seed: u64,
+}
+
+impl PoisonPlan {
+    /// No injection — every page is healthy.
+    pub fn none() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// Poisons a deterministic ~25% of pages derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Seeds from `ALP_FAULT_SEED` (no injection when unset), mirroring the
+    /// I/O fault layer's environment contract.
+    pub fn from_env() -> Self {
+        Self::seeded(fault_seed(0))
+    }
+
+    /// Whether `page` is poisoned under this plan — public so tests can
+    /// compute the expected quarantine set for any seed.
+    pub fn poisons(&self, page: usize) -> bool {
+        self.decide(page).is_some()
+    }
+
+    fn decide(&self, page: usize) -> Option<PoisonKind> {
+        if self.seed == 0 {
+            return None;
+        }
+        let r = splitmix64(self.seed ^ (page as u64).wrapping_add(1));
+        if !r.is_multiple_of(4) {
+            return None;
+        }
+        Some(if (r >> 8) & 1 == 0 { PoisonKind::Panic } else { PoisonKind::Corrupt })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// A shared, immutable column prepared for concurrent service: page
+/// geometry, quarantine flags, the bounded page cache, and (in the fault
+/// suites) a poison plan. `Store` is `Sync`; queries borrow it concurrently.
+pub struct Store {
+    column: Column,
+    rows: usize,
+    vectors: usize,
+    vectors_per_page: usize,
+    pages: usize,
+    /// One flag per page; set once, never cleared (the column is immutable,
+    /// so a bad page stays bad).
+    quarantined: Vec<AtomicBool>,
+    /// First-observed quarantine reason per page, for reporting.
+    reasons: Mutex<BTreeMap<usize, LossReason>>,
+    cache: PageCache,
+    poison: PoisonPlan,
+}
+
+impl Store {
+    /// Wraps `column` for service with the given cache sizing.
+    pub fn new(column: Column, cache: CacheConfig) -> Self {
+        Self::with_poison(column, cache, PoisonPlan::none())
+    }
+
+    /// Like [`Store::new`] with deterministic bad-page injection — the
+    /// robustness suites' entry point.
+    pub fn with_poison(column: Column, cache: CacheConfig, poison: PoisonPlan) -> Self {
+        let rows = column.len();
+        let vectors = column.zone_maps().len();
+        let vectors_per_page = (cache.rows_per_page() / VECTOR_SIZE).max(1);
+        let pages = vectors.div_ceil(vectors_per_page);
+        let quarantined = (0..pages).map(|_| AtomicBool::new(false)).collect();
+        Self {
+            column,
+            rows,
+            vectors,
+            vectors_per_page,
+            pages,
+            quarantined,
+            reasons: Mutex::new(BTreeMap::new()),
+            cache: PageCache::new(&cache),
+            poison,
+        }
+    }
+
+    /// The wrapped column.
+    pub fn column(&self) -> &Column {
+        &self.column
+    }
+
+    /// Number of cache/quarantine pages.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Rows covered by page `page` (the last page may be short).
+    pub fn page_rows(&self, page: usize) -> usize {
+        let per_page = self.vectors_per_page * VECTOR_SIZE;
+        let start = page.saturating_mul(per_page).min(self.rows);
+        let end = start.saturating_add(per_page).min(self.rows);
+        end - start
+    }
+
+    /// Pages currently quarantined, sorted.
+    pub fn quarantined_pages(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.load(Ordering::Relaxed))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Snapshot of the page cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn is_quarantined(&self, page: usize) -> bool {
+        self.quarantined.get(page).map(|q| q.load(Ordering::Relaxed)).unwrap_or(false)
+    }
+
+    /// Marks `page` bad: later queries skip it without touching its payload,
+    /// and any cached copy is dropped (a verdict outlives the cache).
+    fn quarantine(&self, page: usize, reason: LossReason) {
+        if let Some(q) = self.quarantined.get(page) {
+            q.store(true, Ordering::Relaxed);
+        }
+        self.cache.invalidate(page);
+        let mut reasons = match self.reasons.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        reasons.entry(page).or_insert(reason);
+    }
+
+    /// Global vector range `[v0, v1)` covered by page `page`.
+    fn page_vectors(&self, page: usize) -> (usize, usize) {
+        let v0 = page.saturating_mul(self.vectors_per_page).min(self.vectors);
+        let v1 = v0.saturating_add(self.vectors_per_page).min(self.vectors);
+        (v0, v1)
+    }
+
+    /// Values in global vector `v` (the column's last vector may be short).
+    fn vector_len(&self, v: usize) -> usize {
+        self.rows.saturating_sub(v.saturating_mul(VECTOR_SIZE)).min(VECTOR_SIZE)
+    }
+
+    /// Scans a page's decoded values with zone-map pruning per vector.
+    /// Accumulation order is fixed (vector order, then value order), so the
+    /// partial is bit-identical whether the values came from the cache or a
+    /// fresh decode.
+    fn scan_page_values(
+        &self,
+        values: &[f64],
+        v0: usize,
+        v1: usize,
+        lo: f64,
+        hi: f64,
+    ) -> FilteredSum {
+        let mut part = FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        let zones = self.column.zone_maps();
+        let mut offset = 0usize;
+        for v in v0..v1 {
+            let len = self.vector_len(v);
+            let (Some(zone), Some(slice)) = (zones.get(v), values.get(offset..offset + len)) else {
+                break;
+            };
+            if zone.overlaps(lo, hi) {
+                part.vectors_scanned += 1;
+                accumulate(slice, lo, hi, &mut part);
+            } else {
+                part.vectors_skipped += 1;
+            }
+            offset += len;
+        }
+        part
+    }
+
+    /// One morsel of a query: serve page `page` through the cache, decoding
+    /// on a miss. Runs on a worker inside the governed runner, so an
+    /// injected [`PoisonKind::Panic`] unwinds into the containment seam.
+    ///
+    /// The page is the decode unit: a miss inflates the whole page even when
+    /// only some of its vectors overlap the predicate. Zone maps still prune
+    /// at two levels — a fully-disjoint page is never decoded at all, and
+    /// disjoint vectors inside a decoded page are skipped during the scan.
+    fn execute_page(&self, page: usize, lo: f64, hi: f64, ctx: &mut PageCtx) -> PageOutcome {
+        if self.is_quarantined(page) {
+            return PageOutcome::Skipped(LossReason::Quarantined);
+        }
+        let (v0, v1) = self.page_vectors(page);
+        let zones = self.column.zone_maps();
+        let overlapping =
+            zones.get(v0..v1).map(|zs| zs.iter().any(|z| z.overlaps(lo, hi))).unwrap_or(false);
+        if !overlapping {
+            // A pruned page is never touched, so a poisoned-but-pruned page
+            // cannot hurt this query (it will hurt the first query that
+            // actually reads it).
+            return PageOutcome::Pruned(v1 - v0);
+        }
+        match self.poison.decide(page) {
+            // ANALYZER-ALLOW(no-panic): deliberate fault injection — this is
+            // the panic the governed runner's containment seam exists to
+            // absorb, enabled only by a nonzero poison seed.
+            Some(PoisonKind::Panic) => panic!("injected page poison (page {page})"),
+            Some(PoisonKind::Corrupt) => {
+                return PageOutcome::Skipped(LossReason::Decode(format!(
+                    "injected corruption (page {page})"
+                )));
+            }
+            None => {}
+        }
+        if let Some(values) = self.cache.get(page) {
+            return PageOutcome::Scanned(self.scan_page_values(&values, v0, v1, lo, hi));
+        }
+        ctx.page_buf.clear();
+        for v in v0..v1 {
+            match self.column.try_decompress_vector_at(v, &mut ctx.vec_buf, &mut ctx.scratch) {
+                Ok(_) => ctx.page_buf.extend_from_slice(&ctx.vec_buf),
+                Err(e) => return PageOutcome::Skipped(LossReason::Decode(e.to_string())),
+            }
+        }
+        let values = Arc::new(std::mem::take(&mut ctx.page_buf));
+        let admitted = self.cache.insert(page, Arc::clone(&values));
+        let part = self.scan_page_values(&values, v0, v1, lo, hi);
+        if !admitted {
+            // Cache bypass (degraded mode): reclaim the buffer so the worker
+            // keeps streaming allocation-free.
+            if let Ok(mut reclaimed) = Arc::try_unwrap(values) {
+                reclaimed.clear();
+                ctx.page_buf = reclaimed;
+            }
+        }
+        PageOutcome::Scanned(part)
+    }
+}
+
+/// Per-worker query scratch: codec staging plus vector/page assembly buffers,
+/// built once per worker and reused across every page it claims.
+struct PageCtx {
+    scratch: Scratch,
+    vec_buf: Vec<f64>,
+    page_buf: Vec<f64>,
+}
+
+impl PageCtx {
+    fn new() -> Self {
+        Self { scratch: Scratch::new(), vec_buf: Vec::new(), page_buf: Vec::new() }
+    }
+}
+
+/// What one page morsel produced.
+enum PageOutcome {
+    /// Healthy page, scanned (possibly with some vectors zone-pruned).
+    Scanned(FilteredSum),
+    /// Whole page zone-pruned without touching its payload (vector count).
+    Pruned(usize),
+    /// Page unavailable: quarantined earlier, or failed decode just now.
+    Skipped(LossReason),
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Queries allowed to run simultaneously.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for a slot; the next one is refused with
+    /// [`ServiceError::Overloaded`].
+    pub max_queued: usize,
+    /// Worker threads per query (`0` = resolve from `ALP_THREADS` / the
+    /// machine, like every other parallel entry point).
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { max_concurrent: 4, max_queued: 16, threads: 0 }
+    }
+}
+
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max_concurrent: usize,
+    max_queued: usize,
+}
+
+impl Gate {
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// An admitted query slot; releasing it (on drop) wakes one queued query.
+/// Obtained from [`Service::admit`] — tests hold permits to drive the gate
+/// into deterministic overload.
+pub struct QueryPermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for QueryPermit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.gate.cv.notify_one();
+    }
+}
+
+/// Per-query knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Give up (typed [`ServiceError::DeadlineExceeded`], never a hang) after
+    /// this long — covering queue time and run time.
+    pub deadline: Option<Duration>,
+    /// Worker threads for this query; defaults to the service's setting.
+    pub threads: Option<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+/// The concurrent query front door over one shared [`Store`].
+pub struct Service {
+    store: Arc<Store>,
+    gate: Gate,
+    threads: usize,
+    /// EWMA of recent query durations in nanoseconds (0 = no data yet);
+    /// feeds `Overloaded::retry_after_hint`.
+    ewma_nanos: AtomicU64,
+}
+
+impl Service {
+    /// Builds a service over `store`.
+    pub fn new(store: Arc<Store>, config: ServiceConfig) -> Self {
+        Self {
+            store,
+            gate: Gate {
+                state: Mutex::new(GateState { active: 0, waiting: 0 }),
+                cv: Condvar::new(),
+                max_concurrent: config.max_concurrent.max(1),
+                max_queued: config.max_queued,
+            },
+            threads: config.threads,
+            ewma_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Claims a query slot without running anything — the admission primitive
+    /// behind every query, public so tests can hold slots and observe a
+    /// deterministic [`ServiceError::Overloaded`].
+    pub fn admit(&self) -> Result<QueryPermit<'_>, ServiceError> {
+        self.admit_until(None, Instant::now())
+    }
+
+    /// `SELECT sum(x), count(x) WHERE lo <= x <= hi` over every healthy page.
+    ///
+    /// Returns a complete result when no page is lost; a **partial** result
+    /// with a non-empty [`LossReport`] when pages are quarantined, failed to
+    /// decode, or poisoned a worker; or a typed [`ServiceError`] when the
+    /// query was refused (overload) or abandoned (deadline). Never panics.
+    pub fn sum_where(
+        &self,
+        lo: f64,
+        hi: f64,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, ServiceError> {
+        let started = Instant::now();
+        let deadline_at = opts.deadline.and_then(|d| started.checked_add(d));
+        let _permit = self.admit_until(deadline_at, started)?;
+        let token = match deadline_at {
+            Some(at) => {
+                let now = Instant::now();
+                if at <= now {
+                    return Err(ServiceError::DeadlineExceeded { elapsed: started.elapsed() });
+                }
+                CancelToken::with_deadline(at - now)
+            }
+            None => CancelToken::new(),
+        };
+        let threads = match opts.threads.unwrap_or(self.threads) {
+            0 => resolve_threads(None),
+            t => t,
+        };
+        let store = &*self.store;
+        let run =
+            run_morsels_governed(threads, store.pages(), &token, PageCtx::new, |ctx, page| {
+                store.execute_page(page, lo, hi, ctx)
+            });
+        // Quarantine verdicts survive even an abandoned run: a page that
+        // poisoned a worker must not get a second chance to do it again.
+        let mut loss: Vec<PageLoss> = Vec::new();
+        for f in &run.failures {
+            store.quarantine(f.morsel, LossReason::Poisoned(f.message.clone()));
+            loss.push(PageLoss {
+                page: f.morsel,
+                rows: store.page_rows(f.morsel),
+                reason: LossReason::Poisoned(f.message.clone()),
+            });
+        }
+        let mut value =
+            FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        for (page, outcome) in run.completed {
+            match outcome {
+                PageOutcome::Scanned(p) => {
+                    // `completed` is sorted by page, so this reduction order —
+                    // and therefore the floating-point sum — is independent of
+                    // thread count and worker timing.
+                    value.sum += p.sum;
+                    value.matches += p.matches;
+                    value.vectors_scanned += p.vectors_scanned;
+                    value.vectors_skipped += p.vectors_skipped;
+                }
+                PageOutcome::Pruned(vectors) => value.vectors_skipped += vectors,
+                PageOutcome::Skipped(reason) => {
+                    if !matches!(reason, LossReason::Quarantined) {
+                        store.quarantine(page, reason.clone());
+                    }
+                    loss.push(PageLoss { page, rows: store.page_rows(page), reason });
+                }
+            }
+        }
+        let elapsed = started.elapsed();
+        self.note_duration(elapsed);
+        if run.cancelled {
+            return Err(ServiceError::DeadlineExceeded { elapsed });
+        }
+        loss.sort_by_key(|p| p.page);
+        Ok(QueryResult { value, loss: LossReport { pages: loss }, elapsed })
+    }
+
+    /// Snapshot of the store's cache counters (for `bench_json` and the CLI).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.cache_stats()
+    }
+
+    fn admit_until(
+        &self,
+        deadline: Option<Instant>,
+        started: Instant,
+    ) -> Result<QueryPermit<'_>, ServiceError> {
+        let gate = &self.gate;
+        let mut st = gate.lock();
+        if st.active < gate.max_concurrent {
+            st.active += 1;
+            return Ok(QueryPermit { gate });
+        }
+        if st.waiting >= gate.max_queued {
+            drop(st);
+            return Err(ServiceError::Overloaded { retry_after_hint: self.retry_hint() });
+        }
+        st.waiting += 1;
+        loop {
+            st = match deadline {
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        st.waiting -= 1;
+                        drop(st);
+                        return Err(ServiceError::DeadlineExceeded { elapsed: started.elapsed() });
+                    }
+                    match gate.cv.wait_timeout(st, at - now) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    }
+                }
+                None => match gate.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                },
+            };
+            if st.active < gate.max_concurrent {
+                st.waiting -= 1;
+                st.active += 1;
+                return Ok(QueryPermit { gate });
+            }
+        }
+    }
+
+    fn note_duration(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let old = self.ewma_nanos.load(Ordering::Relaxed);
+        let next = if old == 0 { nanos } else { old - old / 8 + nanos / 8 };
+        self.ewma_nanos.store(next, Ordering::Relaxed);
+    }
+
+    fn retry_hint(&self) -> Duration {
+        match self.ewma_nanos.load(Ordering::Relaxed) {
+            0 => Duration::from_millis(1),
+            nanos => Duration::from_nanos(nanos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Format;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i % 5000) as f64) / 100.0).collect()
+    }
+
+    fn store(n: usize) -> Arc<Store> {
+        let column = Column::from_f64(&sample(n), Format::alp());
+        Arc::new(Store::new(column, CacheConfig::default_config()))
+    }
+
+    fn reference(data: &[f64], lo: f64, hi: f64) -> (f64, usize) {
+        let matching = data.iter().filter(|x| **x >= lo && **x <= hi);
+        (matching.clone().sum(), matching.count())
+    }
+
+    #[test]
+    fn a_healthy_query_is_complete_and_matches_the_column_path() {
+        let data = sample(250_000);
+        let column = Column::from_f64(&data, Format::alp());
+        let direct = column.sum_where(10.0, 20.0);
+        let svc = Service::new(
+            Arc::new(Store::new(column, CacheConfig::default_config())),
+            ServiceConfig::default(),
+        );
+        let r = svc.sum_where(10.0, 20.0, &QueryOptions::default()).unwrap();
+        assert!(r.loss.is_complete());
+        assert_eq!(r.value.matches, direct.matches);
+        assert_eq!(r.value.sum.to_bits(), direct.sum.to_bits());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_with_identical_results() {
+        let svc = Service::new(store(300_000), ServiceConfig::default());
+        let opts = QueryOptions { threads: Some(1), ..QueryOptions::default() };
+        let first = svc.sum_where(5.0, 45.0, &opts).unwrap();
+        let stats_cold = svc.cache_stats();
+        let second = svc.sum_where(5.0, 45.0, &opts).unwrap();
+        let stats_warm = svc.cache_stats();
+        assert_eq!(first.value.sum.to_bits(), second.value.sum.to_bits());
+        assert!(stats_cold.misses > 0);
+        assert!(stats_warm.hits >= stats_cold.misses, "second pass should be all hits");
+    }
+
+    #[test]
+    fn held_permits_drive_the_gate_into_typed_overload() {
+        let svc = Service::new(
+            store(VECTOR_SIZE * 4),
+            ServiceConfig { max_concurrent: 1, max_queued: 0, threads: 1 },
+        );
+        let held = svc.admit().unwrap();
+        let err = svc.sum_where(0.0, 1.0, &QueryOptions::default()).unwrap_err();
+        assert!(matches!(err, ServiceError::Overloaded { .. }));
+        drop(held);
+        assert!(svc.sum_where(0.0, 1.0, &QueryOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn a_queued_query_times_out_with_deadline_exceeded() {
+        let svc = Service::new(
+            store(VECTOR_SIZE * 4),
+            ServiceConfig { max_concurrent: 1, max_queued: 4, threads: 1 },
+        );
+        let _held = svc.admit().unwrap();
+        let opts =
+            QueryOptions { deadline: Some(Duration::from_millis(20)), ..QueryOptions::default() };
+        let err = svc.sum_where(0.0, 1.0, &opts).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_instead_of_hanging() {
+        let svc = Service::new(store(500_000), ServiceConfig::default());
+        let opts = QueryOptions { deadline: Some(Duration::ZERO), ..QueryOptions::default() };
+        let err = svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &opts).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn poisoned_pages_quarantine_and_yield_partial_results() {
+        let data = sample(800_000);
+        let column = Column::from_f64(&data, Format::alp());
+        let poison = PoisonPlan::seeded(1);
+        let store = Arc::new(Store::with_poison(column, CacheConfig::default_config(), poison));
+        let expected_bad: Vec<usize> = (0..store.pages()).filter(|p| poison.poisons(*p)).collect();
+        assert!(!expected_bad.is_empty(), "seed 1 must poison at least one page for this test");
+        let svc = Service::new(store, ServiceConfig::default());
+
+        let r = svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default()).unwrap();
+        let lost: Vec<usize> = r.loss.pages.iter().map(|p| p.page).collect();
+        assert_eq!(lost, expected_bad, "exactly the poisoned pages are lost");
+        assert_eq!(svc.store().quarantined_pages(), expected_bad);
+        let lost_rows: usize = expected_bad.iter().map(|p| svc.store().page_rows(*p)).sum();
+        assert_eq!(r.loss.rows_lost(), lost_rows);
+        let (_, full_matches) = reference(&data, f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(r.value.matches, full_matches - lost_rows);
+
+        // The second query skips quarantined pages without re-decoding them:
+        // same partial, but every loss is now `Quarantined`.
+        let r2 = svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default()).unwrap();
+        assert_eq!(r2.value.sum.to_bits(), r.value.sum.to_bits());
+        assert!(r2.loss.pages.iter().all(|p| p.reason == LossReason::Quarantined));
+    }
+
+    #[test]
+    fn empty_columns_serve_empty_results() {
+        let column = Column::from_f64(&[], Format::alp());
+        let svc = Service::new(
+            Arc::new(Store::new(column, CacheConfig::default_config())),
+            ServiceConfig::default(),
+        );
+        let r = svc.sum_where(0.0, 1.0, &QueryOptions::default()).unwrap();
+        assert!(r.loss.is_complete());
+        assert_eq!(r.value.matches, 0);
+    }
+
+    #[test]
+    fn production_stores_inject_nothing() {
+        assert!(!PoisonPlan::none().poisons(0));
+        assert!(PoisonPlan::from_env().seed == fault_seed(0));
+        // A seeded plan is a pure function of (seed, page).
+        let a: Vec<bool> = (0..64).map(|p| PoisonPlan::seeded(7).poisons(p)).collect();
+        let b: Vec<bool> = (0..64).map(|p| PoisonPlan::seeded(7).poisons(p)).collect();
+        assert_eq!(a, b);
+    }
+}
