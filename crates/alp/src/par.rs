@@ -472,13 +472,19 @@ where
 
     let queue = MorselQueue::new(morsels);
     let workers = threads.min(morsels);
+    // One worker hitting a panic stops the whole fold: siblings poll the
+    // stop flag before each claim so they quit draining the queue instead of
+    // folding morsels whose result will be thrown away by the re-raise.
+    let stop = AtomicBool::new(false);
     let partials = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut acc = init();
-                    while let Some(m) = queue.claim() {
+                    while !stop.load(Ordering::Relaxed) {
+                        let Some(m) = queue.claim() else { break };
                         if let Err(payload) = containment::run(|| work(&mut acc, m)) {
+                            stop.store(true, Ordering::Relaxed);
                             return Err((m, payload));
                         }
                     }

@@ -1,0 +1,420 @@
+//! The concurrency-discipline rules (`atomic-rmw`, `atomic-ordering`,
+//! `condvar-discipline`, `guard-across-call`, `cancel-poll`).
+//!
+//! All five work on the per-function facts from [`crate::flow`] — statements,
+//! binding live ranges, loop spans — rather than raw lines, so a multi-line
+//! iterator chain is one statement and a guard's lifetime is a real range.
+//! They are deliberately narrow: each encodes one discipline this workspace
+//! already follows by hand (DESIGN.md §13), and anything the textual model
+//! cannot prove safe must either be rewritten or carry an `ANALYZER-ALLOW`
+//! with a reason.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::flow::{self, FnFlow, Stmt};
+use crate::parse::{FileInfo, FnItem};
+use crate::rules::word_in;
+use crate::{Config, Finding};
+
+/// Runs all five concurrency rules over every non-test function.
+pub(crate) fn run(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mut Vec<Finding>) {
+    for (path, info) in files {
+        let file_has_condvar = info.lines.iter().any(|l| word_in(&l.code, "Condvar"));
+        for f in &info.fns {
+            if f.in_test {
+                continue;
+            }
+            let fl = flow::scan_fn(&info.lines, f);
+            atomic_rmw(path, f, &fl, findings);
+            atomic_ordering(path, f, &fl, cfg, findings);
+            if file_has_condvar {
+                condvar_discipline(path, f, &fl, findings);
+            }
+            guard_across_call(path, f, &fl, cfg, findings);
+            cancel_poll(path, f, &fl, cfg, findings);
+        }
+    }
+}
+
+/// Strips all whitespace (statement text is space-collapsed; receiver and
+/// call-pattern matching wants exact adjacency).
+fn squeeze(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// The receiver chain ending just before byte offset `at` in squeezed text:
+/// the maximal run of identifier chars, `.`, `::`, and index brackets —
+/// `self.ewma_nanos`, `q`, `flags[i]`.
+fn receiver_before(text: &str, at: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut start = at;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'[' | b']') {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &text[start..at]
+}
+
+/// Occurrences of `.op(` in squeezed text, yielding (receiver, args-offset).
+fn atomic_ops<'a>(text: &'a str, op: &str) -> Vec<(&'a str, usize)> {
+    let needle = format!(".{op}(");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let at = from + pos;
+        out.push((receiver_before(text, at), at + needle.len()));
+        from = at + needle.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-rmw
+// ---------------------------------------------------------------------------
+
+/// A `.load(…)` whose result flows (through bindings, statement-level) into a
+/// `.store(…)` on the *same* receiver is a lost-update race: another thread
+/// can update the atomic between the two halves and have its write silently
+/// overwritten. Use `fetch_add`/`fetch_update`/`compare_exchange`.
+fn atomic_rmw(path: &str, f: &FnItem, fl: &FnFlow, findings: &mut Vec<Finding>) {
+    // Binding name → receivers whose loaded value tainted it.
+    let mut taint: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for stmt in &fl.stmts {
+        let sq = squeeze(&stmt.text);
+        // New taint: `let name = … recv.load(…) …` or propagation from an
+        // already-tainted binding mentioned in the initializer.
+        if let Some((name, init)) = as_let(&stmt.text) {
+            let mut sources: BTreeSet<String> = BTreeSet::new();
+            for (recv, _) in atomic_ops(&squeeze(init), "load") {
+                if !recv.is_empty() {
+                    sources.insert(recv.to_string());
+                }
+            }
+            for (var, recvs) in &taint {
+                if word_in(init, var) {
+                    sources.extend(recvs.iter().cloned());
+                }
+            }
+            if !sources.is_empty() {
+                taint.insert(name.to_string(), sources);
+            }
+        }
+        // Sink: `recv.store(args…)` whose args mention a binding tainted by a
+        // load of the same receiver, or an inline `recv.load(` in the args.
+        for (recv, args_at) in atomic_ops(&sq, "store") {
+            if recv.is_empty() {
+                continue;
+            }
+            let args = &sq[args_at..];
+            let inline = args.contains(&format!("{recv}.load("));
+            let via_binding =
+                taint.iter().any(|(var, recvs)| recvs.contains(recv) && word_in(args, var));
+            if inline || via_binding {
+                findings.push(Finding::new(
+                    "atomic-rmw",
+                    path,
+                    stmt.line,
+                    &format!(
+                        "lost-update race in `{}`: `{recv}.store(…)` writes a value derived \
+                         from `{recv}.load(…)` — use `fetch_*`/`fetch_update` so the \
+                         read-modify-write is one atomic step",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Splits a squeezed-ish statement `let [mut] name = init`; `None` for
+/// destructuring patterns (the flow module already skips those too).
+fn as_let<'a>(text: &'a str) -> Option<(&'a str, &'a str)> {
+    let rest = text.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name_len = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').count();
+    if name_len == 0 {
+        return None;
+    }
+    let (name, tail) = rest.split_at(name_len);
+    if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return None;
+    }
+    let eq = tail.find('=')?;
+    let ascription_ok = |c: char| {
+        c.is_whitespace() || c.is_alphanumeric() || matches!(c, ':' | '_' | '<' | '>' | '&' | '\'')
+    };
+    if tail[..eq].contains(|c: char| !ascription_ok(c)) {
+        // Type ascriptions pass; anything structural (commas, parens) is a
+        // pattern we do not track.
+        return None;
+    }
+    Some((name, tail[eq + 1..].trim_start()))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-ordering
+// ---------------------------------------------------------------------------
+
+/// `Ordering::Relaxed` on a configured data-visibility gate field. A gate
+/// flag publishes *other* data (a quarantine verdict, a loss reason): the
+/// writer must `store(…, Release)` after the payload write and readers must
+/// `load(Acquire)`, or the payload may not be visible when the flag is.
+/// Counters that only feed stats stay Relaxed by not being configured.
+fn atomic_ordering(
+    path: &str,
+    f: &FnItem,
+    fl: &FnFlow,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for gate in &cfg.ordering_gate_fields {
+        // Bindings/closure params that alias the gate field in this fn.
+        let mut aliases: BTreeSet<String> = BTreeSet::new();
+        for stmt in &fl.stmts {
+            let mentions_gate =
+                word_in(&stmt.text, gate) || aliases.iter().any(|a| word_in(&stmt.text, a));
+            if mentions_gate {
+                for name in bound_idents(&stmt.text) {
+                    aliases.insert(name);
+                }
+            }
+            if !stmt.text.contains("Relaxed") {
+                continue;
+            }
+            let sq = squeeze(&stmt.text);
+            for op in ["load", "store", "swap", "fetch_or", "fetch_and", "fetch_xor"] {
+                for (recv, args_at) in atomic_ops(&sq, op) {
+                    let relaxed_args = sq[args_at..].contains("Relaxed");
+                    let gated = word_in(recv, gate)
+                        || aliases.iter().any(|a| receiver_tail(recv) == a.as_str());
+                    if relaxed_args && gated {
+                        findings.push(Finding::new(
+                            "atomic-ordering",
+                            path,
+                            stmt.line,
+                            &format!(
+                                "Relaxed `{op}` on data-visibility gate `{gate}` in `{}` — \
+                                 publication needs `Release` stores paired with `Acquire` loads",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Final identifier segment of a receiver chain (`self.a.b` → `b`).
+fn receiver_tail(recv: &str) -> &str {
+    recv.rsplit(|c: char| !(c.is_alphanumeric() || c == '_')).next().unwrap_or(recv)
+}
+
+/// Identifiers bound by a statement's `let` pattern or closure parameter
+/// lists — the things through which a gate field can be accessed later.
+fn bound_idents(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut grab_pattern_idents = |pat: &str| {
+        for tok in pat.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+            if !tok.is_empty()
+                && tok.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                && !matches!(tok, "let" | "mut" | "ref" | "_")
+            {
+                out.push(tok.to_string());
+            }
+        }
+    };
+    if let Some(rest) = text.trim_start().strip_prefix("let ") {
+        if let Some(eq) = rest.find('=') {
+            grab_pattern_idents(&rest[..eq]);
+        }
+    }
+    // `if let PAT = …` / `while let PAT = …`
+    for kw in ["if let ", "while let "] {
+        if let Some(pos) = text.find(kw) {
+            let rest = &text[pos + kw.len()..];
+            if let Some(eq) = rest.find('=') {
+                grab_pattern_idents(&rest[..eq]);
+            }
+        }
+    }
+    // Closure parameter lists: the text between the first `|…|` pair after a
+    // call-ish char. Cheap scan: any `|…|` span without `|` inside.
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'|' && (i == 0 || !matches!(bytes[i - 1], b'|' | b'&')) {
+            if let Some(end) = text[i + 1..].find('|') {
+                let inner = &text[i + 1..i + 1 + end];
+                if inner.len() < 64 && !inner.contains("||") {
+                    grab_pattern_idents(inner);
+                }
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: condvar-discipline
+// ---------------------------------------------------------------------------
+
+/// `Condvar::wait` wakes spuriously and returns a poison `Result`: every wait
+/// must sit inside a `loop`/`while` that re-checks its predicate, and the
+/// result must not be `.unwrap()`ed (a worker panicking while the gate is
+/// poisoned must degrade, not cascade). `wait_while`/`wait_timeout_while`
+/// re-check internally and are exempt from the loop requirement.
+fn condvar_discipline(path: &str, f: &FnItem, fl: &FnFlow, findings: &mut Vec<Finding>) {
+    for stmt in &fl.stmts {
+        let sq = squeeze(&stmt.text);
+        let plain_wait = sq.contains(".wait(") || sq.contains(".wait_timeout(");
+        let while_wait = sq.contains(".wait_while(") || sq.contains(".wait_timeout_while(");
+        if !plain_wait && !while_wait {
+            continue;
+        }
+        if plain_wait && fl.loops_containing(stmt.line).next().is_none() {
+            findings.push(Finding::new(
+                "condvar-discipline",
+                path,
+                stmt.line,
+                &format!(
+                    "`Condvar` wait in `{}` is not inside a predicate-re-checking \
+                     `while`/`loop` — spurious wakeups will be treated as signals",
+                    f.name
+                ),
+            ));
+        }
+        if sq.contains(".unwrap(") || sq.contains(".expect(") {
+            findings.push(Finding::new(
+                "condvar-discipline",
+                path,
+                stmt.line,
+                &format!(
+                    "`Condvar` wait result unwrapped in `{}` — a poisoned gate must be \
+                     recovered with `into_inner`, not propagated as a panic",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guard-across-call
+// ---------------------------------------------------------------------------
+
+/// A `MutexGuard` live range must not span a call into the configured
+/// expensive-function list (page decompression, the parallel scheduler,
+/// retrying I/O): every query on the service would serialize behind that
+/// lock. The range runs from the `let g = ….lock(…)` to `drop(g)` or the end
+/// of the enclosing scope.
+fn guard_across_call(
+    path: &str,
+    f: &FnItem,
+    fl: &FnFlow,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for b in &fl.bindings {
+        if b.name == "_" || !squeeze(&b.init).contains(".lock(") {
+            continue;
+        }
+        let end = b.live_end();
+        for stmt in fl.stmts.iter().filter(|s| s.line > b.line && s.line <= end) {
+            let sq = squeeze(&stmt.text);
+            for pat in &cfg.guard_expensive_patterns {
+                if let Some(called) = called_pattern(&sq, pat) {
+                    findings.push(Finding::new(
+                        "guard-across-call",
+                        path,
+                        stmt.line,
+                        &format!(
+                            "lock guard `{}` (taken at line {}) in `{}` is still held across \
+                             call to `{called}` — drop the guard first or move the call out \
+                             of the critical section",
+                            b.name, b.line, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// If squeezed `text` calls a function whose name starts with `pat`
+/// (word-start match, e.g. `try_decompress` matches
+/// `try_decompress_vector_at(…)`), returns the full called name.
+fn called_pattern<'a>(text: &'a str, pat: &str) -> Option<&'a str> {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(pat) {
+        let at = from + pos;
+        let word_start = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let mut end = at + pat.len();
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if word_start && bytes.get(end) == Some(&b'(') {
+            return Some(&text[at..end]);
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule: cancel-poll
+// ---------------------------------------------------------------------------
+
+/// A loop that claims morsels from the shared queue (`….claim(…)`) must
+/// consult cancellation each iteration — a `CancelToken::is_cancelled` check
+/// or a stop-flag load — so one cancelled or panicked query cannot leave
+/// workers draining the whole queue. `run_morsels_governed` is the model.
+fn cancel_poll(path: &str, f: &FnItem, fl: &FnFlow, cfg: &Config, findings: &mut Vec<Finding>) {
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    let claim_sites: Vec<&Stmt> =
+        fl.stmts.iter().filter(|s| squeeze(&s.text).contains(".claim(")).collect();
+    for site in claim_sites {
+        // Innermost loop containing the claim (tightest span).
+        let Some(lp) = fl
+            .loops_containing(site.line)
+            .min_by_key(|l| l.body_end - l.head_line)
+        else {
+            continue; // a single claim outside any loop drains nothing
+        };
+        if flagged.contains(&lp.head_line) {
+            continue;
+        }
+        let mut text = squeeze(&lp.head);
+        for s in fl.stmts.iter().filter(|s| s.line >= lp.head_line && s.line <= lp.body_end) {
+            text.push_str(&squeeze(&s.text));
+            text.push('\n');
+        }
+        let polled = cfg.cancel_poll_patterns.iter().any(|p| text.contains(p.as_str()));
+        if !polled {
+            flagged.insert(lp.head_line);
+            findings.push(Finding::new(
+                "cancel-poll",
+                path,
+                lp.head_line,
+                &format!(
+                    "morsel-claim loop in `{}` never consults cancellation — poll a \
+                     `CancelToken`/stop flag each iteration so a cancelled query stops \
+                     claiming work",
+                    f.name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,724 @@
+//! Workspace function index and caller→callee call graph.
+//!
+//! Built on the same lexer/item-scanner as the per-file rules, this module
+//! gives the analyzer a whole-workspace view: every `fn` becomes a node, and
+//! each call site inside a body becomes one or more edges. Resolution is
+//! deliberately **conservative in the over-approximating direction** — when a
+//! name could refer to several functions (method calls, same-name functions
+//! in sibling modules), edges go to *all* of them, so reachability-based
+//! rules (`no-panic`) can miss nothing a cheap textual resolver could see.
+//!
+//! Resolution policy, in order:
+//!
+//! * **Method calls** `recv.f(…)` and associated calls `Type::f(…)` — edge to
+//!   every non-module-level function named `f` anywhere in the workspace
+//!   (dynamic dispatch and generic bounds make receiver types unknowable
+//!   without real type inference).
+//! * **Bare calls** `f(…)` — same-file module-level definitions win (local
+//!   shadowing), then `use`-imported paths, then every module-level `f` in
+//!   the same crate.
+//! * **Qualified calls** `a::b::f(…)` — the head segment is mapped to a
+//!   workspace crate (`crate`/`self`/`super` → the caller's own crate; the
+//!   directory `crates/core` answers to both `core` and its lib name
+//!   `alp_core`), candidates are module-level `f`s in that crate preferring
+//!   files matching the module path, and `pub use` re-exports are followed
+//!   (e.g. `alp_core::par::fold_morsels` resolves through
+//!   `crates/core/src/par.rs`'s `pub use alp::par::{fold_morsels, …}` to the
+//!   definition in `crates/alp/src/par.rs`).
+//!
+//! Calls into `std` or shim crates that are not part of the scanned file set
+//! simply resolve to nothing. Macros (`name!(…)`), constructors
+//! (uppercase-initial final segment: `Some(…)`, `Finding::new` is *not* one —
+//! its final segment is lowercase), and keywords never become edges.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::parse::FileInfo;
+use crate::rules::crate_of;
+
+/// One function node in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Function name.
+    pub name: String,
+    /// 1-based span.
+    pub start_line: usize,
+    /// End of the body.
+    pub end_line: usize,
+    /// True for free functions (not inside `impl`/`match`/… blocks).
+    pub module_level: bool,
+    /// True inside `#[cfg(test)]` modules.
+    pub in_test: bool,
+    /// Crate key as returned by [`crate_of`] (directory name).
+    pub krate: String,
+}
+
+/// A parsed call site (before resolution), exposed for tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Path segments, e.g. `["alp_core", "par", "fold_morsels"]`; a bare or
+    /// method call has exactly one segment.
+    pub segs: Vec<String>,
+    /// True when the call site is `recv.f(…)`.
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One `use` entry: local name → absolute-ish path segments. A glob import
+/// (`use x::y::*`) is recorded under the name `*`.
+#[derive(Debug, Clone)]
+struct UseEntry {
+    name: String,
+    path: Vec<String>,
+    is_pub: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All functions, in (file, source-order) order.
+    pub nodes: Vec<FnNode>,
+    /// `edges[i]` = sorted, deduplicated callee node ids of node `i`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Node ids matching a `file` suffix and exact name (tests convenience).
+    pub fn find(&self, file: &str, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.name == name && n.file.ends_with(file))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Callee names of node `i`, sorted (tests convenience).
+    pub fn callee_names(&self, i: usize) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.edges[i].iter().map(|&j| self.nodes[j].name.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// BFS from `roots`. Returns a parent map: reached node → the node it was
+    /// first reached from (roots map to themselves). Cycles are harmless —
+    /// each node is visited once.
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs the witness path root → … → `target` from a
+    /// [`Graph::reachable`] parent map, as function names.
+    pub fn witness(&self, parent: &HashMap<usize, usize>, target: usize) -> Vec<String> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+            if path.len() > self.nodes.len() {
+                break; // defensive: malformed parent map
+            }
+        }
+        path.reverse();
+        path.into_iter().map(|i| self.nodes[i].name.clone()).collect()
+    }
+}
+
+/// Builds the call graph over the scanned workspace files.
+pub fn build(files: &BTreeMap<String, FileInfo>) -> Graph {
+    let mut g = Graph::default();
+
+    // --- Node index -------------------------------------------------------
+    // name → all non-module-level (method/assoc) defs; (crate, name) → all
+    // module-level defs; (file, name) → module-level defs in that file.
+    // Test-module functions become nodes (they have outgoing edges) but are
+    // never resolution *targets*: real code cannot call into `mod tests`.
+    let mut methods: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut crate_fns: HashMap<(String, &str), Vec<usize>> = HashMap::new();
+    let mut file_fns: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    for (path, info) in files {
+        let krate = crate_of(path);
+        for f in &info.fns {
+            let id = g.nodes.len();
+            g.nodes.push(FnNode {
+                file: path.clone(),
+                name: f.name.clone(),
+                start_line: f.start_line,
+                end_line: f.end_line,
+                module_level: f.module_level,
+                in_test: f.in_test,
+                krate: krate.clone(),
+            });
+            if f.in_test {
+                continue;
+            }
+            if f.module_level {
+                crate_fns.entry((krate.clone(), &f.name)).or_default().push(id);
+                file_fns.entry((path, &f.name)).or_default().push(id);
+            } else {
+                methods.entry(&f.name).or_default().push(id);
+            }
+        }
+    }
+
+    // Crate idents: a path head like `alp_core` must find `crates/core`.
+    let mut crate_idents: HashMap<String, String> = HashMap::new();
+    for k in files.keys().map(|p| crate_of(p)).collect::<BTreeSet<_>>() {
+        crate_idents.insert(k.clone(), k.clone());
+        crate_idents.insert(k.replace('-', "_"), k.clone());
+        crate_idents.insert(format!("alp_{}", k.replace('-', "_")), k.clone());
+    }
+
+    // Per-file `use` entries, and per-crate `pub use` re-exports.
+    let mut uses: HashMap<&str, Vec<UseEntry>> = HashMap::new();
+    for (path, info) in files {
+        uses.insert(path, parse_uses(info));
+    }
+
+    let index = Index { files, methods, crate_fns, file_fns, crate_idents, uses };
+
+    // --- Edges ------------------------------------------------------------
+    let node_meta: Vec<(String, String, usize, usize)> = g
+        .nodes
+        .iter()
+        .map(|n| (n.file.clone(), n.krate.clone(), n.body_start_line(files), n.end_line))
+        .collect();
+    for (id, (file, krate, body_start, end)) in node_meta.iter().enumerate() {
+        let info = &files[file];
+        let mut callees: Vec<usize> = Vec::new();
+        for line_no in *body_start..=(*end).min(info.lines.len()) {
+            for call in calls_in(&info.lines[line_no - 1].code, line_no) {
+                callees.extend(index.resolve(&call, file, krate));
+            }
+        }
+        callees.sort_unstable();
+        callees.dedup();
+        callees.retain(|&c| c != id); // self-recursion adds nothing to reachability
+        g.edges.push(callees);
+    }
+    g
+}
+
+impl FnNode {
+    /// First line of the body proper (skips the signature so `impl Fn()`
+    /// bounds and default-less parameters never read as call sites).
+    fn body_start_line(&self, files: &BTreeMap<String, FileInfo>) -> usize {
+        files[&self.file]
+            .fns
+            .iter()
+            .find(|f| f.name == self.name && f.start_line == self.start_line)
+            .map(|f| f.body_start)
+            .unwrap_or(self.start_line)
+    }
+}
+
+struct Index<'a> {
+    files: &'a BTreeMap<String, FileInfo>,
+    methods: HashMap<&'a str, Vec<usize>>,
+    crate_fns: HashMap<(String, &'a str), Vec<usize>>,
+    file_fns: HashMap<(&'a str, &'a str), Vec<usize>>,
+    crate_idents: HashMap<String, String>,
+    uses: HashMap<&'a str, Vec<UseEntry>>,
+}
+
+impl Index<'_> {
+    fn resolve(&self, call: &Call, file: &str, krate: &str) -> Vec<usize> {
+        let name = call.segs.last().map(String::as_str).unwrap_or("");
+        if name.is_empty() {
+            return Vec::new();
+        }
+        if call.method {
+            return self.methods.get(name).cloned().unwrap_or_default();
+        }
+        if call.segs.len() == 1 {
+            // Bare call: same file > imported path > same crate.
+            if let Some(v) = self.file_fns.get(&(file, name)) {
+                return v.clone();
+            }
+            if let Some(entry) = self.lookup_use(file, name) {
+                return self.resolve_path(&entry, file, krate, 0);
+            }
+            return self.crate_fns.get(&(krate.to_string(), name)).cloned().unwrap_or_default();
+        }
+        // Qualified call. An uppercase-initial head is `Type::assoc(…)`.
+        if call.segs[0].chars().next().is_some_and(|c| c.is_uppercase()) {
+            return self.methods.get(name).cloned().unwrap_or_default();
+        }
+        // A head that names a `use`d module gets the import prefix spliced in:
+        // `use alp_core::par; … par::fold_morsels(…)`.
+        let mut segs = call.segs.clone();
+        if self.crate_idents.get(&segs[0]).is_none()
+            && !matches!(segs[0].as_str(), "crate" | "self" | "super" | "std" | "core" | "alloc")
+        {
+            if let Some(prefix) = self.lookup_use(file, &segs[0]) {
+                let mut spliced = prefix;
+                spliced.extend(segs[1..].iter().cloned());
+                segs = spliced;
+            }
+        }
+        self.resolve_path(&segs, file, krate, 0)
+    }
+
+    /// Finds a `use` entry binding `name` in `file` (explicit beats glob).
+    fn lookup_use(&self, file: &str, name: &str) -> Option<Vec<String>> {
+        let entries = self.uses.get(file)?;
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return Some(e.path.clone());
+        }
+        // Glob import: `use x::y::*` may bind anything — append the name.
+        entries.iter().find(|e| e.name == "*").map(|e| {
+            let mut p = e.path.clone();
+            p.push(name.to_string());
+            p
+        })
+    }
+
+    /// Resolves an absolute-ish path (`[head, mods…, name]`) to node ids,
+    /// following `pub use` re-exports up to a small depth.
+    fn resolve_path(&self, segs: &[String], file: &str, krate: &str, depth: usize) -> Vec<usize> {
+        if depth > 4 || segs.is_empty() {
+            return Vec::new();
+        }
+        let name = segs.last().map(String::as_str).unwrap_or("");
+        // Strip leading `crate`/`self`/`super` runs → caller's own crate.
+        let mut i = 0;
+        let mut target = krate.to_string();
+        while i < segs.len() - 1 && matches!(segs[i].as_str(), "crate" | "self" | "super") {
+            i += 1;
+        }
+        if i == 0 {
+            match self.crate_idents.get(&segs[0]) {
+                Some(k) => {
+                    target = k.clone();
+                    i = 1;
+                }
+                None => {
+                    if matches!(segs[0].as_str(), "std" | "core" | "alloc") {
+                        return Vec::new(); // stdlib — external by definition
+                    }
+                    // Unknown head: treat as a module inside the caller's crate.
+                }
+            }
+        }
+        if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+            // `path::Type::method(…)` arrives here when `Type` is the final
+            // module-ish segment before a ctor; assoc calls were handled by
+            // the caller, so an uppercase terminal is a constructor — no edge.
+            return Vec::new();
+        }
+        let mods: Vec<&str> =
+            segs[i..segs.len() - 1].iter().map(String::as_str).filter(|s| *s != "self").collect();
+
+        let candidates = self.crate_fns.get(&(target.clone(), name)).cloned().unwrap_or_default();
+        if !candidates.is_empty() {
+            if let Some(last_mod) = mods.last() {
+                let file_of = |id: &usize| -> &str {
+                    // Node files are stable for the graph's lifetime.
+                    self.node_file(*id)
+                };
+                let preferred: Vec<usize> = candidates
+                    .iter()
+                    .filter(|id| {
+                        let f = file_of(id);
+                        f.ends_with(&format!("/{last_mod}.rs"))
+                            || f.contains(&format!("/{last_mod}/"))
+                    })
+                    .copied()
+                    .collect();
+                if !preferred.is_empty() {
+                    return preferred;
+                }
+            }
+            return candidates;
+        }
+
+        // No definition in the target crate: follow `pub use` re-exports.
+        // Prefer the module file named by the path (`src/<mod>.rs`), then any
+        // file of the target crate re-exporting `name`.
+        let mut out = Vec::new();
+        for (path, _) in self.files.iter() {
+            if crate_of(path) != target {
+                continue;
+            }
+            if let Some(last_mod) = mods.last() {
+                let is_mod_file = path.ends_with(&format!("/{last_mod}.rs"))
+                    || path.ends_with(&format!("/{last_mod}/mod.rs"));
+                let is_root = path.ends_with("src/lib.rs") || path.ends_with("src/main.rs");
+                if !is_mod_file && !is_root {
+                    continue;
+                }
+            }
+            let Some(entries) = self.uses.get(path.as_str()) else { continue };
+            for e in entries.iter().filter(|e| e.is_pub) {
+                if e.name == name {
+                    out.extend(self.resolve_path(&e.path, path, &crate_of(path), depth + 1));
+                } else if e.name == "*" {
+                    let mut p = e.path.clone();
+                    p.push(name.to_string());
+                    out.extend(self.resolve_path(&p, path, &crate_of(path), depth + 1));
+                }
+            }
+        }
+        let _ = file;
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn node_file(&self, id: usize) -> &str {
+        // Recover the file by searching the per-file fn index; ids were
+        // assigned in file iteration order, so this linear probe is only used
+        // for module-path preference and stays off the hot path.
+        for ((file, _), ids) in &self.file_fns {
+            if ids.contains(&id) {
+                return file;
+            }
+        }
+        ""
+    }
+}
+
+/// Parses every `use` statement in a file into entries. Handles multi-line
+/// statements, one level of `{a, b as c, d::e}` grouping, `as` renames, and
+/// `::*` globs. Deeper nesting falls back to recording what it can.
+fn parse_uses(info: &FileInfo) -> Vec<UseEntry> {
+    let mut out = Vec::new();
+    let mut pending: Option<(String, bool)> = None; // (joined text, is_pub)
+    for l in &info.lines {
+        let code = l.code.trim();
+        if pending.is_none() {
+            let (is_pub, rest) = match code {
+                c if c.starts_with("pub use ") => (true, &c[8..]),
+                c if c.starts_with("pub(crate) use ") => (false, &c[15..]),
+                c if c.starts_with("pub(super) use ") => (false, &c[15..]),
+                c if c.starts_with("use ") => (false, &c[4..]),
+                _ => continue,
+            };
+            pending = Some((rest.to_string(), is_pub));
+        } else if let Some((text, _)) = pending.as_mut() {
+            text.push(' ');
+            text.push_str(code);
+        }
+        if let Some((text, is_pub)) = pending.as_ref() {
+            if text.contains(';') {
+                let stmt = text[..text.find(';').unwrap_or(text.len())].to_string();
+                parse_use_tree(&stmt, *is_pub, &mut out);
+                pending = None;
+            }
+        }
+    }
+    out
+}
+
+/// Parses one use tree (the text between `use` and `;`).
+fn parse_use_tree(stmt: &str, is_pub: bool, out: &mut Vec<UseEntry>) {
+    let stmt = stmt.trim();
+    let (prefix, group) = match stmt.find('{') {
+        Some(open) => {
+            let close = stmt.rfind('}').unwrap_or(stmt.len());
+            (stmt[..open].trim_end_matches("::").trim(), Some(&stmt[open + 1..close]))
+        }
+        None => (stmt, None),
+    };
+    let prefix_segs: Vec<String> = prefix
+        .split("::")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    fn push_entry(
+        out: &mut Vec<UseEntry>,
+        segs: Vec<String>,
+        rename: Option<String>,
+        is_pub: bool,
+    ) {
+        if segs.is_empty() {
+            return;
+        }
+        let name = match &rename {
+            Some(r) => r.clone(),
+            None => segs.last().cloned().unwrap_or_default(),
+        };
+        out.push(UseEntry { name, path: segs, is_pub });
+    }
+    match group {
+        None => {
+            // `a::b::c [as d]` or `a::b::*`
+            let (path_text, rename) = split_as(prefix);
+            let segs: Vec<String> = path_text
+                .split("::")
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if segs.last().is_some_and(|s| s == "*") {
+                let mut p = segs;
+                p.pop();
+                out.push(UseEntry { name: "*".to_string(), path: p, is_pub });
+            } else {
+                push_entry(out, segs, rename, is_pub);
+            }
+        }
+        Some(items) => {
+            // Split the group at top-level commas (tolerating one nested `{}`).
+            let mut depth = 0usize;
+            let mut item = String::new();
+            fn flush(
+                item: &mut String,
+                prefix_segs: &[String],
+                is_pub: bool,
+                out: &mut Vec<UseEntry>,
+            ) {
+                let it = item.trim().to_string();
+                item.clear();
+                if it.is_empty() {
+                    return;
+                }
+                let (path_text, rename) = split_as(&it);
+                let mut segs = prefix_segs.to_vec();
+                for s in path_text.split("::").map(str::trim).filter(|s| !s.is_empty()) {
+                    if s != "self" {
+                        segs.push(s.to_string());
+                    }
+                }
+                if path_text.trim() != "self" && segs.last().is_some_and(|s| s == "*") {
+                    segs.pop();
+                    out.push(UseEntry { name: "*".to_string(), path: segs, is_pub });
+                } else {
+                    push_entry(out, segs, rename, is_pub);
+                }
+            }
+            for c in items.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        flush(&mut item, &prefix_segs, is_pub, out);
+                        continue;
+                    }
+                    _ => {}
+                }
+                item.push(c);
+            }
+            flush(&mut item, &prefix_segs, is_pub, out);
+        }
+    }
+}
+
+/// Splits `path as name` into (path, Some(name)).
+fn split_as(item: &str) -> (String, Option<String>) {
+    let toks: Vec<&str> = item.split_whitespace().collect();
+    if toks.len() == 3 && toks[1] == "as" {
+        (toks[0].to_string(), Some(toks[2].to_string()))
+    } else {
+        (item.trim().to_string(), None)
+    }
+}
+
+/// Rust keywords and call-ish tokens that never name a workspace function.
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "fn"
+            | "let"
+            | "else"
+            | "unsafe"
+            | "ref"
+            | "mut"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "use"
+            | "pub"
+            | "mod"
+            | "const"
+            | "static"
+            | "type"
+            | "enum"
+            | "struct"
+            | "trait"
+            | "break"
+            | "continue"
+            | "await"
+            | "true"
+            | "false"
+    )
+}
+
+/// Extracts call sites from one code line. See the module docs for what is
+/// and is not considered a call.
+pub fn calls_in(code: &str, line: usize) -> Vec<Call> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < chars.len() {
+        if !(chars[i].is_alphabetic() || chars[i] == '_') || (i > 0 && is_ident(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Lifetime (`'a`) or char literal remnants.
+        if i > 0 && chars[i - 1] == '\'' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && is_ident(chars[i]) {
+            i += 1;
+        }
+        let ident: String = chars[start..i].iter().collect();
+        // Skip whitespace to the deciding character.
+        let mut j = i;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        match chars.get(j) {
+            Some('!') => continue,       // macro invocation (or !=; either way, no call)
+            Some('(') => {}              // call head
+            Some(':') if chars.get(j + 1) == Some(&':') => continue, // path continues
+            _ => continue,
+        }
+        if is_keyword(&ident) {
+            continue;
+        }
+        // Definition site? The word right before is `fn`.
+        let before_word = prev_word(&chars, start);
+        if before_word.as_deref() == Some("fn") {
+            continue;
+        }
+        // Walk backwards over `::ident` segments to collect the full path.
+        let mut segs = vec![ident.clone()];
+        let mut k = start;
+        loop {
+            let mut b = k;
+            while b > 0 && chars[b - 1].is_whitespace() {
+                b -= 1;
+            }
+            if b >= 2 && chars[b - 1] == ':' && chars[b - 2] == ':' {
+                let mut e = b - 2;
+                while e > 0 && chars[e - 1].is_whitespace() {
+                    e -= 1;
+                }
+                // Turbofish (`Vec::<u8>::new`) or global `::path` — stop.
+                if e == 0 || !is_ident(chars[e - 1]) {
+                    k = e;
+                    break;
+                }
+                let mut s = e;
+                while s > 0 && is_ident(chars[s - 1]) {
+                    s -= 1;
+                }
+                segs.insert(0, chars[s..e].iter().collect());
+                k = s;
+            } else {
+                k = b;
+                break;
+            }
+        }
+        let method = segs.len() == 1 && k > 0 && chars[k - 1] == '.';
+        if segs.len() == 1 && !method {
+            // Bare uppercase = tuple-struct / enum-variant constructor.
+            if ident.chars().next().is_some_and(|c| c.is_uppercase()) {
+                continue;
+            }
+        }
+        out.push(Call { segs, method, line });
+    }
+    out
+}
+
+/// The identifier word immediately before position `at`, if any.
+fn prev_word(chars: &[char], at: usize) -> Option<String> {
+    let mut j = at;
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    if j == 0 || !(chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+        return None;
+    }
+    let end = j;
+    while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+        j -= 1;
+    }
+    Some(chars[j..end].iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segs(call: &Call) -> Vec<&str> {
+        call.segs.iter().map(String::as_str).collect()
+    }
+
+    #[test]
+    fn bare_method_and_qualified_calls_are_parsed() {
+        let calls = calls_in("let x = helper(a).finish(); alp_core::par::claim(q);", 7);
+        assert_eq!(calls.len(), 3);
+        assert_eq!(segs(&calls[0]), vec!["helper"]);
+        assert!(!calls[0].method);
+        assert_eq!(segs(&calls[1]), vec!["finish"]);
+        assert!(calls[1].method);
+        assert_eq!(segs(&calls[2]), vec!["alp_core", "par", "claim"]);
+        assert_eq!(calls[2].line, 7);
+    }
+
+    #[test]
+    fn macros_constructors_keywords_and_defs_are_not_calls() {
+        assert!(calls_in("vec![Some(1)]; panic!(\"x\"); if (a) {}", 1).is_empty());
+        assert!(calls_in("pub fn decode(x: u8) {", 1).is_empty());
+        let calls = calls_in("Vec::new(); Finding::new(a);", 1);
+        // `Vec::new` / `Finding::new` are assoc calls (Type::method).
+        assert_eq!(calls.len(), 2);
+        assert_eq!(segs(&calls[0]), vec!["Vec", "new"]);
+    }
+
+    #[test]
+    fn use_trees_parse_groups_renames_and_globs() {
+        let info = crate::parse::scan_source(
+            "pub use alp::par::{\n    fold_morsels, run_morsels_governed as governed,\n};\nuse crate::cache::*;\nuse alp_core::Registry;\n",
+        );
+        let entries = parse_uses(&info);
+        let find = |n: &str| entries.iter().find(|e| e.name == n).cloned();
+        let fold = find("fold_morsels").expect("group entry");
+        assert_eq!(fold.path, vec!["alp", "par", "fold_morsels"]);
+        assert!(fold.is_pub);
+        let gov = find("governed").expect("rename entry");
+        assert_eq!(gov.path, vec!["alp", "par", "run_morsels_governed"]);
+        let glob = find("*").expect("glob entry");
+        assert_eq!(glob.path, vec!["crate", "cache"]);
+        assert!(!glob.is_pub);
+        assert!(find("Registry").is_some());
+    }
+}

@@ -25,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 
+mod concurrency;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod parse;
 pub mod report;
@@ -88,6 +91,18 @@ pub struct Config {
     pub registry_file: String,
     /// The trait whose implementations must each appear in `ENTRIES`.
     pub codec_trait: String,
+    /// Atomic field names that gate *data visibility* across threads (a flag
+    /// whose observation implies some payload was written). `Relaxed` on them
+    /// is an `atomic-ordering` finding; counters stay Relaxed by not being
+    /// listed.
+    pub ordering_gate_fields: Vec<String>,
+    /// Call-name prefixes too expensive to run while holding a lock guard
+    /// (`guard-across-call`): page decompression, the parallel scheduler,
+    /// retrying I/O.
+    pub guard_expensive_patterns: Vec<String>,
+    /// Squeezed-text patterns that count as consulting cancellation inside a
+    /// morsel-claim loop (`cancel-poll`).
+    pub cancel_poll_patterns: Vec<String>,
 }
 
 fn strings(v: &[&str]) -> Vec<String> {
@@ -152,6 +167,27 @@ impl Default for Config {
             unwind_allowed_files: strings(&["crates/alp/src/par.rs"]),
             registry_file: "crates/core/src/registry.rs".to_string(),
             codec_trait: "ColumnCodec".to_string(),
+            // `quarantined` publishes a page verdict whose `LossReason` must
+            // be visible to whoever observes the flag (DESIGN.md §13).
+            ordering_gate_fields: strings(&["quarantined"]),
+            guard_expensive_patterns: strings(&[
+                "try_decompress",
+                "try_compress",
+                "par_compress",
+                "par_decompress",
+                "run_morsels",
+                "map_morsels",
+                "fold_morsels",
+                "read_full_retry",
+                "write_all_retry",
+                "flush_retry",
+            ]),
+            cancel_poll_patterns: strings(&[
+                "is_cancelled(",
+                "cancelled.load(",
+                "stop.load(",
+                "stop_flag.load(",
+            ]),
         }
     }
 }

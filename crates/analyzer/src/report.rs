@@ -18,10 +18,31 @@ pub fn render_text(findings: &[Finding]) -> String {
     out
 }
 
-/// JSON report: `{"count": N, "findings": [{rule, file, line, message}…]}`.
+/// Version of the JSON report shape. Bump when fields are added, renamed, or
+/// removed so downstream consumers (the CI job, dashboards) can detect drift.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// JSON report:
+/// `{"schema_version": V, "count": N, "rule_counts": {rule: N…},
+///   "findings": [{rule, file, line, message}…]}`.
+/// `rule_counts` lists every rule with at least one finding, sorted by rule
+/// id, so CI logs show at a glance *which* discipline regressed.
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    let mut rule_counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in findings {
+        *rule_counts.entry(&f.rule).or_insert(0) += 1;
+    }
+    out.push_str("  \"rule_counts\": {");
+    for (i, (rule, n)) in rule_counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {n}", json_string(rule)));
+    }
+    out.push_str("},\n");
     out.push_str("  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
@@ -82,6 +103,26 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_schema_version_and_per_rule_counts() {
+        let mut findings = sample();
+        findings.push(Finding {
+            rule: "atomic-rmw".into(),
+            file: "crates/x/src/b.rs".into(),
+            line: 3,
+            message: "load/store race".into(),
+        });
+        findings.push(Finding {
+            rule: "no-panic".into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 9,
+            message: "`.expect()`".into(),
+        });
+        let json = render_json(&findings);
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"rule_counts\": {\"atomic-rmw\": 1, \"no-panic\": 2}"));
+    }
+
+    #[test]
     fn json_is_well_formed_and_escaped() {
         let json = render_json(&sample());
         assert!(json.contains("\"count\": 1"));
@@ -101,6 +142,8 @@ mod tests {
     #[test]
     fn empty_report() {
         assert!(render_text(&[]).contains("no findings"));
-        assert!(render_json(&[]).contains("\"count\": 0"));
+        let json = render_json(&[]);
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"rule_counts\": {}"));
     }
 }

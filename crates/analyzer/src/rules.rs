@@ -19,8 +19,23 @@
 //! * `contained-unwind` — `catch_unwind` is only legal inside the parallel
 //!   scheduler's containment seam (`alp::par`); swallowing panics anywhere
 //!   else hides poisoned state instead of quarantining it.
+//! * `atomic-rmw` — a `.load(..)` whose result feeds a `.store(..)` on the
+//!   same atomic is a lost-update race; use `fetch_*`/`fetch_update`.
+//! * `atomic-ordering` — `Ordering::Relaxed` on configured data-visibility
+//!   gate fields (e.g. `quarantined`) needs Acquire/Release instead.
+//! * `condvar-discipline` — `Condvar::wait` must sit in a re-checking loop
+//!   and must not unwrap the poison result.
+//! * `guard-across-call` — a lock guard's live range may not span a call
+//!   into the configured expensive-function list.
+//! * `cancel-poll` — loops claiming scheduler morsels must consult a
+//!   `CancelToken`/stop flag each iteration.
 //! * `allow-syntax` — malformed or unknown-rule `ANALYZER-ALLOW` annotations
 //!   (a typo in an annotation must not silently disable a lint).
+//!
+//! `no-panic` additionally runs in *reachability* mode: the workspace call
+//! graph ([`crate::graph`]) is walked from every `try_*` entry point, and
+//! explicit panics in any reached function are findings even outside the
+//! textual decode scope.
 
 use std::collections::BTreeMap;
 
@@ -35,6 +50,11 @@ pub const RULE_IDS: &[&str] = &[
     "wire-tag-sync",
     "registry-sync",
     "contained-unwind",
+    "atomic-rmw",
+    "atomic-ordering",
+    "condvar-discipline",
+    "guard-across-call",
+    "cancel-poll",
 ];
 
 /// A parsed `ANALYZER-ALLOW(rule): reason` annotation and the lines it covers.
@@ -65,6 +85,8 @@ pub fn run_all(files: &BTreeMap<String, FileInfo>, cfg: &Config) -> Vec<Finding>
     forbid_unsafe_crates(files, cfg, &mut findings);
     wire_tag_sync(files, cfg, &mut findings);
     registry_sync(files, cfg, &mut findings);
+    crate::concurrency::run(files, cfg, &mut findings);
+    no_panic_reachable(files, cfg, &mut findings);
 
     findings.retain(|f| {
         !allows
@@ -304,6 +326,76 @@ fn scan_panic_patterns(code: &str) -> Vec<(&'static str, &'static str)> {
         }
     }
     out
+}
+
+/// Reachability upgrade of `no-panic`: no *explicit* panic may be reachable
+/// from any non-test `try_*` entry point through the workspace call graph.
+///
+/// The textual scope ([`in_no_panic_scope`]) stays the strict tier — panic
+/// idioms, unguarded indexing, narrowing casts — because those functions
+/// parse untrusted bytes. Functions pulled in only by reachability are
+/// internal helpers running on trusted data: for them, unguarded indexing
+/// against a fixed kernel geometry is fine, but an `unwrap`/`expect`/`panic!`
+/// is a promise that a `try_` caller can be made to break, so only the
+/// explicit-panic idioms are findings. The graph over-approximates (methods
+/// resolve by name workspace-wide), so every finding names its witness path
+/// for a human to judge — and an `ANALYZER-ALLOW(no-panic)` at the panic site
+/// covers all paths to it.
+fn no_panic_reachable(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mut Vec<Finding>) {
+    let g = crate::graph::build(files);
+    let roots: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !n.in_test && n.name.starts_with("try_"))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parent = g.reachable(&roots);
+    for (&id, _) in parent.iter() {
+        let node = &g.nodes[id];
+        if node.in_test {
+            continue;
+        }
+        let info = &files[&node.file];
+        let Some(item) = info
+            .fns
+            .iter()
+            .find(|f| f.name == node.name && f.start_line == node.start_line)
+        else {
+            continue;
+        };
+        // The strict textual tier already scans these (including indexing and
+        // casts); re-reporting the explicit subset would double up.
+        if in_no_panic_scope(&node.file, item, cfg) {
+            continue;
+        }
+        let witness = g.witness(&parent, id);
+        let via = if witness.len() > 1 {
+            format!(" (via {})", witness.join(" → "))
+        } else {
+            String::new() // the root itself (a try_ fn outside the textual scope)
+        };
+        for line_no in item.start_line..=item.end_line.min(info.lines.len()) {
+            let code = &info.lines[line_no - 1].code;
+            for (what, msg) in scan_panic_patterns(code) {
+                if !matches!(what, "`.unwrap()`" | "`.expect()`" | "macro") {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    "no-panic",
+                    &node.file,
+                    line_no,
+                    &format!(
+                        "{msg} in `{}`, reachable from a `try_` entry point{via} ({what})",
+                        node.name
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -657,7 +749,7 @@ fn registry_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mu
 }
 
 /// Whole-word occurrence of `word` in a code line.
-fn word_in(code: &str, word: &str) -> bool {
+pub(crate) fn word_in(code: &str, word: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
         let at = from + pos;

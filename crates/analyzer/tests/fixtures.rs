@@ -139,6 +139,90 @@ fn contained_unwind_allows_the_scheduler_containment_file() {
 }
 
 #[test]
+fn atomic_rmw_bad_flags_load_store_races() {
+    let found = scan("crates/vectorq/src/stats.rs", include_str!("fixtures/atomic_rmw_bad.rs"));
+    // Line 13: the pre-fix EWMA store (value derived through two bindings),
+    // 17: an inline load-increment-store.
+    assert_eq!(found, pairs(&[("atomic-rmw", 13), ("atomic-rmw", 17)]));
+}
+
+#[test]
+fn atomic_rmw_good_is_clean() {
+    let found = scan("crates/vectorq/src/stats.rs", include_str!("fixtures/atomic_rmw_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn atomic_ordering_bad_flags_relaxed_gate_accesses() {
+    let found =
+        scan("crates/vectorq/src/store.rs", include_str!("fixtures/atomic_ordering_bad.rs"));
+    // Line 10: Relaxed store through the `q` alias, 15: Relaxed load on the
+    // `quarantined` gate field.
+    assert_eq!(found, pairs(&[("atomic-ordering", 10), ("atomic-ordering", 15)]));
+}
+
+#[test]
+fn atomic_ordering_good_accepts_release_acquire_and_relaxed_counters() {
+    let found =
+        scan("crates/vectorq/src/store.rs", include_str!("fixtures/atomic_ordering_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn condvar_bad_flags_unlooped_and_unwrapped_waits() {
+    let found = scan("crates/vectorq/src/gate.rs", include_str!("fixtures/condvar_bad.rs"));
+    // Line 12 twice: the wait sits in an `if` (no re-check loop) AND its
+    // poison result is unwrapped.
+    assert_eq!(found, pairs(&[("condvar-discipline", 12), ("condvar-discipline", 12)]));
+}
+
+#[test]
+fn condvar_good_is_clean() {
+    let found = scan("crates/vectorq/src/gate.rs", include_str!("fixtures/condvar_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn guard_bad_flags_decompression_under_the_lock() {
+    let found = scan("crates/vectorq/src/svc.rs", include_str!("fixtures/guard_bad.rs"));
+    // Line 18: `try_decompress_page` called while `guard` is live.
+    assert_eq!(found, pairs(&[("guard-across-call", 18)]));
+}
+
+#[test]
+fn guard_good_accepts_drop_and_scope_release() {
+    let found = scan("crates/vectorq/src/svc.rs", include_str!("fixtures/guard_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn cancel_poll_bad_flags_unpolled_claim_loops() {
+    let found = scan("crates/vectorq/src/queue.rs", include_str!("fixtures/cancel_poll_bad.rs"));
+    // Line 22: the `while let … claim()` loop never consults cancellation.
+    assert_eq!(found, pairs(&[("cancel-poll", 22)]));
+}
+
+#[test]
+fn cancel_poll_good_accepts_token_and_stop_flag_polls() {
+    let found = scan("crates/vectorq/src/queue.rs", include_str!("fixtures/cancel_poll_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
+fn reachability_bad_flags_panic_behind_try_entry() {
+    let found = scan("crates/vectorq/src/reach.rs", include_str!("fixtures/reach_bad.rs"));
+    // Line 13: `unwrap` in `inner`, three calls deep behind `try_fetch` —
+    // outside every textual no-panic scope, caught only via the call graph.
+    assert_eq!(found, pairs(&[("no-panic", 13)]));
+}
+
+#[test]
+fn reachability_good_ignores_panics_no_try_entry_reaches() {
+    let found = scan("crates/vectorq/src/reach.rs", include_str!("fixtures/reach_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
 fn malformed_allow_is_reported_and_does_not_suppress() {
     let found = scan("crates/alp/src/decode.rs", include_str!("fixtures/allow_bad.rs"));
     // Line 4: ALLOW missing its reason, 9: ALLOW naming an unknown rule;

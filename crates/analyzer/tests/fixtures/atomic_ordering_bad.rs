@@ -1,0 +1,17 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Store {
+    quarantined: Vec<AtomicBool>,
+}
+
+impl Store {
+    fn flag(&self, page: usize) {
+        if let Some(q) = self.quarantined.get(page) {
+            q.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn check(&self, page: usize) -> bool {
+        self.quarantined.get(page).map(|q| q.load(Ordering::Relaxed)).unwrap_or(false)
+    }
+}

@@ -1,0 +1,26 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Store {
+    quarantined: Vec<AtomicBool>,
+    hits: AtomicU64,
+}
+
+impl Store {
+    // Release pairs with the Acquire loads below: whoever sees the flag sees
+    // the verdict recorded before it.
+    fn flag(&self, page: usize) {
+        if let Some(q) = self.quarantined.get(page) {
+            q.store(true, Ordering::Release);
+        }
+    }
+
+    fn check(&self, page: usize) -> bool {
+        self.quarantined.get(page).map(|q| q.load(Ordering::Acquire)).unwrap_or(false)
+    }
+
+    // Counters are observability, not synchronization: Relaxed is correct
+    // and the rule only watches configured gate fields.
+    fn count(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,19 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    ewma_nanos: AtomicU64,
+}
+
+impl Stats {
+    // The pre-fix EWMA site from `Service::note_duration`, verbatim shape:
+    // load → derive → store loses concurrent updates.
+    fn note_duration(&self, nanos: u64) {
+        let old = self.ewma_nanos.load(Ordering::Relaxed);
+        let next = if old == 0 { nanos } else { old - old / 8 + nanos / 8 };
+        self.ewma_nanos.store(next, Ordering::Relaxed);
+    }
+
+    fn bump(&self) {
+        self.ewma_nanos.store(self.ewma_nanos.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,25 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    ewma_nanos: AtomicU64,
+    floor: AtomicU64,
+}
+
+impl Stats {
+    // The fixed shape: the read-modify-write is one atomic step.
+    fn note_duration(&self, nanos: u64) {
+        let _ = self.ewma_nanos.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+            Some(if old == 0 { nanos } else { old - old / 8 + nanos / 8 })
+        });
+    }
+
+    fn bump(&self) {
+        self.ewma_nanos.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // A load feeding a store on a *different* atomic is not a lost update.
+    fn mirror(&self) {
+        let seen = self.ewma_nanos.load(Ordering::Relaxed);
+        self.floor.store(seen, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,26 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl MorselQueue {
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i < self.total {
+            Some(i)
+        } else {
+            None
+        }
+    }
+}
+
+// Drains the whole queue even after the query was cancelled.
+fn drain(queue: &MorselQueue) -> usize {
+    let mut n = 0;
+    while let Some(m) = queue.claim() {
+        n += m;
+    }
+    n
+}

@@ -1,0 +1,50 @@
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+impl MorselQueue {
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i < self.total {
+            Some(i)
+        } else {
+            None
+        }
+    }
+}
+
+// The governed shape: cancellation is consulted before every claim.
+fn drain(queue: &MorselQueue, token: &CancelToken) -> usize {
+    let mut n = 0;
+    loop {
+        if token.is_cancelled() {
+            break;
+        }
+        let Some(m) = queue.claim() else { break };
+        n += m;
+    }
+    n
+}
+
+// A stop flag counts too (the `try_map_morsels` shape).
+fn drain_with_stop(queue: &MorselQueue, stop: &AtomicBool) -> usize {
+    let mut n = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let Some(m) = queue.claim() else { break };
+        n += m;
+    }
+    n
+}

@@ -1,0 +1,16 @@
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn await_signal(&self) {
+        let mut st = self.state.lock().expect("gate");
+        if *st == 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        *st -= 1;
+    }
+}

@@ -1,0 +1,24 @@
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn await_signal(&self) {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Re-check in a loop (spurious wakeups) and recover poison instead
+        // of unwrapping it.
+        while *st == 0 {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        *st -= 1;
+    }
+}

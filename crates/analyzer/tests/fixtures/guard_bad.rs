@@ -1,0 +1,21 @@
+use std::sync::Mutex;
+
+pub struct Svc {
+    inner: Mutex<Vec<u8>>,
+}
+
+pub fn try_decompress_page(_bytes: &[u8]) -> Result<Vec<f64>, ()> {
+    Ok(Vec::new())
+}
+
+impl Svc {
+    fn slow_sum(&self) -> usize {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Decompression serializes behind the mutex while the guard lives.
+        let vals = try_decompress_page(&guard).unwrap_or_default();
+        vals.len() + guard.len()
+    }
+}

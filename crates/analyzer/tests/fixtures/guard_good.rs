@@ -1,0 +1,35 @@
+use std::sync::Mutex;
+
+pub struct Svc {
+    inner: Mutex<Vec<u8>>,
+}
+
+pub fn try_decompress_page(_bytes: &[u8]) -> Result<Vec<f64>, ()> {
+    Ok(Vec::new())
+}
+
+impl Svc {
+    fn fast_sum(&self) -> usize {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Copy out what the expensive call needs, release the lock, decode.
+        let bytes = guard.clone();
+        drop(guard);
+        let vals = try_decompress_page(&bytes).unwrap_or_default();
+        vals.len()
+    }
+
+    fn scoped_sum(&self) -> usize {
+        let bytes = {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.clone()
+        };
+        let vals = try_decompress_page(&bytes).unwrap_or_default();
+        vals.len()
+    }
+}

@@ -1,0 +1,22 @@
+// A panic three calls deep behind a `try_` entry point: the textual
+// no-panic scope never sees it, the call graph does.
+
+pub fn try_fetch(x: u8) -> Result<u8, ()> {
+    Ok(helper(x))
+}
+
+fn helper(x: u8) -> u8 {
+    inner(x)
+}
+
+fn inner(x: u8) -> u8 {
+    level_cap(x).unwrap()
+}
+
+fn level_cap(x: u8) -> Option<u8> {
+    if x < 64 {
+        Some(x)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,27 @@
+// The same chain with the panic handled — and a genuinely unreachable
+// function whose `unwrap` is legal because no `try_` entry can reach it.
+
+pub fn try_fetch(x: u8) -> Result<u8, ()> {
+    Ok(helper(x))
+}
+
+fn helper(x: u8) -> u8 {
+    inner(x)
+}
+
+fn inner(x: u8) -> u8 {
+    level_cap(x).unwrap_or(63)
+}
+
+fn level_cap(x: u8) -> Option<u8> {
+    if x < 64 {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+// Never called from any `try_` path: explicit panics are its own business.
+pub fn infallible_cli_helper(x: u8) -> u8 {
+    level_cap(x).unwrap()
+}

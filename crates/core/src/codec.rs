@@ -165,10 +165,10 @@ pub trait ColumnCodec: Sync {
 
     /// Decompresses trusted bytes, panicking on corrupt input — use
     /// [`ColumnCodec::try_decompress_into`] for untrusted bytes.
+    // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper;
+    // the try_ twin above is the fallible path.
     fn decompress(&self, bytes: &[u8], count: usize) -> Vec<f64> {
         let mut out = Vec::new();
-        // ANALYZER-ALLOW(no-panic): documented panicking convenience wrapper;
-        // the try_ twin above is the fallible path.
         self.try_decompress_into(bytes, count, &mut out, &mut Scratch::new())
             .expect("corrupt compressed stream");
         out

@@ -395,6 +395,10 @@ impl Column {
     }
 
     /// Runs `consume` on every decompressed vector of morsel `m`.
+    // ANALYZER-ALLOW(no-panic): the bytes were produced in-memory by this
+    // column's own compressor, so a decode failure here is a codec bug, not
+    // untrusted input — the service layer's `try_` paths handle the fallible
+    // case and route failures through quarantine instead.
     fn for_each_vector_in_morsel(&self, m: usize, consume: &mut dyn FnMut(&[f64])) {
         match &self.storage {
             Storage::Uncompressed(values) => {

@@ -267,10 +267,12 @@ impl Store {
 
     /// Pages currently quarantined, sorted.
     pub fn quarantined_pages(&self) -> Vec<usize> {
+        // Acquire pairs with the Release store in `quarantine`: a flag seen
+        // true guarantees the page's `LossReason` is already recorded.
         self.quarantined
             .iter()
             .enumerate()
-            .filter(|(_, q)| q.load(Ordering::Relaxed))
+            .filter(|(_, q)| q.load(Ordering::Acquire))
             .map(|(p, _)| p)
             .collect()
     }
@@ -281,21 +283,44 @@ impl Store {
     }
 
     fn is_quarantined(&self, page: usize) -> bool {
-        self.quarantined.get(page).map(|q| q.load(Ordering::Relaxed)).unwrap_or(false)
+        // Acquire pairs with the Release store in `quarantine` (see there).
+        self.quarantined.get(page).map(|q| q.load(Ordering::Acquire)).unwrap_or(false)
     }
 
     /// Marks `page` bad: later queries skip it without touching its payload,
     /// and any cached copy is dropped (a verdict outlives the cache).
     fn quarantine(&self, page: usize, reason: LossReason) {
-        if let Some(q) = self.quarantined.get(page) {
-            q.store(true, Ordering::Relaxed);
+        // Publication order matters: the `LossReason` is recorded and the
+        // cached copy invalidated *before* the flag flips, and the flag store
+        // is `Release` paired with the `Acquire` loads in `is_quarantined` /
+        // `quarantined_pages` / `loss_reason` — so any query that observes
+        // the flag and skips the page is guaranteed to find the reason (and
+        // never a stale cached payload) behind it.
+        {
+            let mut reasons = match self.reasons.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            reasons.entry(page).or_insert(reason);
         }
         self.cache.invalidate(page);
-        let mut reasons = match self.reasons.lock() {
+        if let Some(q) = self.quarantined.get(page) {
+            q.store(true, Ordering::Release);
+        }
+    }
+
+    /// The recorded verdict for a quarantined page, if any. The Acquire load
+    /// pairs with `quarantine`'s Release store, so a `Some` flag implies the
+    /// reason lookup cannot race with its insertion.
+    pub fn loss_reason(&self, page: usize) -> Option<LossReason> {
+        if !self.is_quarantined(page) {
+            return None;
+        }
+        let reasons = match self.reasons.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        reasons.entry(page).or_insert(reason);
+        reasons.get(&page).cloned()
     }
 
     /// Global vector range `[v0, v1)` covered by page `page`.
@@ -662,9 +687,11 @@ impl Service {
 
     fn note_duration(&self, elapsed: Duration) {
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        let old = self.ewma_nanos.load(Ordering::Relaxed);
-        let next = if old == 0 { nanos } else { old - old / 8 + nanos / 8 };
-        self.ewma_nanos.store(next, Ordering::Relaxed);
+        // One atomic step: a separate load/store pair would let a concurrent
+        // completion's update vanish between the two halves (lost update).
+        let _ = self.ewma_nanos.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+            Some(if old == 0 { nanos } else { old - old / 8 + nanos / 8 })
+        });
     }
 
     fn retry_hint(&self) -> Duration {
@@ -792,6 +819,67 @@ mod tests {
         let r = svc.sum_where(0.0, 1.0, &QueryOptions::default()).unwrap();
         assert!(r.loss.is_complete());
         assert_eq!(r.value.matches, 0);
+    }
+
+    #[test]
+    fn concurrent_completion_notes_are_never_lost() {
+        // `note_duration` must be one atomic step. The decay applied by a
+        // zero-duration note, f(v) = v - v/8, is the same pure function for
+        // every caller, and `fetch_update` serializes the applications — so
+        // after seeding a large EWMA and hammering T threads × K notes, the
+        // value must land *exactly* where T·K serial applications land. The
+        // pre-fix load-then-store version drops updates under contention
+        // (two threads read the same `old`), which leaves the value strictly
+        // higher because fewer decays were applied.
+        let svc = Service::new(store(VECTOR_SIZE), ServiceConfig::default());
+        const SEED_NANOS: u64 = 1 << 50;
+        const THREADS: usize = 4;
+        const NOTES: usize = 40;
+        svc.note_duration(Duration::from_nanos(SEED_NANOS));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..NOTES {
+                        svc.note_duration(Duration::ZERO);
+                    }
+                });
+            }
+        });
+        let mut expect = SEED_NANOS;
+        for _ in 0..THREADS * NOTES {
+            expect -= expect / 8;
+        }
+        // (7/8)^160 · 2^50 ≈ 6·10^5 — far above the point where v/8 rounds
+        // to zero, so every one of the 160 decays changes the value and any
+        // lost update is observable.
+        assert!(expect > 8);
+        assert_eq!(svc.ewma_nanos.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn quarantine_flags_publish_their_loss_reason() {
+        // `quarantine` records the reason *before* the Release store that
+        // flips the flag, and `loss_reason` reads the flag with Acquire — so
+        // a flag observed true always has a reason behind it.
+        let data = sample(800_000);
+        let column = Column::from_f64(&data, Format::alp());
+        let store = Arc::new(Store::with_poison(
+            column,
+            CacheConfig::default_config(),
+            PoisonPlan::seeded(1),
+        ));
+        let svc = Service::new(Arc::clone(&store), ServiceConfig::default());
+        svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default()).unwrap();
+        let bad = store.quarantined_pages();
+        assert!(!bad.is_empty());
+        for page in bad {
+            assert!(
+                store.loss_reason(page).is_some(),
+                "quarantined page {page} must expose the verdict that condemned it"
+            );
+        }
+        let healthy = (0..store.pages()).find(|p| !store.is_quarantined(*p)).unwrap();
+        assert_eq!(store.loss_reason(healthy), None);
     }
 
     #[test]
