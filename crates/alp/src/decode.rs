@@ -11,6 +11,13 @@
 //!   implementation (runtime-width bit extraction, per-value exception test)
 //!   standing in for the paper's "Scalar (vectorization disabled)"
 //!   configuration of Figure 4.
+//!
+//! On top of these, [`scan_vector`] is the *fused scan* entry: unpack,
+//! FOR-add, decimal multiply, mid-stream exception patch, range predicate,
+//! and aggregate in one pass per vector, with validity/selection bitmaps and
+//! no materialized `Vec<f64>`. Its accumulation is a single sequential scalar
+//! chain per vector, so every aggregate is bit-identical to decoding the
+//! vector and folding the same chain over the buffer.
 
 use fastlanes::dispatch::{width_mask, with_width, WidthKernel};
 use fastlanes::{ffor, VECTOR_SIZE};
@@ -169,6 +176,278 @@ impl<F: AlpFloat> WidthKernel for FusedDecode<'_, F> {
     }
 }
 
+/// Bitmap words per vector for fused scans (bit `i` of word `i / 64`
+/// describes value `i`).
+pub const SCAN_WORDS: usize = VECTOR_SIZE / 64;
+
+/// Aggregates and bitmaps produced by one fused vector scan.
+///
+/// `sum`/`matches` follow the engine's accumulation contract: one sequential
+/// scalar chain over the vector's live values (`sum = sum + if hit { x } else
+/// { 0 }`), so the result is bit-identical to decoding into a buffer and
+/// folding the same chain over it — fusion removes the materialization, not
+/// the floating-point operation order.
+#[derive(Debug, Clone)]
+pub struct VectorScan<F> {
+    /// Chain sum of the values matching `lo..=hi` (misses contribute `+0`).
+    pub sum: F,
+    /// Number of matching values.
+    pub matches: usize,
+    /// Minimum matching value; `None` when nothing matched or min/max
+    /// tracking was not requested.
+    pub min: Option<F>,
+    /// Maximum matching value (see `min`).
+    pub max: Option<F>,
+    /// Validity bitmap: bit `i` set ⇔ live value `i` is not NaN.
+    pub valid: [u64; SCAN_WORDS],
+    /// Selection bitmap: bit `i` set ⇔ live value `i` matched the predicate.
+    pub hits: [u64; SCAN_WORDS],
+    /// Number of live values scanned (the vector's logical length).
+    pub len: usize,
+}
+
+impl<F: AlpFloat> VectorScan<F> {
+    /// Empty scan state over `len` live values.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            sum: F::from_i64(0),
+            matches: 0,
+            min: None,
+            max: None,
+            valid: [0; SCAN_WORDS],
+            hits: [0; SCAN_WORDS],
+            len,
+        }
+    }
+
+    /// Number of live non-NaN values (popcount over the bitmap words).
+    pub fn valid_count(&self) -> usize {
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of live NaN values.
+    pub fn invalid_count(&self) -> usize {
+        self.len.saturating_sub(self.valid_count())
+    }
+}
+
+/// Fused scan of one ALP vector: decodes, patches exceptions *mid-stream*
+/// from the sorted exception view, applies `lo <= x <= hi`, and aggregates —
+/// without materializing the decoded vector. Returns per-vector partials plus
+/// validity/selection bitmaps.
+pub fn scan_vector<F: AlpFloat>(
+    v: &AlpVector,
+    exc: ExcView<'_>,
+    lo: F,
+    hi: F,
+    with_minmax: bool,
+) -> VectorScan<F> {
+    let mut scan = VectorScan::empty(v.len as usize);
+    if !exc.positions.iter().zip(exc.positions.iter().skip(1)).all(|(a, b)| a <= b) {
+        // Corrupt-but-decodable exception list: the mid-stream cursor assumes
+        // ascending positions (the encoder's invariant), so fall back to
+        // decode-then-scan, which preserves `patch_exceptions` overwrite order.
+        let mut buf = vec![F::from_i64(0); VECTOR_SIZE];
+        let n = decode_vector(v, exc, &mut buf);
+        scan_decoded(buf.get(..n).unwrap_or(&buf), lo, hi, with_minmax, &mut scan);
+        return scan;
+    }
+    let mul_f = F::f10(v.factor);
+    let mul_e = F::if10(v.exponent);
+    with_width(
+        v.bit_width as usize,
+        FusedScanKernel {
+            packed: &v.packed,
+            base: v.for_base,
+            mul_f,
+            mul_e,
+            exc,
+            lo,
+            hi,
+            with_minmax,
+            out: &mut scan,
+        },
+    );
+    scan
+}
+
+/// Scans already-decoded values with the same chain and bitmap semantics as
+/// [`scan_vector`]. Used for ALP_rd vectors (no decimal fast path to fuse)
+/// and other fall-back paths; `scan` must be freshly [`VectorScan::empty`]
+/// with `len == values.len()` (at most [`VECTOR_SIZE`]).
+pub fn scan_decoded<F: AlpFloat>(
+    values: &[F],
+    lo: F,
+    hi: F,
+    with_minmax: bool,
+    scan: &mut VectorScan<F>,
+) {
+    let mut sum = scan.sum;
+    let mut matches = scan.matches;
+    let mut min = scan.min;
+    let mut max = scan.max;
+    let words = scan.valid.iter_mut().zip(scan.hits.iter_mut());
+    for (chunk, (valid_word, hit_word)) in values.chunks(64).zip(words) {
+        // Predicate + bitmaps first (independent per lane, vectorizable),
+        // then the chain over hit lanes only — adding +0.0 for a miss is an
+        // exact no-op because the running sum starts at +0.0 and IEEE-754
+        // round-to-nearest never produces -0.0 unless both operands are
+        // -0.0, so skipping misses is bit-identical to the contract chain.
+        let mut vw = 0u64;
+        let mut hw = 0u64;
+        for (j, &x) in chunk.iter().enumerate() {
+            vw |= ((!x.is_nan()) as u64) << j;
+            hw |= ((x >= lo && x <= hi) as u64) << j;
+        }
+        *valid_word = vw;
+        *hit_word = hw;
+        matches += hw.count_ones() as usize;
+        for (j, &x) in chunk.iter().enumerate() {
+            if (hw >> j) & 1 == 1 {
+                sum = sum + x;
+                if with_minmax {
+                    min = Some(match min {
+                        Some(m) if m <= x => m,
+                        _ => x,
+                    });
+                    max = Some(match max {
+                        Some(m) if m >= x => m,
+                        _ => x,
+                    });
+                }
+            }
+        }
+    }
+    scan.sum = sum;
+    scan.matches = matches;
+    scan.min = min;
+    scan.max = max;
+}
+
+struct FusedScanKernel<'a, F: AlpFloat> {
+    packed: &'a [u64],
+    base: i64,
+    mul_f: F,
+    mul_e: F,
+    exc: ExcView<'a>,
+    lo: F,
+    hi: F,
+    with_minmax: bool,
+    out: &'a mut VectorScan<F>,
+}
+
+impl<F: AlpFloat> WidthKernel for FusedScanKernel<'_, F> {
+    type Out = ();
+    #[inline]
+    // ANALYZER-ALLOW(no-panic): fixed 1024-lane kernel geometry; packed holds
+    // the 16*W+1 words the wire reader validated, block-local indices stay
+    // below 64, bitmap indices below SCAN_WORDS, and the `as u32` shift cast
+    // is bounded by `& 63`.
+    #[allow(clippy::needless_range_loop)] // affine-index form the vectorizer needs
+    fn run<const W: usize>(self) {
+        let Self { packed, base, mul_f, mul_e, exc, lo, hi, with_minmax, out } = self;
+        let zero = F::from_i64(0);
+        let base_u = base as u64;
+        let mask = width_mask::<W>();
+        let len = out.len.min(VECTOR_SIZE);
+        let mut exc_idx = 0usize;
+        let mut sum = out.sum;
+        let mut matches = out.matches;
+        let mut min = out.min;
+        let mut max = out.max;
+        // Block-local staging, hoisted out of the loop so its initialization
+        // is paid once, not per block (every live slot is overwritten before
+        // it is read — lanes past `n` never reach the bitmaps or the chain).
+        let mut vals = [zero; 64];
+        let mut tmp = [0i64; 64];
+        for block in 0..VECTOR_SIZE / 64 {
+            let start = block * 64;
+            if start >= len {
+                break;
+            }
+            let n = 64.min(len - start);
+            // Stage 1: unpack + FOR-add + decimal multiply into the staging
+            // buffer (registers / L1) — same mini-loop shapes as FusedDecode,
+            // so the shift network and the int→float multiply each stay a
+            // clean single-domain pattern the compiler auto-vectorizes.
+            if W == 0 {
+                vals.fill(F::from_i64(base) * mul_f * mul_e);
+            } else if W == 64 {
+                for j in 0..64 {
+                    let d = packed[start + j].wrapping_add(base_u) as i64;
+                    vals[j] = F::from_i64(d) * mul_f * mul_e;
+                }
+            } else {
+                let words = &packed[block * W..block * W + W + 1];
+                for j in 0..64 {
+                    let bit = j * W;
+                    let word = bit >> 6;
+                    let off = (bit & 63) as u32;
+                    let lo_w = words[word] >> off;
+                    let hi_w = (words[word + 1] << 1) << (63 - off);
+                    tmp[j] = ((lo_w | hi_w) & mask).wrapping_add(base_u) as i64;
+                }
+                for j in 0..64 {
+                    vals[j] = F::from_i64(tmp[j]) * mul_f * mul_e;
+                }
+            }
+            // Stage 2: mid-stream exception patch. Positions are ascending
+            // (checked by the caller), so one cursor visits each exception
+            // once; positions past the vector end are dropped, matching
+            // `patch_exceptions`.
+            let end = start + 64;
+            while exc_idx < exc.positions.len() {
+                let p = exc.positions[exc_idx] as usize;
+                if p >= end {
+                    break;
+                }
+                if p >= start {
+                    vals[p - start] = F::from_bits_u64(exc.values[exc_idx]);
+                }
+                exc_idx += 1;
+            }
+            // Stage 3: predicate + bitmaps. One independent comparison per
+            // lane — no loop-carried state, so the compiler vectorizes it.
+            let mut vw = 0u64;
+            let mut hw = 0u64;
+            for j in 0..n {
+                let x = vals[j];
+                vw |= ((!x.is_nan()) as u64) << j;
+                hw |= ((x >= lo && x <= hi) as u64) << j;
+            }
+            out.valid[block] = vw;
+            out.hits[block] = hw;
+            matches += hw.count_ones() as usize;
+            // Stage 4: the aggregate chain, feeding only hit lanes into the
+            // serial FP dependency. The contract chain adds `+0.0` for every
+            // miss, and +0.0 is the exact additive identity for every value
+            // the chain can hold: the sum starts at +0.0, and IEEE-754
+            // round-to-nearest only yields -0.0 when *both* operands are
+            // -0.0, so the running sum is never -0.0 — skipping miss terms
+            // is therefore bit-identical to adding them.
+            for (j, &x) in vals.iter().enumerate().take(n) {
+                if (hw >> j) & 1 == 1 {
+                    sum = sum + x;
+                    if with_minmax {
+                        min = Some(match min {
+                            Some(m) if m <= x => m,
+                            _ => x,
+                        });
+                        max = Some(match max {
+                            Some(m) if m >= x => m,
+                            _ => x,
+                        });
+                    }
+                }
+            }
+        }
+        out.sum = sum;
+        out.matches = matches;
+        out.min = min;
+        out.max = max;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +508,88 @@ mod tests {
         for i in 0..input.len() {
             assert_eq!(out[i].to_bits(), input[i].to_bits(), "idx {i}");
         }
+    }
+
+    /// Reference for the fused scan: decode, then run the identical chain
+    /// over the materialized buffer via `scan_decoded`.
+    fn scan_reference(v: &crate::encode::OwnedAlpVector, lo: f64, hi: f64) -> VectorScan<f64> {
+        let mut buf = vec![0.0f64; VECTOR_SIZE];
+        let n = decode_vector(v, v.view(), &mut buf);
+        let mut scan = VectorScan::empty(n);
+        scan_decoded(&buf[..n], lo, hi, true, &mut scan);
+        scan
+    }
+
+    fn assert_scans_identical(input: &[f64], lo: f64, hi: f64, e: u8, f: u8) {
+        let v = encode_vector(input, e, f);
+        let fused = scan_vector(&v, v.view(), lo, hi, true);
+        let want = scan_reference(&v, lo, hi);
+        assert_eq!(fused.sum.to_bits(), want.sum.to_bits(), "sum bits");
+        assert_eq!(fused.matches, want.matches, "matches");
+        assert_eq!(fused.min.map(f64::to_bits), want.min.map(f64::to_bits), "min");
+        assert_eq!(fused.max.map(f64::to_bits), want.max.map(f64::to_bits), "max");
+        assert_eq!(fused.valid, want.valid, "validity bitmap");
+        assert_eq!(fused.hits, want.hits, "selection bitmap");
+        assert_eq!(fused.len, want.len);
+        assert_eq!(fused.valid_count() + fused.invalid_count(), fused.len);
+    }
+
+    #[test]
+    fn fused_scan_matches_decode_then_scan() {
+        let input: Vec<f64> = (0..1024).map(|i| (i as f64) * 0.05 - 20.0).collect();
+        assert_scans_identical(&input, -5.0, 20.0, 14, 12);
+        assert_scans_identical(&input, f64::NEG_INFINITY, f64::INFINITY, 14, 12);
+    }
+
+    #[test]
+    fn fused_scan_with_exceptions_and_nans() {
+        let mut input: Vec<f64> = (0..1024).map(|i| (i as f64) * 0.25).collect();
+        for i in (0..1024).step_by(9) {
+            input[i] = f64::NAN; // exception-heavy and NaN-dense
+        }
+        input[512] = std::f64::consts::PI;
+        input[1023] = f64::INFINITY;
+        assert_scans_identical(&input, 10.0, 200.0, 14, 12);
+        let v = encode_vector(&input, 14, 12);
+        let scan = scan_vector(&v, v.view(), 10.0, 200.0, false);
+        assert_eq!(scan.invalid_count(), (0..1024).step_by(9).count());
+    }
+
+    #[test]
+    fn fused_scan_all_nan_vector() {
+        let input = vec![f64::NAN; 1024];
+        assert_scans_identical(&input, f64::NEG_INFINITY, f64::INFINITY, 0, 0);
+        let v = encode_vector(&input, 0, 0);
+        let scan = scan_vector(&v, v.view(), f64::NEG_INFINITY, f64::INFINITY, true);
+        assert_eq!(scan.matches, 0);
+        assert_eq!(scan.valid_count(), 0);
+        assert_eq!(scan.invalid_count(), 1024);
+        assert_eq!(scan.min, None);
+        assert_eq!(scan.max, None);
+    }
+
+    #[test]
+    fn fused_scan_ragged_tail() {
+        let input: Vec<f64> = (0..137).map(|i| (i as f64) * 0.5 - 7.0).collect();
+        assert_scans_identical(&input, -3.0, 25.0, 14, 12);
+        let v = encode_vector(&input, 14, 12);
+        let scan = scan_vector(&v, v.view(), -3.0, 25.0, true);
+        assert_eq!(scan.len, 137);
+        // Bits past the live length stay clear.
+        assert_eq!(scan.valid[3..], [0u64; SCAN_WORDS - 3]);
+        assert_eq!(scan.valid[2] >> 9, 0);
+    }
+
+    #[test]
+    fn fused_scan_empty_selection() {
+        let input: Vec<f64> = (0..1024).map(|i| (i as f64) * 0.125).collect();
+        let v = encode_vector(&input, 14, 12);
+        let scan = scan_vector(&v, v.view(), 1.0f64, 0.0, true);
+        assert_eq!(scan.matches, 0);
+        assert_eq!(scan.sum.to_bits(), 0.0f64.to_bits());
+        assert_eq!(scan.min, None);
+        assert!(scan.hits.iter().all(|&w| w == 0));
+        assert_eq!(scan.valid_count(), 1024);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use fastlanes::VECTOR_SIZE;
 
-use crate::decode::{decode_vector, decode_vector_unfused};
+use crate::decode::{decode_vector, decode_vector_unfused, scan_decoded, scan_vector, VectorScan};
 use crate::encode::{encode_vector_into, AlpVector, ExcArena, ExcView, OwnedAlpVector};
 use crate::rd::{choose_cut, decode_rd_vector, encode_rd_vector, RdMeta, RdVector};
 use crate::sampler::{first_level, second_level, ConfigError, SamplerParams, SamplerStats};
@@ -331,6 +331,47 @@ impl<F: AlpFloat> Compressed<F> {
                     .get(vector)
                     .ok_or(VectorIndexError::Vector { index: vector, count: vs.len() })?;
                 Ok(decode_rd_vector(v, meta, out))
+            }
+        }
+    }
+
+    /// Fused scan of a single vector (`rowgroup`, `vector`): aggregates the
+    /// values matching `lo..=hi` plus validity/selection bitmaps without
+    /// materializing the decoded vector. ALP vectors run the fused
+    /// unpack→FOR→patch→predicate→aggregate kernel; ALP_rd vectors (no
+    /// decimal fast path) decode into `buf` (≥ 1024 elements) and scan that.
+    /// Either way the result is bit-identical to
+    /// [`Compressed::try_decompress_vector`] followed by the same
+    /// accumulation chain.
+    pub fn try_scan_vector(
+        &self,
+        rowgroup: usize,
+        vector: usize,
+        lo: F,
+        hi: F,
+        with_minmax: bool,
+        buf: &mut [F],
+    ) -> Result<VectorScan<F>, VectorIndexError> {
+        let rg = self
+            .rowgroups
+            .get(rowgroup)
+            .ok_or(VectorIndexError::RowGroup { index: rowgroup, count: self.rowgroups.len() })?;
+        match rg {
+            RowGroup::Alp(g) => {
+                let v = g
+                    .vectors
+                    .get(vector)
+                    .ok_or(VectorIndexError::Vector { index: vector, count: g.vectors.len() })?;
+                Ok(scan_vector(v, g.view(v), lo, hi, with_minmax))
+            }
+            RowGroup::Rd(meta, vs) => {
+                let v = vs
+                    .get(vector)
+                    .ok_or(VectorIndexError::Vector { index: vector, count: vs.len() })?;
+                let n = decode_rd_vector(v, meta, buf);
+                let mut scan = VectorScan::empty(n);
+                scan_decoded(buf.get(..n).unwrap_or(&[]), lo, hi, with_minmax, &mut scan);
+                Ok(scan)
             }
         }
     }

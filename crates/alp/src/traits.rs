@@ -45,6 +45,9 @@ pub trait AlpFloat:
     fn from_i64(v: i64) -> Self;
     /// Saturating cast to `i64` (Rust `as` semantics: NaN → 0).
     fn to_i64_cast(self) -> i64;
+    /// True iff the value is NaN — the "invalid" state of the fused-scan
+    /// validity bitmaps.
+    fn is_nan(self) -> bool;
 }
 
 /// `10^e` for `e ∈ 0..=22`, all exactly representable as doubles.
@@ -90,6 +93,10 @@ impl AlpFloat for f64 {
     fn to_i64_cast(self) -> i64 {
         self as i64
     }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
 }
 
 /// `10^e` for `e ∈ 0..=10`, all exactly representable as `f32`
@@ -127,6 +134,10 @@ impl AlpFloat for f32 {
     #[inline(always)]
     fn to_i64_cast(self) -> i64 {
         self as i64
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
     }
 }
 

@@ -133,7 +133,7 @@ fn atomic_rmw(path: &str, f: &FnItem, fl: &FnFlow, findings: &mut Vec<Finding>) 
 
 /// Splits a squeezed-ish statement `let [mut] name = init`; `None` for
 /// destructuring patterns (the flow module already skips those too).
-fn as_let<'a>(text: &'a str) -> Option<(&'a str, &'a str)> {
+fn as_let(text: &str) -> Option<(&str, &str)> {
     let rest = text.strip_prefix("let ")?;
     let rest = rest.strip_prefix("mut ").unwrap_or(rest);
     let name_len = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').count();
@@ -165,13 +165,7 @@ fn as_let<'a>(text: &'a str) -> Option<(&'a str, &'a str)> {
 /// writer must `store(…, Release)` after the payload write and readers must
 /// `load(Acquire)`, or the payload may not be visible when the flag is.
 /// Counters that only feed stats stay Relaxed by not being configured.
-fn atomic_ordering(
-    path: &str,
-    f: &FnItem,
-    fl: &FnFlow,
-    cfg: &Config,
-    findings: &mut Vec<Finding>,
-) {
+fn atomic_ordering(path: &str, f: &FnItem, fl: &FnFlow, cfg: &Config, findings: &mut Vec<Finding>) {
     for gate in &cfg.ordering_gate_fields {
         // Bindings/closure params that alias the gate field in this fn.
         let mut aliases: BTreeSet<String> = BTreeSet::new();
@@ -387,9 +381,7 @@ fn cancel_poll(path: &str, f: &FnItem, fl: &FnFlow, cfg: &Config, findings: &mut
         fl.stmts.iter().filter(|s| squeeze(&s.text).contains(".claim(")).collect();
     for site in claim_sites {
         // Innermost loop containing the claim (tightest span).
-        let Some(lp) = fl
-            .loops_containing(site.line)
-            .min_by_key(|l| l.body_end - l.head_line)
+        let Some(lp) = fl.loops_containing(site.line).min_by_key(|l| l.body_end - l.head_line)
         else {
             continue; // a single claim outside any loop drains nothing
         };

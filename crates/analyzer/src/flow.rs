@@ -159,8 +159,7 @@ pub fn scan_fn(lines: &[Line], f: &FnItem) -> FnFlow {
     let mut entered = false;
     for line_no in start..=end {
         let code: &str = &lines[line_no - 1].code;
-        let mut chars = code.chars().peekable();
-        while let Some(c) = chars.next() {
+        for c in code.chars() {
             match c {
                 '(' | '[' => {
                     group_depth += 1;

@@ -270,7 +270,7 @@ impl Index<'_> {
         // A head that names a `use`d module gets the import prefix spliced in:
         // `use alp_core::par; … par::fold_morsels(…)`.
         let mut segs = call.segs.clone();
-        if self.crate_idents.get(&segs[0]).is_none()
+        if !self.crate_idents.contains_key(&segs[0])
             && !matches!(segs[0].as_str(), "crate" | "self" | "super" | "std" | "core" | "alloc")
         {
             if let Some(prefix) = self.lookup_use(file, &segs[0]) {
@@ -443,12 +443,8 @@ fn parse_use_tree(stmt: &str, is_pub: bool, out: &mut Vec<UseEntry>) {
         }
         None => (stmt, None),
     };
-    let prefix_segs: Vec<String> = prefix
-        .split("::")
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
+    let prefix_segs: Vec<String> =
+        prefix.split("::").map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect();
     fn push_entry(
         out: &mut Vec<UseEntry>,
         segs: Vec<String>,
@@ -604,8 +600,8 @@ pub fn calls_in(code: &str, line: usize) -> Vec<Call> {
             j += 1;
         }
         match chars.get(j) {
-            Some('!') => continue,       // macro invocation (or !=; either way, no call)
-            Some('(') => {}              // call head
+            Some('!') => continue, // macro invocation (or !=; either way, no call)
+            Some('(') => {}        // call head
             Some(':') if chars.get(j + 1) == Some(&':') => continue, // path continues
             _ => continue,
         }

@@ -31,7 +31,8 @@ pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"count\": {},\n", findings.len()));
-    let mut rule_counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    let mut rule_counts: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
     for f in findings {
         *rule_counts.entry(&f.rule).or_insert(0) += 1;
     }

@@ -8,14 +8,17 @@
 //!   narrowing `as` casts are forbidden in decode-path functions.
 //! * `undocumented-unsafe` — every `unsafe` needs a `// SAFETY:` comment, and
 //!   unsafe-free crates must declare `#![forbid(unsafe_code)]`.
-//! * `fallible-pairing` — public `decompress*` / `from_bytes*` functions in
-//!   the codec and format layers must return `Result` or have a `try_` twin.
+//! * `fallible-pairing` — public `decompress*` / `from_bytes*` /
+//!   `scan_fused*` functions in the codec and format layers must return
+//!   `Result` or have a `try_` twin.
 //! * `wire-tag-sync` — magic/tag constants in the wire-format files must be
 //!   used by both a serialize and a deserialize function, with no orphan or
 //!   duplicate tags.
 //! * `registry-sync` — every `ColumnCodec` impl must appear exactly once in
 //!   the codec registry's literal `ENTRIES` list, and every entry must name
-//!   a live impl.
+//!   a live impl. Additionally, a codec claiming `fused_scan: true` in its
+//!   capabilities must override `try_scan_fused` (and vice versa): the flag
+//!   and the kernel drift independently otherwise.
 //! * `contained-unwind` — `catch_unwind` is only legal inside the parallel
 //!   scheduler's containment seam (`alp::par`); swallowing panics anywhere
 //!   else hides poisoned state instead of quarantining it.
@@ -341,7 +344,11 @@ fn scan_panic_patterns(code: &str) -> Vec<(&'static str, &'static str)> {
 /// resolve by name workspace-wide), so every finding names its witness path
 /// for a human to judge — and an `ANALYZER-ALLOW(no-panic)` at the panic site
 /// covers all paths to it.
-fn no_panic_reachable(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mut Vec<Finding>) {
+fn no_panic_reachable(
+    files: &BTreeMap<String, FileInfo>,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
     let g = crate::graph::build(files);
     let roots: Vec<usize> = g
         .nodes
@@ -360,10 +367,8 @@ fn no_panic_reachable(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings
             continue;
         }
         let info = &files[&node.file];
-        let Some(item) = info
-            .fns
-            .iter()
-            .find(|f| f.name == node.name && f.start_line == node.start_line)
+        let Some(item) =
+            info.fns.iter().find(|f| f.name == node.name && f.start_line == node.start_line)
         else {
             continue;
         };
@@ -492,7 +497,9 @@ fn fallible_pairing(path: &str, info: &FileInfo, cfg: &Config, findings: &mut Ve
         if f.in_test || !f.module_level || !f.is_pub {
             continue;
         }
-        let decode_entry = f.name.starts_with("decompress") || f.name.starts_with("from_bytes");
+        let decode_entry = f.name.starts_with("decompress")
+            || f.name.starts_with("from_bytes")
+            || f.name.starts_with("scan_fused");
         if !decode_entry || f.ret.contains("Result") {
             continue;
         }
@@ -707,6 +714,62 @@ fn registry_sync(files: &BTreeMap<String, FileInfo>, cfg: &Config, findings: &mu
             if let Some(name) = name {
                 impls.push((name, path, idx + 1));
             }
+        }
+    }
+
+    // Fused-scan capability sync: within each impl block (brace-matched from
+    // the `impl` line), `fused_scan: true` in caps and a `try_scan_fused`
+    // override must appear together. A claim without a kernel silently routes
+    // capability-checking callers through the default materialize-then-scan
+    // body; a kernel without the claim is dead code no caller ever reaches.
+    for (name, path, line) in &impls {
+        let Some(info) = files.get(*path) else { continue };
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut claim_line = None;
+        let mut kernel_line = None;
+        for (idx, l) in info.lines.iter().enumerate().skip(line - 1) {
+            for b in l.code.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            let squeezed: String = l.code.split_whitespace().collect();
+            if claim_line.is_none() && squeezed.contains("fused_scan:true") {
+                claim_line = Some(idx + 1);
+            }
+            if kernel_line.is_none() && l.code.contains("fn try_scan_fused") {
+                kernel_line = Some(idx + 1);
+            }
+            if opened && depth == 0 {
+                break;
+            }
+        }
+        match (claim_line, kernel_line) {
+            (Some(cl), None) => findings.push(Finding::new(
+                "registry-sync",
+                path,
+                cl,
+                &format!(
+                    "`{name}` claims `fused_scan: true` but its impl has no `try_scan_fused` \
+                     override — the flag would silently fall back to materialize-then-scan"
+                ),
+            )),
+            (None, Some(kl)) => findings.push(Finding::new(
+                "registry-sync",
+                path,
+                kl,
+                &format!(
+                    "`{name}` overrides `try_scan_fused` without claiming `fused_scan: true` \
+                     in its caps — capability-checking callers will never reach the kernel"
+                ),
+            )),
+            _ => {}
         }
     }
 

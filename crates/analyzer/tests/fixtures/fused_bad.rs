@@ -1,0 +1,20 @@
+//! Fixture: fused-scan capability drift in both directions.
+
+pub struct Claimer;
+impl ColumnCodec for Claimer {
+    fn caps(&self) -> Capabilities {
+        Capabilities { fused_scan: true, ..Capabilities::default() }
+    }
+}
+
+pub struct Hidden;
+impl ColumnCodec for Hidden {
+    fn try_scan_fused(&self) -> Result<u32, String> {
+        Ok(0)
+    }
+}
+
+static ENTRIES: &[&'static dyn ColumnCodec] = &[
+    &Claimer,
+    &Hidden,
+];

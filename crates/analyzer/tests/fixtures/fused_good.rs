@@ -1,0 +1,19 @@
+//! Fixture: fused-scan capability flag and kernel override in agreement.
+
+pub struct Fused;
+impl ColumnCodec for Fused {
+    fn caps(&self) -> Capabilities {
+        Capabilities { fused_scan: true, ..Capabilities::default() }
+    }
+    fn try_scan_fused(&self) -> Result<u32, String> {
+        Ok(0)
+    }
+}
+
+pub struct Plain;
+impl ColumnCodec for Plain {}
+
+static ENTRIES: &[&'static dyn ColumnCodec] = &[
+    &Fused,
+    &Plain,
+];

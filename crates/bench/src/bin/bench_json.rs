@@ -30,8 +30,17 @@ const SCHEMA: &str = concat!(
     "verdict in {ok, sublinear, collapse}; threads_available is the host ",
     "hardware parallelism the sweep ran under. service: one query-service ",
     "pass over the sweep dataset (cold then warm predicated sums) with the ",
-    "page cache's hit/miss/eviction/bypass counters and byte high-water mark."
+    "page cache's hit/miss/eviction/bypass counters and byte high-water ",
+    "mark, plus a cache-bypass scan comparison — fused_scan_mbps vs ",
+    "materialize_scan_mbps (best-of-N interquartile-band predicated sums on a zero-entry cache, ",
+    "fused compressed-domain kernels vs forced materialization) with ",
+    "valid/invalid validity-bitmap counts. Every run also appends one line ",
+    "to results/BENCH_HISTORY.jsonl (see HISTORY_SCHEMA_VERSION)."
 );
+
+/// Version stamp of each `results/BENCH_HISTORY.jsonl` line. Bump when the
+/// per-line keys change; consumers skip lines with unknown versions.
+const HISTORY_SCHEMA_VERSION: u32 = 1;
 
 /// Dataset the thread sweep runs on: decimal-heavy and scheme-mixed, so both
 /// ALP vector decoding and exception patching are exercised.
@@ -106,6 +115,7 @@ fn main() {
     }
 
     let sweep_json = if batch_ms > 0 { thread_sweep_json() } else { String::new() };
+    let service = service_json(batch_ms);
 
     let doc = format!(
         concat!(
@@ -129,7 +139,7 @@ fn main() {
         esc(SWEEP_DATASET),
         records,
         sweep_json,
-        service_json(),
+        service.json,
     );
 
     std::fs::create_dir_all(results_dir()).ok();
@@ -140,15 +150,71 @@ fn main() {
     ));
     std::fs::write(&path, &doc).expect("write json");
     println!("wrote {}", path.display());
+
+    append_history(batch_ms, &service);
+}
+
+/// Appends this run's headline numbers as one schema-versioned line of
+/// `results/BENCH_HISTORY.jsonl` — the ROADMAP's perf ledger. The file is
+/// append-only: each run adds a line, so regressions are a diff away.
+fn append_history(batch_ms: u64, service: &ServiceBench) {
+    use std::io::Write;
+
+    let unix_epoch_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        concat!(
+            "{{\"history_schema_version\": {}, \"unix_epoch_s\": {}, ",
+            "\"seed\": {}, \"values_per_dataset\": {}, \"batch_ms\": {}, ",
+            "\"threads_available\": {}, \"sweep_dataset\": \"{}\", ",
+            "\"service_fused_scan_mbps\": {}, ",
+            "\"service_materialize_scan_mbps\": {}, ",
+            "\"service_fused_speedup\": {}}}\n"
+        ),
+        HISTORY_SCHEMA_VERSION,
+        unix_epoch_s,
+        bench::bench_seed(),
+        bench::bench_values(),
+        batch_ms,
+        alp_core::par::resolve_threads(None),
+        esc(SWEEP_DATASET),
+        json_f64(service.fused_mbps),
+        json_f64(service.materialize_mbps),
+        json_f64(service.fused_mbps / service.materialize_mbps),
+    );
+    let path = results_dir().join("BENCH_HISTORY.jsonl");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended {}", path.display()),
+        Err(e) => eprintln!("could not append {}: {e}", path.display()),
+    }
+}
+
+/// The query-service section plus the headline numbers the history ledger
+/// reuses.
+struct ServiceBench {
+    json: String,
+    /// Cache-bypass predicated-sum throughput, fused compressed-domain path.
+    fused_mbps: f64,
+    /// Same scan with `no_fused` forcing materialization.
+    materialize_mbps: f64,
 }
 
 /// One pass through the query service on the sweep dataset: a cold
 /// predicated sum (all cache misses) and a warm repeat (all hits), reporting
 /// the page cache's counters so regression dashboards can watch cache
-/// effectiveness alongside raw codec speed.
-fn service_json() -> String {
+/// effectiveness alongside raw codec speed — plus a cache-bypass comparison
+/// of the fused compressed-domain scan against forced materialization
+/// (zero-entry cache, best-of-N, bit-identical results asserted).
+fn service_json(batch_ms: u64) -> ServiceBench {
     use vectorq::cache::CacheConfig;
-    use vectorq::service::{QueryOptions, Service, ServiceConfig, Store};
+    use vectorq::service::{QueryOptions, QueryResult, Service, ServiceConfig, Store};
 
     let data = bench::dataset(SWEEP_DATASET);
     let column = vectorq::Column::from_f64(&data, vectorq::Format::alp());
@@ -159,12 +225,55 @@ fn service_json() -> String {
     let cold = service.sum_where(lo, hi, &opts).expect("cold service query");
     let warm = service.sum_where(lo, hi, &opts).expect("warm service query");
     let stats = service.cache_stats();
-    format!(
+
+    // Cache-bypass comparison: a zero-entry cache predicts a bypass on every
+    // miss, so default options run the fused kernels; `no_fused` forces the
+    // materializing path over the same pages. The predicate is the dataset's
+    // interquartile band — a selective scan is the workload predicated
+    // aggregates exist for, and it exercises the hit-bitmap sparse chain on
+    // both paths rather than degenerating to a full-column sum.
+    let (band_lo, band_hi) = {
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        (sorted[sorted.len() / 4], sorted[3 * sorted.len() / 4])
+    };
+    let bypass_column = vectorq::Column::from_f64(&data, vectorq::Format::alp());
+    let bypass = std::sync::Arc::new(Store::new(
+        bypass_column,
+        CacheConfig { max_entries: 0, ..CacheConfig::default_config() },
+    ));
+    let bypass_svc = Service::new(bypass, ServiceConfig::default());
+    let reps = if batch_ms == 0 { 1 } else { 5 };
+    let run = |opts: &QueryOptions| -> (QueryResult, f64) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..reps {
+            let r = bypass_svc.sum_where(band_lo, band_hi, opts).expect("bypass service query");
+            best = best.min(r.elapsed.as_secs_f64());
+            last = Some(r);
+        }
+        (last.expect("reps >= 1"), best)
+    };
+    let (fused, fused_s) = run(&QueryOptions::default());
+    let (mat, mat_s) = run(&QueryOptions { no_fused: true, ..QueryOptions::default() });
+    assert_eq!(
+        fused.value.sum.to_bits(),
+        mat.value.sum.to_bits(),
+        "fused and materializing bypass scans must agree bit-for-bit"
+    );
+    assert!(fused.pages_fused > 0, "bypass scan must exercise the fused path");
+    let mb = (data.len() * 8) as f64 / 1e6;
+    let (fused_mbps, materialize_mbps) = (mb / fused_s, mb / mat_s);
+
+    let json = format!(
         concat!(
             "{{\"dataset\": \"{}\", \"pages\": {}, ",
             "\"cold_query_ms\": {}, \"warm_query_ms\": {}, ",
             "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, ",
-            "\"cache_bypasses\": {}, \"cache_bytes_peak\": {}}}"
+            "\"cache_bypasses\": {}, \"cache_bytes_peak\": {}, ",
+            "\"bypass_pages_fused\": {}, \"valid_values\": {}, \"invalid_values\": {}, ",
+            "\"fused_scan_mbps\": {}, \"materialize_scan_mbps\": {}, ",
+            "\"fused_speedup\": {}}}"
         ),
         esc(SWEEP_DATASET),
         service.store().pages(),
@@ -175,7 +284,14 @@ fn service_json() -> String {
         stats.evictions,
         stats.bypasses,
         stats.bytes_peak,
-    )
+        fused.pages_fused,
+        fused.value.valid,
+        fused.value.invalid,
+        json_f64(fused_mbps),
+        json_f64(materialize_mbps),
+        json_f64(fused_mbps / materialize_mbps),
+    );
+    ServiceBench { json, fused_mbps, materialize_mbps }
 }
 
 /// Runs the 1/2/4/N morsel-scheduler sweep on every codec with a timed byte

@@ -278,17 +278,22 @@ pub fn shootout(input: &str, threads: usize) -> Result<()> {
     Ok(())
 }
 
-/// `alp query <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]` — a
-/// predicated sum served through the query service: bounded page cache,
-/// per-query deadline, quarantine-and-continue. A nonzero `ALP_FAULT_SEED`
-/// poisons a deterministic subset of pages so the degraded path can be
-/// exercised from the shell.
+/// `alp query <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]
+/// [--no-fused]` — a predicated sum served through the query service:
+/// per-query deadline, quarantine-and-continue. A one-shot CLI query never
+/// re-reads a page, so the cache is built with `max_entries: 0` and every
+/// page is a predicted bypass: all pages are scanned with the fused
+/// compressed-domain kernels unless `--no-fused` forces the materializing
+/// path (the results are bit-identical either way). A nonzero
+/// `ALP_FAULT_SEED` poisons a deterministic subset of pages so the degraded
+/// path can be exercised from the shell.
 pub fn query(
     input: &str,
     lo: &str,
     hi: &str,
     threads: usize,
     deadline_ms: Option<u64>,
+    no_fused: bool,
 ) -> Result<()> {
     use vectorq::service::{PoisonPlan, QueryOptions, Service, ServiceConfig, Store};
 
@@ -299,15 +304,20 @@ pub fn query(
     let t0 = Instant::now();
     let column = vectorq::Column::from_f64_parallel(&data, vectorq::Format::alp(), threads);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let store = std::sync::Arc::new(Store::with_poison(
-        column,
-        vectorq::cache::CacheConfig::default_config(),
-        PoisonPlan::from_env(),
-    ));
+    // One-shot queries have no page reuse: a zero-entry cache turns every
+    // lookup into a predicted bypass, which is what routes pages onto the
+    // fused compressed-domain kernels instead of warming a cache that is
+    // dropped on exit.
+    let cache = vectorq::cache::CacheConfig {
+        max_entries: 0,
+        ..vectorq::cache::CacheConfig::default_config()
+    };
+    let store = std::sync::Arc::new(Store::with_poison(column, cache, PoisonPlan::from_env()));
     let service = Service::new(store, ServiceConfig { threads, ..ServiceConfig::default() });
     let opts = QueryOptions {
         deadline: deadline_ms.map(std::time::Duration::from_millis),
         threads: Some(threads),
+        no_fused,
     };
     let result = service.sum_where(lo, hi, &opts).map_err(|e| e.to_string())?;
     println!(
@@ -322,6 +332,15 @@ pub fn query(
         result.value.vectors_scanned,
         result.value.vectors_skipped,
         result.elapsed.as_secs_f64() * 1e3
+    );
+    let path = match (result.pages_fused, result.pages_materialized) {
+        (0, _) => "materialized",
+        (_, 0) => "fused",
+        _ => "mixed",
+    };
+    println!(
+        "scan path: {path} ({} pages fused, {} materialized; {} valid / {} NaN values scanned)",
+        result.pages_fused, result.pages_materialized, result.value.valid, result.value.invalid
     );
     if result.loss.is_complete() {
         println!("result complete: every page served");

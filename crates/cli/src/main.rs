@@ -9,9 +9,10 @@
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64> [--threads N]         ratio/speed of every codec
-//! alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]
+//! alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]
 //!                predicated sum through the query service (cache, deadlines,
-//!                quarantine — ALP_FAULT_SEED injects bad pages)
+//!                quarantine — ALP_FAULT_SEED injects bad pages; --no-fused
+//!                forces the materializing scan path)
 //! alp codecs                                    list the codec registry
 //! alp datasets                                  list generatable datasets
 //! alp analyze    [--root <path>] [--format text|json]   workspace lint pass
@@ -67,7 +68,8 @@ fn main() -> ExitCode {
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
     let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
-    if let Some(unknown) = flags.iter().find(|f| f.as_str() != "--f32") {
+    let no_fused = flags.iter().any(|f| f.as_str() == "--no-fused");
+    if let Some(unknown) = flags.iter().find(|f| !matches!(f.as_str(), "--f32" | "--no-fused")) {
         eprintln!("unknown flag {unknown}");
         return usage();
     }
@@ -93,7 +95,9 @@ fn main() -> ExitCode {
                 ("stats", [input]) => commands::stats(input, f32_mode),
                 ("gen", [dataset, n, output]) => commands::generate(dataset, n, output),
                 ("shootout", [input]) => commands::shootout(input, threads),
-                ("query", [input, lo, hi]) => commands::query(input, lo, hi, threads, deadline_ms),
+                ("query", [input, lo, hi]) => {
+                    commands::query(input, lo, hi, threads, deadline_ms, no_fused)
+                }
                 ("codecs", []) => commands::list_codecs(),
                 ("datasets", []) => commands::list_datasets(),
                 _ => return usage(),
@@ -113,7 +117,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

@@ -7,7 +7,29 @@
 
 use crate::codec::{verify_lossless, Capabilities, ColumnCodec};
 use crate::error::CoreError;
+use crate::scan::{ScanAgg, ScanPredicate, ScanResult};
 use crate::scratch::Scratch;
+
+/// Merges a per-vector min into the running min with the same tie semantics
+/// as the sequential fold in [`crate::scan::scan_values`] (earlier value wins
+/// ties, e.g. `0.0` vs `-0.0`), keeping fused and materializing scans
+/// bit-identical.
+fn merge_min(acc: Option<f64>, v: Option<f64>) -> Option<f64> {
+    match (acc, v) {
+        (Some(a), Some(b)) => Some(if a <= b { a } else { b }),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+/// Max-side twin of [`merge_min`].
+fn merge_max(acc: Option<f64>, v: Option<f64>) -> Option<f64> {
+    match (acc, v) {
+        (Some(a), Some(b)) => Some(if a >= b { a } else { b }),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
 
 /// Shared compress path of the seven per-value baselines.
 fn baseline_compress(
@@ -359,7 +381,12 @@ impl ColumnCodec for Alp {
         "ALP"
     }
     fn caps(&self) -> Capabilities {
-        Capabilities { random_vector_access: true, f32: true, ..Capabilities::vector() }
+        Capabilities {
+            random_vector_access: true,
+            f32: true,
+            fused_scan: true,
+            ..Capabilities::vector()
+        }
     }
     fn try_compress_into(
         &self,
@@ -371,6 +398,67 @@ impl ColumnCodec for Alp {
         out.clear();
         out.extend_from_slice(&alp::format::to_bytes(&compressed));
         Ok(())
+    }
+    /// Fused scan: per-vector unpack→FOR→patch→predicate→aggregate kernels
+    /// with mid-stream exception patching; ALP_rd vectors (no decimal fast
+    /// path) decode into scratch and scan. Bit-identical to the default
+    /// materialize-then-scan — per-vector chains added in vector order.
+    fn try_scan_fused(
+        &self,
+        bytes: &[u8],
+        count: usize,
+        pred: ScanPredicate,
+        agg: ScanAgg,
+        scratch: &mut Scratch,
+    ) -> Result<ScanResult, CoreError> {
+        let compressed = alp::format::from_bytes::<f64>(bytes)?;
+        if compressed.len != count {
+            return Err(CoreError::LengthMismatch {
+                codec: "alp",
+                expected: count,
+                actual: compressed.len,
+            });
+        }
+        let with_minmax = matches!(agg, ScanAgg::All);
+        let mut floats = std::mem::take(&mut scratch.floats);
+        floats.clear();
+        floats.resize(alp::VECTOR_SIZE, 0.0);
+        let mut result = ScanResult::new();
+        for (rg_idx, rg) in compressed.rowgroups.iter().enumerate() {
+            for v_idx in 0..rg.vector_count() {
+                let scan = compressed.try_scan_vector(
+                    rg_idx,
+                    v_idx,
+                    pred.lo,
+                    pred.hi,
+                    with_minmax,
+                    &mut floats,
+                );
+                let Ok(scan) = scan else {
+                    // Unreachable: both indices come from the iteration above.
+                    scratch.floats = floats;
+                    return Err(CoreError::Unsupported {
+                        codec: "alp",
+                        what: "fused scan of an out-of-range vector",
+                    });
+                };
+                result.sum += scan.sum;
+                result.matches += scan.matches;
+                result.min = merge_min(result.min, scan.min);
+                result.max = merge_max(result.max, scan.max);
+                let mut remaining = scan.len;
+                for &w in scan.valid.iter() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let bits = remaining.min(64);
+                    result.validity.push_word(w, bits);
+                    remaining -= bits;
+                }
+            }
+        }
+        scratch.floats = floats;
+        Ok(result)
     }
     fn try_decompress_into(
         &self,

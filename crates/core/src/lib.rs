@@ -25,10 +25,12 @@ pub mod error;
 pub mod impls;
 pub mod par;
 pub mod registry;
+pub mod scan;
 pub mod scratch;
 
 pub use codec::{Capabilities, ColumnCodec};
 pub use container::{try_read_container_into, write_container, Container};
 pub use error::CoreError;
 pub use registry::{Registry, SPEED_IDS, TABLE4_IDS};
+pub use scan::{scan_values, ScanAgg, ScanPredicate, ScanResult, Validity};
 pub use scratch::Scratch;

@@ -12,6 +12,9 @@
 //! * [`bitpack`] — pack/unpack `u64` values to any width `0..=64`.
 //! * [`ffor`] — Frame-Of-Reference fused with bit-packing (the paper's FFOR),
 //!   plus deliberately *unfused* variants for the Figure 5 kernel-fusion ablation.
+//! * [`fused`] — fused unpack + FOR-add + predicate + aggregate scan kernels
+//!   over the interleaved layout (compressed-domain filtering, no
+//!   materialization).
 //! * [`delta`] — delta + zigzag encoding for sorted-ish data.
 //! * [`rle`] — run-length encoding with separate run-value / run-length streams.
 //! * [`dict`] — dictionary encoding with packed codes.
@@ -31,6 +34,7 @@ pub mod delta;
 pub mod dict;
 pub mod dispatch;
 pub mod ffor;
+pub mod fused;
 pub mod interleaved;
 pub mod rle;
 

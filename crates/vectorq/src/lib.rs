@@ -162,6 +162,18 @@ pub struct FilteredSum {
     pub vectors_scanned: usize,
     /// Vectors skipped purely from their zone map.
     pub vectors_skipped: usize,
+    /// Non-NaN values among everything actually scanned (validity-bitmap
+    /// popcounts; zone-skipped vectors contribute nothing).
+    pub valid: usize,
+    /// NaN values among everything actually scanned.
+    pub invalid: usize,
+}
+
+impl FilteredSum {
+    /// Additive identity: nothing scanned yet.
+    pub const fn zero() -> Self {
+        Self { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0, valid: 0, invalid: 0 }
+    }
 }
 
 /// Why [`Column::try_decompress_vector_at`] could not deliver a vector.
@@ -264,8 +276,7 @@ impl Column {
     /// disjoint — the skipping disadvantage of block-based compression the
     /// paper describes.
     pub fn sum_where(&self, lo: f64, hi: f64) -> FilteredSum {
-        let mut result =
-            FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        let mut result = FilteredSum::zero();
         match &self.storage {
             Storage::Blocks(_, blocks) => {
                 let mut vector_idx = 0usize;
@@ -330,12 +341,22 @@ impl Column {
                 }
             }
             Storage::Alp(c) => {
+                // Fused compressed-domain scan: unpack, FOR-add, exception
+                // patch, predicate and aggregate in one pass per vector with
+                // no intermediate `Vec<f64>`. The kernel's accumulation chain
+                // matches `accumulate` bit-for-bit (see `alp::scan_vector`),
+                // so this path and the materializing one agree exactly.
                 let mut buf = vec![0.0f64; VECTOR_SIZE];
                 for v in 0..c.rowgroups[m].vector_count() {
                     if self.zone_maps[*vector_idx].overlaps(lo, hi) {
                         result.vectors_scanned += 1;
-                        let n = c.decompress_vector(m, v, &mut buf);
-                        accumulate(&buf[..n], lo, hi, result);
+                        let scan = c
+                            .try_scan_vector(m, v, lo, hi, false, &mut buf)
+                            .expect("scanning coordinates this column produced");
+                        result.sum += scan.sum;
+                        result.matches += scan.matches;
+                        result.valid += scan.valid_count();
+                        result.invalid += scan.invalid_count();
                     } else {
                         result.vectors_skipped += 1;
                     }
@@ -503,6 +524,10 @@ impl Column {
     /// (≥ 1024 elements); returns the live count. For block-based storage
     /// (GPZip) this inflates the whole containing block — the penalty the
     /// paper attributes to general-purpose compression.
+    // ANALYZER-ALLOW(no-panic): the bytes were produced in-memory by this
+    // column's own compressor, so a decode failure here is a codec bug, not
+    // untrusted input — fallible callers (`try_aggregate`) never feed this
+    // path external bytes.
     pub fn decompress_vector_at(&self, vector_idx: usize, out: &mut [f64]) -> usize {
         assert!(out.len() >= VECTOR_SIZE);
         match &self.storage {
@@ -629,20 +654,110 @@ impl Column {
         }
     }
 
+    /// Fused per-vector scan — unpack→FOR→patch→predicate→aggregate in one
+    /// pass, returning the vector's partial aggregates plus validity and hit
+    /// bitmaps without materializing a `Vec<f64>`. `Ok(None)` means this
+    /// storage has no fused kernel (vector- or block-granular codec bytes);
+    /// the caller materializes instead. Partials fold bit-identically to
+    /// [`Column::sum_where`]'s materializing chain.
+    pub fn try_scan_vector_fused(
+        &self,
+        vector_idx: usize,
+        lo: f64,
+        hi: f64,
+        scratch: &mut Scratch,
+    ) -> Result<Option<alp::VectorScan<f64>>, VectorAccessError> {
+        let vectors = self.zone_maps.len();
+        if vector_idx >= vectors {
+            return Err(VectorAccessError::OutOfRange { vector: vector_idx, vectors });
+        }
+        match &self.storage {
+            Storage::Alp(c) => {
+                // The corrupt-exception fallback inside `try_scan_vector`
+                // stages through a float buffer; lend it the scratch one.
+                // Only grow it — re-zeroing 8 KB per vector would cost the
+                // fused path its no-materialization win, and the fallback
+                // overwrites whatever it reads.
+                let mut buf = std::mem::take(&mut scratch.floats);
+                if buf.len() < VECTOR_SIZE {
+                    buf.resize(VECTOR_SIZE, 0.0);
+                }
+                let scan = c
+                    .try_scan_vector(
+                        vector_idx / ROWGROUP_VECTORS,
+                        vector_idx % ROWGROUP_VECTORS,
+                        lo,
+                        hi,
+                        false,
+                        &mut buf,
+                    )
+                    .map_err(VectorAccessError::Index);
+                scratch.floats = buf;
+                scan.map(Some)
+            }
+            Storage::Uncompressed(values) => {
+                // Already materialized: scan the stored slice in place — the
+                // fused path's "no intermediate copy" win applies here too.
+                let start = vector_idx.saturating_mul(VECTOR_SIZE);
+                let end = start.saturating_add(VECTOR_SIZE).min(values.len());
+                let live = values
+                    .get(start..end)
+                    .ok_or(VectorAccessError::OutOfRange { vector: vector_idx, vectors })?;
+                let mut scan = alp::VectorScan::empty(live.len());
+                alp::scan_decoded(live, lo, hi, false, &mut scan);
+                Ok(Some(scan))
+            }
+            Storage::Vectors(..) | Storage::Blocks(..) => Ok(None),
+        }
+    }
+
+    /// Whether [`Column::try_scan_vector_fused`] has a real fused path for
+    /// this column's storage.
+    pub fn supports_fused_scan(&self) -> bool {
+        matches!(self.storage, Storage::Alp(_) | Storage::Uncompressed(_))
+    }
+
     /// `SELECT row_ids WHERE lo <= x <= hi` with zone-map push-down: returns
     /// global row indices of matching values.
+    ///
+    /// The selection vector is derived from per-vector hit-bitmap words:
+    /// fused storages hand the bitmap back straight from the compressed
+    /// domain, other storages materialize and build the same words — either
+    /// way ids come from a `trailing_zeros` sparse-word walk, so vectors with
+    /// few (or no) matches cost almost nothing beyond the scan itself.
     pub fn filter_indices(&self, lo: f64, hi: f64) -> Vec<u64> {
         let mut ids = Vec::new();
         let mut buf = vec![0.0f64; VECTOR_SIZE];
+        let mut scratch = Scratch::new();
         for (v_idx, zm) in self.zone_maps.iter().enumerate() {
             if !zm.overlaps(lo, hi) {
                 continue;
             }
-            let n = self.decompress_vector_at(v_idx, &mut buf);
             let base = (v_idx * VECTOR_SIZE) as u64;
-            for (i, &x) in buf[..n].iter().enumerate() {
-                if x >= lo && x <= hi {
-                    ids.push(base + i as u64);
+            let words = match self
+                .try_scan_vector_fused(v_idx, lo, hi, &mut scratch)
+                .expect("scanning coordinates this column produced")
+            {
+                Some(scan) => scan.hits,
+                None => {
+                    let n = self.decompress_vector_at(v_idx, &mut buf);
+                    let mut words = [0u64; alp::SCAN_WORDS];
+                    for (j, chunk) in buf[..n].chunks(64).enumerate() {
+                        let mut word = 0u64;
+                        for (i, &x) in chunk.iter().enumerate() {
+                            word |= ((x >= lo && x <= hi) as u64) << i;
+                        }
+                        words[j] = word;
+                    }
+                    words
+                }
+            };
+            for (w_idx, &word) in words.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as u64;
+                    ids.push(base + (w_idx as u64) * 64 + bit);
+                    w &= w - 1;
                 }
             }
         }
@@ -676,18 +791,24 @@ fn fold_bits(v: &[f64]) -> u64 {
 
 /// Adds the in-range values of `v` into `result` (branch-predictable
 /// predicated accumulation). Shared with [`service`] so a cached page scans
-/// bit-identically to the column's own operators.
+/// bit-identically to the column's own operators — and the exact chain the
+/// fused scan kernels reproduce (`alp::scan_vector`): one sequential scalar
+/// sum per vector, added into the running total afterwards.
 #[inline]
 pub(crate) fn accumulate(v: &[f64], lo: f64, hi: f64, result: &mut FilteredSum) {
     let mut sum = 0.0;
     let mut matches = 0usize;
+    let mut invalid = 0usize;
     for &x in v {
         let hit = x >= lo && x <= hi;
         sum += if hit { x } else { 0.0 };
         matches += hit as usize;
+        invalid += x.is_nan() as usize;
     }
     result.sum += sum;
     result.matches += matches;
+    result.valid += v.len() - invalid;
+    result.invalid += invalid;
 }
 
 #[cfg(test)]

@@ -135,6 +135,13 @@ impl LossReport {
 pub struct QueryResult {
     /// The aggregate over every healthy page.
     pub value: FilteredSum,
+    /// Pages scanned in the compressed domain — the fused
+    /// unpack→FOR→patch→predicate→aggregate path, chosen on a predicted
+    /// cache bypass (and never when [`QueryOptions::no_fused`] is set).
+    pub pages_fused: usize,
+    /// Pages scanned from a materialized buffer: cache hits, plus misses
+    /// whose decoded page was worth admitting for later queries.
+    pub pages_materialized: usize,
     /// Pages that could not be served; empty for a complete result.
     pub loss: LossReport,
     /// Wall-clock time inside the service (queueing included).
@@ -347,7 +354,7 @@ impl Store {
         lo: f64,
         hi: f64,
     ) -> FilteredSum {
-        let mut part = FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        let mut part = FilteredSum::zero();
         let zones = self.column.zone_maps();
         let mut offset = 0usize;
         for v in v0..v1 {
@@ -366,6 +373,41 @@ impl Store {
         part
     }
 
+    /// Scans a page in the compressed domain: one fused
+    /// unpack→FOR→patch→predicate→aggregate pass per overlapping vector,
+    /// with no page buffer. `Ok(None)` means some vector had no fused kernel
+    /// after all (the caller materializes); `Err` is a decode failure the
+    /// caller quarantines, exactly like a materializing failure.
+    fn scan_page_fused(
+        &self,
+        v0: usize,
+        v1: usize,
+        lo: f64,
+        hi: f64,
+        scratch: &mut Scratch,
+    ) -> Result<Option<FilteredSum>, crate::VectorAccessError> {
+        let mut part = FilteredSum::zero();
+        let zones = self.column.zone_maps();
+        for v in v0..v1 {
+            let Some(zone) = zones.get(v) else { break };
+            if !zone.overlaps(lo, hi) {
+                part.vectors_skipped += 1;
+                continue;
+            }
+            match self.column.try_scan_vector_fused(v, lo, hi, scratch)? {
+                Some(scan) => {
+                    part.vectors_scanned += 1;
+                    part.sum += scan.sum;
+                    part.matches += scan.matches;
+                    part.valid += scan.valid_count();
+                    part.invalid += scan.invalid_count();
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(part))
+    }
+
     /// One morsel of a query: serve page `page` through the cache, decoding
     /// on a miss. Runs on a worker inside the governed runner, so an
     /// injected [`PoisonKind::Panic`] unwinds into the containment seam.
@@ -374,7 +416,21 @@ impl Store {
     /// only some of its vectors overlap the predicate. Zone maps still prune
     /// at two levels — a fully-disjoint page is never decoded at all, and
     /// disjoint vectors inside a decoded page are skipped during the scan.
-    fn execute_page(&self, page: usize, lo: f64, hi: f64, ctx: &mut PageCtx) -> PageOutcome {
+    ///
+    /// Path selection on a miss: when the decoded page could never be
+    /// admitted anyway ([`PageCache::would_admit`] predicts a bypass) and the
+    /// storage has a fused kernel, the page is scanned in the compressed
+    /// domain without materializing at all. Admitting misses still
+    /// materialize and insert, so later queries hit a warm cache; cache hits
+    /// scan the cached page. All three routes fold bit-identically.
+    fn execute_page(
+        &self,
+        page: usize,
+        lo: f64,
+        hi: f64,
+        no_fused: bool,
+        ctx: &mut PageCtx,
+    ) -> PageOutcome {
         if self.is_quarantined(page) {
             return PageOutcome::Skipped(LossReason::Quarantined);
         }
@@ -401,7 +457,20 @@ impl Store {
             None => {}
         }
         if let Some(values) = self.cache.get(page) {
-            return PageOutcome::Scanned(self.scan_page_values(&values, v0, v1, lo, hi));
+            return PageOutcome::Scanned {
+                part: self.scan_page_values(&values, v0, v1, lo, hi),
+                fused: false,
+            };
+        }
+        let page_bytes = self.page_rows(page).saturating_mul(core::mem::size_of::<f64>());
+        if !no_fused && self.column.supports_fused_scan() && !self.cache.would_admit(page_bytes) {
+            // Predicted bypass: caching the decoded page is impossible, so
+            // materializing it buys nothing — scan fused instead.
+            match self.scan_page_fused(v0, v1, lo, hi, &mut ctx.scratch) {
+                Ok(Some(part)) => return PageOutcome::Scanned { part, fused: true },
+                Ok(None) => {} // no fused kernel after all — materialize below
+                Err(e) => return PageOutcome::Skipped(LossReason::Decode(e.to_string())),
+            }
         }
         ctx.page_buf.clear();
         for v in v0..v1 {
@@ -421,7 +490,7 @@ impl Store {
                 ctx.page_buf = reclaimed;
             }
         }
-        PageOutcome::Scanned(part)
+        PageOutcome::Scanned { part, fused: false }
     }
 }
 
@@ -441,8 +510,15 @@ impl PageCtx {
 
 /// What one page morsel produced.
 enum PageOutcome {
-    /// Healthy page, scanned (possibly with some vectors zone-pruned).
-    Scanned(FilteredSum),
+    /// Healthy page, scanned (possibly with some vectors zone-pruned);
+    /// `fused` records whether the scan ran in the compressed domain.
+    Scanned {
+        /// The page's partial aggregate.
+        part: FilteredSum,
+        /// True for a compressed-domain (fused) scan, false for a scan of a
+        /// materialized buffer.
+        fused: bool,
+    },
     /// Whole page zone-pruned without touching its payload (vector count).
     Pruned(usize),
     /// Page unavailable: quarantined earlier, or failed decode just now.
@@ -517,6 +593,11 @@ pub struct QueryOptions {
     pub deadline: Option<Duration>,
     /// Worker threads for this query; defaults to the service's setting.
     pub threads: Option<usize>,
+    /// Disable the fused compressed-domain scan path: every miss
+    /// materializes, even on a predicted cache bypass (the CLI's
+    /// `--no-fused` escape hatch). Results are bit-identical either way —
+    /// this only trades performance.
+    pub no_fused: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -591,9 +672,10 @@ impl Service {
             t => t,
         };
         let store = &*self.store;
+        let no_fused = opts.no_fused;
         let run =
             run_morsels_governed(threads, store.pages(), &token, PageCtx::new, |ctx, page| {
-                store.execute_page(page, lo, hi, ctx)
+                store.execute_page(page, lo, hi, no_fused, ctx)
             });
         // Quarantine verdicts survive even an abandoned run: a page that
         // poisoned a worker must not get a second chance to do it again.
@@ -606,11 +688,12 @@ impl Service {
                 reason: LossReason::Poisoned(f.message.clone()),
             });
         }
-        let mut value =
-            FilteredSum { sum: 0.0, matches: 0, vectors_scanned: 0, vectors_skipped: 0 };
+        let mut value = FilteredSum::zero();
+        let mut pages_fused = 0usize;
+        let mut pages_materialized = 0usize;
         for (page, outcome) in run.completed {
             match outcome {
-                PageOutcome::Scanned(p) => {
+                PageOutcome::Scanned { part: p, fused } => {
                     // `completed` is sorted by page, so this reduction order —
                     // and therefore the floating-point sum — is independent of
                     // thread count and worker timing.
@@ -618,6 +701,13 @@ impl Service {
                     value.matches += p.matches;
                     value.vectors_scanned += p.vectors_scanned;
                     value.vectors_skipped += p.vectors_skipped;
+                    value.valid += p.valid;
+                    value.invalid += p.invalid;
+                    if fused {
+                        pages_fused += 1;
+                    } else {
+                        pages_materialized += 1;
+                    }
                 }
                 PageOutcome::Pruned(vectors) => value.vectors_skipped += vectors,
                 PageOutcome::Skipped(reason) => {
@@ -634,7 +724,13 @@ impl Service {
             return Err(ServiceError::DeadlineExceeded { elapsed });
         }
         loss.sort_by_key(|p| p.page);
-        Ok(QueryResult { value, loss: LossReport { pages: loss }, elapsed })
+        Ok(QueryResult {
+            value,
+            pages_fused,
+            pages_materialized,
+            loss: LossReport { pages: loss },
+            elapsed,
+        })
     }
 
     /// Snapshot of the store's cache counters (for `bench_json` and the CLI).
@@ -854,6 +950,58 @@ mod tests {
         // lost update is observable.
         assert!(expect > 8);
         assert_eq!(svc.ewma_nanos.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn bypass_misses_scan_fused_and_match_the_materializing_path() {
+        let data = sample(400_000);
+        let column = Column::from_f64(&data, Format::alp());
+        // max_entries = 0: every miss is a predicted bypass → fused scan.
+        let bypass = CacheConfig { max_entries: 0, ..CacheConfig::default_config() };
+        let svc = Service::new(Arc::new(Store::new(column, bypass)), ServiceConfig::default());
+        let fused = svc.sum_where(5.0, 45.0, &QueryOptions::default()).unwrap();
+        assert!(fused.pages_fused > 0, "bypass misses must take the fused path");
+        assert_eq!(fused.pages_materialized, 0);
+        let opts = QueryOptions { no_fused: true, ..QueryOptions::default() };
+        let mat = svc.sum_where(5.0, 45.0, &opts).unwrap();
+        assert_eq!(mat.pages_fused, 0, "--no-fused must force materialization");
+        assert!(mat.pages_materialized > 0);
+        assert_eq!(fused.value.sum.to_bits(), mat.value.sum.to_bits());
+        assert_eq!(fused.value, mat.value, "all counters agree across paths");
+    }
+
+    #[test]
+    fn admitting_misses_still_materialize_and_warm_the_cache() {
+        let svc = Service::new(store(300_000), ServiceConfig::default());
+        let first = svc.sum_where(5.0, 45.0, &QueryOptions::default()).unwrap();
+        assert_eq!(first.pages_fused, 0, "admitting misses materialize for reuse");
+        assert!(first.pages_materialized > 0);
+        let second = svc.sum_where(5.0, 45.0, &QueryOptions::default()).unwrap();
+        assert!(svc.cache_stats().hits > 0, "second query should hit the warm cache");
+        assert_eq!(first.value.sum.to_bits(), second.value.sum.to_bits());
+    }
+
+    #[test]
+    fn validity_counts_agree_across_scan_paths() {
+        let mut data = sample(200_000);
+        for i in (0..data.len()).step_by(97) {
+            data[i] = f64::NAN;
+        }
+        let column = Column::from_f64(&data, Format::alp());
+        let bypass = CacheConfig { max_entries: 0, ..CacheConfig::default_config() };
+        let svc = Service::new(Arc::new(Store::new(column, bypass)), ServiceConfig::default());
+        let (lo, hi) = (f64::NEG_INFINITY, f64::INFINITY);
+        let fused = svc.sum_where(lo, hi, &QueryOptions::default()).unwrap();
+        let mat = svc
+            .sum_where(lo, hi, &QueryOptions { no_fused: true, ..QueryOptions::default() })
+            .unwrap();
+        assert!(fused.pages_fused > 0);
+        assert_eq!((fused.value.valid, fused.value.invalid), (mat.value.valid, mat.value.invalid));
+        let nans = data.iter().filter(|x| x.is_nan()).count();
+        // Every vector has a NaN (97 < 1024), so nothing is pruned and the
+        // scanned-validity counts cover the whole column.
+        assert_eq!(fused.value.invalid, nans);
+        assert_eq!(fused.value.valid, data.len() - nans);
     }
 
     #[test]

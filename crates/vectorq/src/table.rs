@@ -21,41 +21,91 @@ pub enum Aggregate {
     Avg,
 }
 
+/// Min/max accumulator with explicit emptiness: input with no valid (non-NaN)
+/// values stays `None` — never a ±inf sentinel. Both `aggregate` paths fold
+/// through this one helper, so MIN and MAX cannot drift apart again. Ties
+/// keep the earlier value, matching `alp_core::scan_values`' fold.
+#[derive(Debug, Clone, Copy, Default)]
+struct MinMax {
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl MinMax {
+    /// Folds one value; NaNs are invalid and never compared.
+    #[inline]
+    fn update(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.min = Some(match self.min {
+            Some(m) if m <= x => m,
+            _ => x,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m >= x => m,
+            _ => x,
+        });
+    }
+
+    /// Folds every valid value of `values` through a per-chunk validity word
+    /// — the same 64-bit bitmap layout the fused scan produces — so NaN-dense
+    /// chunks cost one popcount-style walk instead of a branch per value.
+    fn update_valid(&mut self, values: &[f64]) {
+        for chunk in values.chunks(64) {
+            let mut word = 0u64;
+            for (i, &x) in chunk.iter().enumerate() {
+                word |= ((!x.is_nan()) as u64) << i;
+            }
+            while word != 0 {
+                let i = word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.update(chunk[i]);
+            }
+        }
+    }
+}
+
 impl Column {
     /// Computes an aggregate over the whole column, vector-at-a-time.
-    pub fn aggregate(&self, agg: Aggregate) -> f64 {
+    ///
+    /// `None` means the aggregate is undefined: MIN/MAX over a column with no
+    /// valid (non-NaN) values, or AVG of an empty column. Sentinel infinities
+    /// never leak out of an all-invalid page.
+    pub fn try_aggregate(&self, agg: Aggregate) -> Option<f64> {
         let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut minmax = MinMax::default();
         let mut count = 0usize;
         let mut buf = vec![0.0f64; VECTOR_SIZE];
         for v_idx in 0..self.zone_maps().len() {
             let n = self.decompress_vector_at(v_idx, &mut buf);
             count += n;
+            let live = buf.get(..n).unwrap_or(&buf);
             match agg {
-                Aggregate::Sum | Aggregate::Avg => sum += buf[..n].iter().sum::<f64>(),
-                Aggregate::Min => {
-                    min = buf[..n].iter().copied().filter(|v| !v.is_nan()).fold(min, f64::min)
-                }
-                Aggregate::Max => {
-                    max = buf[..n].iter().copied().filter(|v| !v.is_nan()).fold(max, f64::max)
-                }
+                Aggregate::Sum | Aggregate::Avg => sum += live.iter().sum::<f64>(),
+                Aggregate::Min | Aggregate::Max => minmax.update_valid(live),
                 Aggregate::Count => {}
             }
         }
         match agg {
-            Aggregate::Sum => sum,
-            Aggregate::Min => min,
-            Aggregate::Max => max,
-            Aggregate::Count => count as f64,
+            Aggregate::Sum => Some(sum),
+            Aggregate::Min => minmax.min,
+            Aggregate::Max => minmax.max,
+            Aggregate::Count => Some(count as f64),
             Aggregate::Avg => {
                 if count == 0 {
-                    f64::NAN
+                    None
                 } else {
-                    sum / count as f64
+                    Some(sum / count as f64)
                 }
             }
         }
+    }
+
+    /// Convenience twin of [`Column::try_aggregate`]: undefined aggregates
+    /// (see there) come back as NaN.
+    pub fn aggregate(&self, agg: Aggregate) -> f64 {
+        self.try_aggregate(agg).unwrap_or(f64::NAN)
     }
 }
 
@@ -141,8 +191,7 @@ impl Table {
         let target_col = self.column(target)?;
 
         let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut minmax = MinMax::default();
         let mut count = 0usize;
         let mut vectors_touched = 0usize;
 
@@ -153,38 +202,45 @@ impl Table {
                 continue;
             }
             let n = filter_col.decompress_vector_at(v_idx, &mut fbuf);
-            // Find matches; decompress the target vector only if any exist.
+            // Selection bitmap of the filter vector: one word per 64 rows,
+            // built once, driving both the any-match test and the target
+            // walk — NaNs fail both comparisons, so hit bits are valid bits.
+            let mut hits = [0u64; VECTOR_SIZE / 64];
             let mut any = false;
-            for &x in &fbuf[..n] {
-                if x >= lo && x <= hi {
-                    any = true;
-                    break;
+            for (w, chunk) in fbuf[..n].chunks(64).enumerate() {
+                let mut word = 0u64;
+                for (i, &x) in chunk.iter().enumerate() {
+                    word |= ((x >= lo && x <= hi) as u64) << i;
                 }
+                hits[w] = word;
+                any |= word != 0;
             }
             if !any {
+                // Decompress the target vector only when matches exist.
                 continue;
             }
             vectors_touched += 1;
             let tn = target_col.decompress_vector_at(v_idx, &mut tbuf);
             debug_assert_eq!(n, tn);
-            for i in 0..n {
-                let x = fbuf[i];
-                if x >= lo && x <= hi {
+            for (w, &word) in hits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let i = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
                     let t = tbuf[i];
                     count += 1;
                     sum += t;
-                    if !t.is_nan() {
-                        min = min.min(t);
-                        max = max.max(t);
-                    }
+                    minmax.update(t);
                 }
             }
         }
 
         let value = match agg {
             Aggregate::Sum => sum,
-            Aggregate::Min => min,
-            Aggregate::Max => max,
+            // All-invalid selections are undefined, surfaced as NaN here (the
+            // scalar slot has no `None`) — never a ±inf sentinel.
+            Aggregate::Min => minmax.min.unwrap_or(f64::NAN),
+            Aggregate::Max => minmax.max.unwrap_or(f64::NAN),
             Aggregate::Count => count as f64,
             Aggregate::Avg => {
                 if count == 0 {
@@ -232,6 +288,52 @@ mod tests {
         assert_eq!(col.aggregate(Aggregate::Max), 99.6);
         let avg = sum / data.len() as f64;
         assert!((col.aggregate(Aggregate::Avg) - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_of_all_invalid_pages_is_none_not_infinities() {
+        // Every value NaN: MIN/MAX are undefined, not ±inf sentinels.
+        let col = Column::from_f64(&vec![f64::NAN; 2 * VECTOR_SIZE], Format::alp());
+        assert_eq!(col.try_aggregate(Aggregate::Min), None);
+        assert_eq!(col.try_aggregate(Aggregate::Max), None);
+        assert!(col.aggregate(Aggregate::Min).is_nan());
+        assert!(col.aggregate(Aggregate::Max).is_nan());
+        // Count stays defined; Avg of NaNs is a defined (NaN) mean.
+        assert_eq!(col.try_aggregate(Aggregate::Count), Some((2 * VECTOR_SIZE) as f64));
+
+        // Empty column: MIN/MAX and AVG are undefined.
+        let empty = Column::from_f64(&[], Format::alp());
+        assert_eq!(empty.try_aggregate(Aggregate::Min), None);
+        assert_eq!(empty.try_aggregate(Aggregate::Max), None);
+        assert_eq!(empty.try_aggregate(Aggregate::Avg), None);
+        assert_eq!(empty.try_aggregate(Aggregate::Sum), Some(0.0));
+    }
+
+    #[test]
+    fn min_max_skip_nans_but_keep_live_values() {
+        let mut data: Vec<f64> = (0..3000).map(|i| (i % 100) as f64).collect();
+        data[0] = f64::NAN;
+        data[1500] = f64::NAN;
+        let col = Column::from_f64(&data, Format::alp());
+        assert_eq!(col.try_aggregate(Aggregate::Min), Some(0.0));
+        assert_eq!(col.try_aggregate(Aggregate::Max), Some(99.0));
+    }
+
+    #[test]
+    fn aggregate_where_over_all_nan_targets_is_nan_not_infinite() {
+        let n = 2 * VECTOR_SIZE;
+        let time: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let price = vec![f64::NAN; n];
+        let t = Table::from_columns(vec![
+            ("time", time, Format::alp()),
+            ("price", price, Format::alp()),
+        ])
+        .unwrap();
+        let r = t.aggregate_where("price", Aggregate::Min, "time", 0.0, 100.0).unwrap();
+        assert_eq!(r.matches, 101);
+        assert!(r.value.is_nan(), "all-NaN selection must not yield +inf, got {}", r.value);
+        let r = t.aggregate_where("price", Aggregate::Max, "time", 0.0, 100.0).unwrap();
+        assert!(r.value.is_nan(), "all-NaN selection must not yield -inf, got {}", r.value);
     }
 
     #[test]
