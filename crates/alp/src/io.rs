@@ -7,7 +7,10 @@
 //! streaming layer ([`crate::stream`]) absorbs the *transient* class of these
 //! faults with a bounded [`RetryPolicy`] and surfaces the *hard* class as
 //! typed errors; this module provides both the retry machinery and the
-//! [`FaultyRead`]/[`FaultyWrite`] wrappers the tests use to prove it.
+//! [`FaultyRead`]/[`FaultyWrite`] wrappers the tests use to prove it. The
+//! pipelined ingest path ([`crate::pipeline`]) keeps every sink operation on
+//! the caller thread, so the same retry semantics hold under concurrent
+//! compression.
 //!
 //! Everything is deterministic: a [`FaultPlan`] is a pure function of its
 //! seed and the wrapper's operation/byte counters — no clocks, no global RNG —

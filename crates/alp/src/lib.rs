@@ -45,6 +45,7 @@ pub mod format;
 pub mod hash;
 pub mod io;
 pub mod par;
+pub mod pipeline;
 pub mod rd;
 pub mod rowgroup;
 pub mod sampler;
@@ -57,6 +58,7 @@ pub use encode::{
     decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector,
 };
 pub use par::MorselFailure;
+pub use pipeline::{IngestError, PipelineConfig, PipelinedColumnWriter};
 pub use rowgroup::{
     AlpGroup, Compressed, Compressor, DecompressSalvage, RowGroup, Scheme, VectorIndexError,
 };

@@ -25,7 +25,9 @@
 //! [`fold_morsels`]) re-raise the panic on the calling thread with the
 //! poisoned morsel's index attached, while [`run_morsels_contained`]
 //! quarantines it into a [`MorselFailure`] report and keeps going — the
-//! degraded path behind `decompress_parallel_salvage`.
+//! degraded path behind `decompress_parallel_salvage`, and the seam the
+//! pipelined ingest workers ([`crate::pipeline`]) compress inside so a
+//! poisoned row-group surfaces as a typed error instead of a torn frame.
 //!
 //! No external dependencies: only `std::thread::scope` and atomics.
 

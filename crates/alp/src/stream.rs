@@ -53,6 +53,10 @@ use std::io::{self, Read, Write};
 
 use fastlanes::VECTOR_SIZE;
 
+/// The pipelined ingest path (`alp::stream::pipeline`): same stream bytes,
+/// with compression overlapped onto a worker pool. See [`crate::pipeline`].
+pub use crate::pipeline;
+
 use crate::format::{read_rowgroup, write_rowgroup, FormatError};
 use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::io::{flush_retry, read_full_retry, write_all_retry, RetryPolicy};
@@ -85,7 +89,7 @@ pub struct StreamFooter {
 
 /// On-disk stream flavor, decided by the magic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StreamVersion {
+pub(crate) enum StreamVersion {
     /// `"ALPS"`: bare length-prefixed frames.
     V1,
     /// `"ALPT"`: every frame carries an XXH64 checksum of its body.
@@ -99,8 +103,34 @@ pub struct StreamSummary {
     pub values: usize,
     /// Row-groups emitted.
     pub rowgroups: usize,
-    /// Compressed payload bytes (excluding the 9-byte stream header).
-    pub compressed_bytes: usize,
+    /// Frame bytes written: every length prefix, per-frame checksum, and
+    /// compressed body. Excludes the 5-byte stream header, the 4-byte
+    /// terminator, and the `"ALPT"` commit footer.
+    pub payload_bytes: usize,
+    /// Every byte written to the sink — header, frames, terminator, and
+    /// (for `"ALPT"` streams) the commit footer. After a successful
+    /// [`ColumnWriter::finish`] this equals the sink's length exactly.
+    pub total_bytes: usize,
+}
+
+/// Appends one complete frame — `len:u32 | xxh64:u64 (V2 only) | body` — for
+/// `rg` to `out`. The single frame-encoding routine shared by the serial
+/// [`ColumnWriter`] and the pipelined ingest workers, so both produce
+/// byte-identical streams by construction.
+pub(crate) fn encode_frame<F: AlpFloat>(rg: &RowGroup, version: StreamVersion, out: &mut Vec<u8>) {
+    let prefix = match version {
+        StreamVersion::V1 => 4,
+        StreamVersion::V2 => 4 + 8,
+    };
+    let start = out.len();
+    out.resize(start + prefix, 0);
+    write_rowgroup::<F>(out, rg);
+    let body_len = (out.len() - start - prefix) as u32;
+    out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+    if version == StreamVersion::V2 {
+        let checksum = xxh64(&out[start + prefix..], CHECKSUM_SEED);
+        out[start + 4..start + prefix].copy_from_slice(&checksum.to_le_bytes());
+    }
 }
 
 /// Incremental column writer: buffers up to one row-group, compresses and
@@ -109,7 +139,8 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
     sink: W,
     compressor: Compressor,
     buffer: Vec<F>,
-    rowgroup_values: usize,
+    /// Values buffered before a flush: `flush_rowgroups` full row-groups.
+    flush_values: usize,
     header_written: bool,
     summary: StreamSummary,
     scratch: Vec<u8>,
@@ -120,7 +151,7 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
 impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
     /// Writer with the paper's default sampling parameters.
     pub fn new(sink: W) -> Self {
-        Self::build(sink, Compressor::new(), StreamVersion::V2)
+        Self::build(sink, Compressor::new(), StreamVersion::V2, 1)
     }
 
     /// Writer with custom sampling parameters.
@@ -129,25 +160,49 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
     /// zero `vectors_per_rowgroup`, which would make [`ColumnWriter::push`]
     /// flush empty row-groups forever (it used to be silently clamped to 1).
     pub fn with_params(sink: W, params: SamplerParams) -> Result<Self, ConfigError> {
-        Ok(Self::build(sink, Compressor::with_params(params)?, StreamVersion::V2))
+        Ok(Self::build(sink, Compressor::with_params(params)?, StreamVersion::V2, 1))
+    }
+
+    /// Writer that buffers `flush_rowgroups` full row-groups before each
+    /// compress-and-flush, amortizing sink syscalls for small row-group
+    /// configurations. The emitted stream is byte-identical to a writer
+    /// flushing one row-group at a time.
+    ///
+    /// Returns [`ConfigError`] when `flush_rowgroups` is zero (the writer
+    /// could never flush) or when any count in `params` is zero.
+    pub fn with_flush_rowgroups(
+        sink: W,
+        params: SamplerParams,
+        flush_rowgroups: usize,
+    ) -> Result<Self, ConfigError> {
+        if flush_rowgroups == 0 {
+            return Err(ConfigError { param: "flush_rowgroups" });
+        }
+        Ok(Self::build(sink, Compressor::with_params(params)?, StreamVersion::V2, flush_rowgroups))
     }
 
     /// Writer emitting the legacy pre-checksum `"ALPS"` layout, for
     /// interoperability with readers that predate frame checksums.
     pub fn legacy(sink: W) -> Self {
-        Self::build(sink, Compressor::new(), StreamVersion::V1)
+        Self::build(sink, Compressor::new(), StreamVersion::V1, 1)
     }
 
-    fn build(sink: W, compressor: Compressor, version: StreamVersion) -> Self {
-        // Nonzero: every `Compressor` constructor validates its params.
-        let rowgroup_values = compressor.params().vectors_per_rowgroup * VECTOR_SIZE;
+    fn build(
+        sink: W,
+        compressor: Compressor,
+        version: StreamVersion,
+        flush_rowgroups: usize,
+    ) -> Self {
+        // Nonzero: every `Compressor` constructor validates its params, and
+        // every caller of `build` validates `flush_rowgroups`.
+        let flush_values = flush_rowgroups * compressor.params().vectors_per_rowgroup * VECTOR_SIZE;
         Self {
             sink,
             compressor,
-            buffer: Vec::with_capacity(rowgroup_values),
-            rowgroup_values,
+            buffer: Vec::with_capacity(flush_values),
+            flush_values,
             header_written: false,
-            summary: StreamSummary { values: 0, rowgroups: 0, compressed_bytes: 0 },
+            summary: StreamSummary { values: 0, rowgroups: 0, payload_bytes: 0, total_bytes: 0 },
             scratch: Vec::new(),
             version,
             retry: RetryPolicy::default(),
@@ -166,11 +221,11 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
     pub fn push(&mut self, values: &[F]) -> io::Result<()> {
         let mut rest = values;
         while !rest.is_empty() {
-            let room = self.rowgroup_values - self.buffer.len();
+            let room = self.flush_values - self.buffer.len();
             let take = room.min(rest.len());
             self.buffer.extend_from_slice(&rest[..take]);
             rest = &rest[take..];
-            if self.buffer.len() == self.rowgroup_values {
+            if self.buffer.len() == self.flush_values {
                 self.flush_rowgroup()?;
             }
         }
@@ -190,6 +245,7 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
         }
         self.ensure_header()?;
         write_all_retry(&mut self.sink, &0u32.to_le_bytes(), &self.retry)?;
+        self.summary.total_bytes += 4;
         if self.version == StreamVersion::V2 {
             let mut footer = Vec::with_capacity(COMMIT_FOOTER_LEN);
             footer.put_slice(COMMIT_MAGIC);
@@ -198,6 +254,7 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             let checksum = xxh64(&footer, CHECKSUM_SEED);
             footer.put_u64_le(checksum);
             write_all_retry(&mut self.sink, &footer, &self.retry)?;
+            self.summary.total_bytes += footer.len();
         }
         flush_retry(&mut self.sink, &self.retry)?;
         Ok(self.summary)
@@ -212,36 +269,61 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             write_all_retry(&mut self.sink, magic, &self.retry)?;
             write_all_retry(&mut self.sink, &[F::BITS as u8], &self.retry)?;
             self.header_written = true;
+            self.summary.total_bytes += magic.len() + 1;
         }
         Ok(())
     }
 
+    /// Compresses the buffered values and writes one frame per resulting
+    /// row-group. A flush spanning several row-groups (see
+    /// [`ColumnWriter::with_flush_rowgroups`]) emits them all, in order.
     fn flush_rowgroup(&mut self) -> io::Result<()> {
-        self.ensure_header()?;
-        // Compress exactly one row-group (the buffer never exceeds one).
         let compressed = self.compressor.compress(&self.buffer);
-        debug_assert_eq!(compressed.rowgroups.len(), 1);
-        self.summary.values += self.buffer.len();
+        let values = self.buffer.len();
         self.buffer.clear();
+        self.scratch.clear();
         for rg in &compressed.rowgroups {
-            self.scratch.clear();
-            write_rowgroup::<F>(&mut self.scratch, rg);
-            write_all_retry(
-                &mut self.sink,
-                &(self.scratch.len() as u32).to_le_bytes(),
-                &self.retry,
-            )?;
-            let mut frame_overhead = 4;
-            if self.version == StreamVersion::V2 {
-                let checksum = xxh64(&self.scratch, CHECKSUM_SEED);
-                write_all_retry(&mut self.sink, &checksum.to_le_bytes(), &self.retry)?;
-                frame_overhead += 8;
-            }
-            write_all_retry(&mut self.sink, &self.scratch, &self.retry)?;
-            self.summary.rowgroups += 1;
-            self.summary.compressed_bytes += frame_overhead + self.scratch.len();
+            encode_frame::<F>(rg, self.version, &mut self.scratch);
         }
+        let frames = core::mem::take(&mut self.scratch);
+        let result = self.commit_encoded_frames(&frames, values, compressed.rowgroups.len());
+        self.scratch = frames;
+        result
+    }
+
+    /// Writes pre-encoded frames (see [`encode_frame`]) to the sink and folds
+    /// them into the summary. The commit seam shared with the pipelined
+    /// ingest path: frames land on the sink whole and in order, under the
+    /// writer's retry policy.
+    pub(crate) fn commit_encoded_frames(
+        &mut self,
+        frames: &[u8],
+        values: usize,
+        rowgroups: usize,
+    ) -> io::Result<()> {
+        self.ensure_header()?;
+        write_all_retry(&mut self.sink, frames, &self.retry)?;
+        self.summary.values += values;
+        self.summary.rowgroups += rowgroups;
+        self.summary.payload_bytes += frames.len();
+        self.summary.total_bytes += frames.len();
         Ok(())
+    }
+
+    /// Values a full flush buffer holds (`flush_rowgroups` row-groups' worth).
+    pub(crate) fn flush_values(&self) -> usize {
+        self.flush_values
+    }
+
+    /// The writer's compression parameters (for workers that encode frames
+    /// on its behalf).
+    pub(crate) fn compressor(&self) -> &Compressor {
+        &self.compressor
+    }
+
+    /// The stream flavor this writer emits.
+    pub(crate) fn version(&self) -> StreamVersion {
+        self.version
     }
 }
 
@@ -511,6 +593,8 @@ mod tests {
         }
         let summary = writer.finish().unwrap();
         assert_eq!(summary.values, data.len());
+        assert_eq!(summary.total_bytes, file.len());
+        assert_eq!(summary.total_bytes, 5 + summary.payload_bytes + 4 + COMMIT_FOOTER_LEN);
 
         let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
         let mut restored = Vec::new();
@@ -566,8 +650,104 @@ mod tests {
         let summary = writer.finish().unwrap();
         assert_eq!(summary.values, 0);
         assert_eq!(summary.rowgroups, 0);
+        assert_eq!(summary.payload_bytes, 0);
+        assert_eq!(summary.total_bytes, file.len());
         let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
         assert!(reader.next_rowgroup().unwrap().is_none());
+    }
+
+    /// `finish()` on a never-pushed writer emits a *committed* zero-value
+    /// stream — that is intended behavior, pinned here for the current
+    /// `"ALPT"` layout: the footer attests to zero values and zero
+    /// row-groups, and draining yields `None` without error.
+    #[test]
+    fn never_pushed_v2_commits_an_empty_stream() {
+        let mut file = Vec::new();
+        let writer = ColumnWriter::<f64, _>::new(&mut file);
+        writer.finish().unwrap();
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        assert!(reader.next_rowgroup().unwrap().is_none());
+        assert!(reader.is_committed());
+        assert_eq!(reader.footer(), Some(StreamFooter { values: 0, rowgroups: 0 }));
+        // Draining again stays `None` without error.
+        assert!(reader.next_rowgroup().unwrap().is_none());
+    }
+
+    /// Same pin for the legacy `"ALPS"` layout: the terminator alone commits
+    /// it, and it never carries a footer.
+    #[test]
+    fn never_pushed_v1_commits_an_empty_stream() {
+        let mut file = Vec::new();
+        let writer = ColumnWriter::<f64, _>::legacy(&mut file);
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_bytes, file.len());
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        assert!(reader.next_rowgroup().unwrap().is_none());
+        assert!(reader.is_committed());
+        assert_eq!(reader.footer(), None);
+        assert!(reader.next_rowgroup().unwrap().is_none());
+    }
+
+    /// Regression for the byte-accounting bug: `total_bytes` must equal the
+    /// sink length exactly — header, frames, terminator, and footer all
+    /// included — for both stream versions, and `payload_bytes` must cover
+    /// exactly the frame bytes between header and terminator.
+    #[test]
+    fn summary_accounting_matches_sink_length() {
+        let data: Vec<f64> = (0..150_000).map(|i| ((i % 777) as f64) / 8.0).collect();
+
+        let mut v2 = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut v2);
+        writer.push(&data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_bytes, v2.len());
+        assert_eq!(summary.payload_bytes, v2.len() - 5 - 4 - COMMIT_FOOTER_LEN);
+
+        let mut v1 = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::legacy(&mut v1);
+        writer.push(&data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_bytes, v1.len());
+        assert_eq!(summary.payload_bytes, v1.len() - 5 - 4);
+    }
+
+    #[test]
+    fn zero_flush_rowgroups_is_rejected_with_typed_error() {
+        let sink: Vec<u8> = Vec::new();
+        let err =
+            match ColumnWriter::<f64, _>::with_flush_rowgroups(sink, SamplerParams::default(), 0) {
+                Err(e) => e,
+                Ok(_) => panic!("zero flush_rowgroups must be rejected"),
+            };
+        assert_eq!(err.param, "flush_rowgroups");
+    }
+
+    /// A flush spanning several row-groups must emit one frame per row-group
+    /// and stay byte-identical to the one-row-group-per-flush writer — the
+    /// invariant `flush_rowgroup` used to only `debug_assert!`.
+    #[test]
+    fn multi_rowgroup_flushes_match_serial_writer_bytes() {
+        let params = SamplerParams { vectors_per_rowgroup: 3, ..SamplerParams::default() };
+        // 4.5 row-groups of data: full flushes of 3 row-groups plus a ragged
+        // tail flush that itself spans more than one row-group.
+        let data: Vec<f64> =
+            (0..3 * VECTOR_SIZE * 4 + 1536).map(|i| (i % 555) as f64 / 4.0).collect();
+
+        let mut serial = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::with_params(&mut serial, params).unwrap();
+        writer.push(&data).unwrap();
+        let serial_summary = writer.finish().unwrap();
+
+        let mut batched = Vec::new();
+        let mut writer =
+            ColumnWriter::<f64, _>::with_flush_rowgroups(&mut batched, params, 3).unwrap();
+        writer.push(&data).unwrap();
+        let batched_summary = writer.finish().unwrap();
+
+        assert_eq!(batched, serial);
+        assert_eq!(batched_summary, serial_summary);
+        assert_eq!(batched_summary.total_bytes, batched.len());
+        assert_eq!(batched_summary.rowgroups, 5);
     }
 
     #[test]

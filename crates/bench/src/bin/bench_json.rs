@@ -34,13 +34,20 @@ const SCHEMA: &str = concat!(
     "mark, plus a cache-bypass scan comparison — fused_scan_mbps vs ",
     "materialize_scan_mbps (best-of-N interquartile-band predicated sums on a zero-entry cache, ",
     "fused compressed-domain kernels vs forced materialization) with ",
-    "valid/invalid validity-bitmap counts. Every run also appends one line ",
-    "to results/BENCH_HISTORY.jsonl (see HISTORY_SCHEMA_VERSION)."
+    "valid/invalid validity-bitmap counts. ingest: end-to-end stream-write ",
+    "throughput on the sweep dataset — serial_mbps (inline ColumnWriter) vs ",
+    "pipelined_mbps (worker-pool PipelinedColumnWriter at the resolved ",
+    "threads/depth), best-of-N, byte-identical outputs asserted. Every run ",
+    "also appends one line to results/BENCH_HISTORY.jsonl (see ",
+    "HISTORY_SCHEMA_VERSION)."
 );
 
 /// Version stamp of each `results/BENCH_HISTORY.jsonl` line. Bump when the
 /// per-line keys change; consumers skip lines with unknown versions.
-const HISTORY_SCHEMA_VERSION: u32 = 1;
+/// v2 added the pipelined-ingest keys (`ingest_serial_mbps`,
+/// `ingest_pipelined_mbps`, `ingest_speedup`, `ingest_threads`,
+/// `ingest_depth`).
+const HISTORY_SCHEMA_VERSION: u32 = 2;
 
 /// Dataset the thread sweep runs on: decimal-heavy and scheme-mixed, so both
 /// ALP vector decoding and exception patching are exercised.
@@ -116,6 +123,7 @@ fn main() {
 
     let sweep_json = if batch_ms > 0 { thread_sweep_json() } else { String::new() };
     let service = service_json(batch_ms);
+    let ingest = ingest_json(batch_ms);
 
     let doc = format!(
         concat!(
@@ -128,7 +136,8 @@ fn main() {
             "  \"sweep_dataset\": \"{}\",\n",
             "  \"records\": [\n{}\n  ],\n",
             "  \"thread_sweep\": [\n{}\n  ],\n",
-            "  \"service\": {}\n",
+            "  \"service\": {},\n",
+            "  \"ingest\": {}\n",
             "}}\n"
         ),
         esc(SCHEMA),
@@ -140,6 +149,7 @@ fn main() {
         records,
         sweep_json,
         service.json,
+        ingest.json,
     );
 
     std::fs::create_dir_all(results_dir()).ok();
@@ -151,13 +161,13 @@ fn main() {
     std::fs::write(&path, &doc).expect("write json");
     println!("wrote {}", path.display());
 
-    append_history(batch_ms, &service);
+    append_history(batch_ms, &service, &ingest);
 }
 
 /// Appends this run's headline numbers as one schema-versioned line of
 /// `results/BENCH_HISTORY.jsonl` — the ROADMAP's perf ledger. The file is
 /// append-only: each run adds a line, so regressions are a diff away.
-fn append_history(batch_ms: u64, service: &ServiceBench) {
+fn append_history(batch_ms: u64, service: &ServiceBench, ingest: &IngestBench) {
     use std::io::Write;
 
     let unix_epoch_s = std::time::SystemTime::now()
@@ -171,7 +181,10 @@ fn append_history(batch_ms: u64, service: &ServiceBench) {
             "\"threads_available\": {}, \"sweep_dataset\": \"{}\", ",
             "\"service_fused_scan_mbps\": {}, ",
             "\"service_materialize_scan_mbps\": {}, ",
-            "\"service_fused_speedup\": {}}}\n"
+            "\"service_fused_speedup\": {}, ",
+            "\"ingest_threads\": {}, \"ingest_depth\": {}, ",
+            "\"ingest_serial_mbps\": {}, \"ingest_pipelined_mbps\": {}, ",
+            "\"ingest_speedup\": {}}}\n"
         ),
         HISTORY_SCHEMA_VERSION,
         unix_epoch_s,
@@ -183,6 +196,11 @@ fn append_history(batch_ms: u64, service: &ServiceBench) {
         json_f64(service.fused_mbps),
         json_f64(service.materialize_mbps),
         json_f64(service.fused_mbps / service.materialize_mbps),
+        ingest.threads,
+        ingest.depth,
+        json_f64(ingest.serial_mbps),
+        json_f64(ingest.pipelined_mbps),
+        json_f64(ingest.pipelined_mbps / ingest.serial_mbps),
     );
     let path = results_dir().join("BENCH_HISTORY.jsonl");
     let appended = std::fs::OpenOptions::new()
@@ -292,6 +310,89 @@ fn service_json(batch_ms: u64) -> ServiceBench {
         json_f64(fused_mbps / materialize_mbps),
     );
     ServiceBench { json, fused_mbps, materialize_mbps }
+}
+
+/// The pipelined-ingest section plus the headline numbers the history
+/// ledger reuses.
+struct IngestBench {
+    json: String,
+    /// Worker threads the pipelined run used (caller thread included).
+    threads: usize,
+    /// In-flight row-group bound of the pipelined run.
+    depth: usize,
+    /// End-to-end stream-write throughput, inline `ColumnWriter`.
+    serial_mbps: f64,
+    /// Same ingest through the `PipelinedColumnWriter` worker pool.
+    pipelined_mbps: f64,
+}
+
+/// End-to-end ingest comparison on the sweep dataset: the serial
+/// `ColumnWriter` versus the `PipelinedColumnWriter` at the resolved
+/// thread/depth knobs, chunked pushes, best-of-N wall clock, byte-identical
+/// streams asserted every rep.
+fn ingest_json(batch_ms: u64) -> IngestBench {
+    use alp_core::ingest::{
+        resolve_pipeline_depth, ColumnWriter, PipelineConfig, PipelinedColumnWriter,
+    };
+
+    let data = bench::dataset(SWEEP_DATASET);
+    let threads = alp_core::par::resolve_threads(None);
+    let depth = resolve_pipeline_depth(None);
+    let reps = if batch_ms == 0 { 1 } else { 5 };
+    // Push granularity: smaller than a row-group, as a streaming source
+    // delivering batches would.
+    let chunk = 64 * 1024;
+
+    let mut serial_s = f64::INFINITY;
+    let mut serial_stream = Vec::new();
+    for _ in 0..reps {
+        let mut sink = Vec::new();
+        let t0 = std::time::Instant::now();
+        let mut writer = ColumnWriter::<f64, _>::new(&mut sink);
+        for c in data.chunks(chunk) {
+            writer.push(c).expect("serial ingest push");
+        }
+        let summary = writer.finish().expect("serial ingest finish");
+        serial_s = serial_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(summary.total_bytes, sink.len(), "summary must match sink length");
+        serial_stream = sink;
+    }
+
+    let config = PipelineConfig { threads, depth, panic_at: None };
+    let mut pipelined_s = f64::INFINITY;
+    let mut rowgroups = 0usize;
+    for _ in 0..reps {
+        let mut sink = Vec::new();
+        let t0 = std::time::Instant::now();
+        let mut writer = PipelinedColumnWriter::<f64, _>::new(&mut sink, config);
+        for c in data.chunks(chunk) {
+            writer.push(c).expect("pipelined ingest push");
+        }
+        let summary = writer.finish().expect("pipelined ingest finish");
+        pipelined_s = pipelined_s.min(t0.elapsed().as_secs_f64());
+        rowgroups = summary.rowgroups;
+        assert_eq!(sink, serial_stream, "pipelined ingest must be byte-identical to serial");
+    }
+
+    let mb = (data.len() * 8) as f64 / 1e6;
+    let (serial_mbps, pipelined_mbps) = (mb / serial_s, mb / pipelined_s);
+    let json = format!(
+        concat!(
+            "{{\"dataset\": \"{}\", \"threads\": {}, \"depth\": {}, ",
+            "\"rowgroups\": {}, \"stream_bytes\": {}, ",
+            "\"serial_mbps\": {}, \"pipelined_mbps\": {}, \"speedup\": {}}}"
+        ),
+        esc(SWEEP_DATASET),
+        threads,
+        depth,
+        rowgroups,
+        serial_stream.len(),
+        json_f64(serial_mbps),
+        json_f64(pipelined_mbps),
+        json_f64(pipelined_mbps / serial_mbps),
+    );
+    eprintln!("ingest done: serial {serial_mbps:.0} MB/s, pipelined {pipelined_mbps:.0} MB/s");
+    IngestBench { json, threads, depth, serial_mbps, pipelined_mbps }
 }
 
 /// Runs the 1/2/4/N morsel-scheduler sweep on every codec with a timed byte

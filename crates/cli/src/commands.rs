@@ -53,9 +53,103 @@ pub fn compress(input: &str, output: &str, f32_mode: bool) -> Result<()> {
     Ok(())
 }
 
+/// `alp compress <in> <out> --stream [--threads N] [--pipeline-depth D]`
+///
+/// Writes the incremental `"ALPT"` stream layout through the pipelined
+/// ingest path: row-group N compresses on a worker pool while row-group N+1
+/// fills. The bytes are identical to the serial stream writer at every
+/// thread count and depth; `--threads 1` runs fully inline.
+pub fn compress_stream(
+    input: &str,
+    output: &str,
+    f32_mode: bool,
+    threads: usize,
+    depth: Option<usize>,
+) -> Result<()> {
+    use alp_core::ingest::{resolve_pipeline_depth, PipelineConfig, PipelinedColumnWriter};
+    use std::io::BufWriter;
+
+    fn run<F: alp::AlpFloat>(
+        data: &[F],
+        output: &str,
+        config: PipelineConfig,
+        t0: Instant,
+        raw_bits: f64,
+    ) -> Result<()> {
+        let sink = BufWriter::new(fs::File::create(output)?);
+        let mut writer = PipelinedColumnWriter::<F, _>::new(sink, config);
+        // Chunked pushes, as a real source would deliver them.
+        for chunk in data.chunks(64 * 1024) {
+            writer.push(chunk)?;
+        }
+        let summary = writer.finish()?;
+        let secs = t0.elapsed().as_secs_f64();
+        let raw_mb = summary.values as f64 * raw_bits / 8.0 / 1e6;
+        println!(
+            "{} values -> {} bytes streamed in {} row-groups  \
+             ({:.2} bits/value, {:.0} ms, {:.0} MB/s, threads={}, depth={})",
+            summary.values,
+            summary.total_bytes,
+            summary.rowgroups,
+            summary.payload_bytes as f64 * 8.0 / summary.values.max(1) as f64,
+            secs * 1e3,
+            raw_mb / secs.max(1e-9),
+            config.threads,
+            config.depth,
+        );
+        Ok(())
+    }
+
+    let config = PipelineConfig { threads, depth: resolve_pipeline_depth(depth), panic_at: None };
+    let t0 = Instant::now();
+    if f32_mode {
+        run::<f32>(&read_f32(input)?, output, config, t0, 32.0)
+    } else {
+        run::<f64>(&read_f64(input)?, output, config, t0, 64.0)
+    }
+}
+
+/// Drains an `"ALPT"`/`"ALPS"` stream into raw little-endian floats.
+fn decompress_stream(bytes: &[u8], output: &str) -> Result<()> {
+    use alp::stream::ColumnReader;
+    let bits = *bytes.get(4).ok_or("file too short")?;
+    match bits {
+        64 => {
+            let mut reader = ColumnReader::<f64, _>::new(bytes)?;
+            let mut data = Vec::new();
+            while let Some(values) = reader.next_rowgroup()? {
+                data.extend(values);
+            }
+            write_f64(output, &data)?;
+            let committed = if reader.is_committed() { "committed" } else { "UNCOMMITTED" };
+            println!("{} values ({committed} stream) -> {output}", data.len());
+        }
+        32 => {
+            let mut reader = ColumnReader::<f32, _>::new(bytes)?;
+            let mut data = Vec::new();
+            while let Some(values) = reader.next_rowgroup()? {
+                data.extend(values);
+            }
+            let raw: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+            fs::write(output, raw)?;
+            let committed = if reader.is_committed() { "committed" } else { "UNCOMMITTED" };
+            println!("{} values (f32, {committed} stream) -> {output}", data.len());
+        }
+        other => return Err(format!("unsupported float width {other}").into()),
+    }
+    Ok(())
+}
+
 /// `alp decompress <in> <out>`
 pub fn decompress(input: &str, output: &str) -> Result<()> {
     let bytes = fs::read(input)?;
+    // Streams (`"ALPT"` / legacy `"ALPS"`) and columns share the
+    // width-at-byte-4 convention; the magic picks the reader.
+    if bytes.len() >= 4
+        && (&bytes[..4] == alp::stream::STREAM_MAGIC || &bytes[..4] == alp::stream::STREAM_MAGIC_V1)
+    {
+        return decompress_stream(&bytes, output);
+    }
     // Peek at the width byte (after the 4-byte magic).
     let bits = *bytes.get(4).ok_or("file too short")?;
     match bits {
@@ -384,6 +478,12 @@ pub fn list_codecs() -> Result<()> {
         }
         if caps.block_based {
             tags.push("block-based");
+        }
+        if caps.fused_scan {
+            tags.push("fused-scan");
+        }
+        if caps.streaming_ingest {
+            tags.push("streaming-ingest");
         }
         if tags.is_empty() {
             tags.push("-");

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! alp compress   <in.f64> <out.alp> [--f32]     raw LE floats -> ALP column
-//! alp decompress <in.alp> <out.f64>             ALP column -> raw LE floats
+//!                [--stream [--threads N] [--pipeline-depth D]]
+//!                --stream writes the incremental "ALPT" stream layout via
+//!                the pipelined ingest path (compression overlapped with
+//!                file reads; identical bytes at every N and D)
+//! alp decompress <in.alp> <out.f64>             ALP column/stream -> raw LE floats
 //! alp inspect    <in.alp>                       header, row-groups, schemes
 //! alp verify     <in.alp> [--threads N]         checksum + salvage report
 //!                exit codes: 0 clean, 3 salvageable, 4 unreadable, 1 error
@@ -48,6 +52,22 @@ fn main() -> ExitCode {
         }
         args.drain(i..=i + 1);
     }
+    // `--pipeline-depth` (compress --stream) takes a value too.
+    let mut depth_flag: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--pipeline-depth") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--pipeline-depth requires a value");
+            return usage();
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => depth_flag = Some(n),
+            _ => {
+                eprintln!("--pipeline-depth expects a positive integer, got {value:?}");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     // `--deadline-ms` (query) takes a value too.
     let mut deadline_ms: Option<u64> = None;
     if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
@@ -69,7 +89,10 @@ fn main() -> ExitCode {
         args.iter().partition(|a| a.starts_with("--"));
     let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
     let no_fused = flags.iter().any(|f| f.as_str() == "--no-fused");
-    if let Some(unknown) = flags.iter().find(|f| !matches!(f.as_str(), "--f32" | "--no-fused")) {
+    let stream_mode = flags.iter().any(|f| f.as_str() == "--stream");
+    if let Some(unknown) =
+        flags.iter().find(|f| !matches!(f.as_str(), "--f32" | "--no-fused" | "--stream"))
+    {
         eprintln!("unknown flag {unknown}");
         return usage();
     }
@@ -78,6 +101,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => {
             let rest: Vec<&str> = rest.iter().map(|s| s.as_str()).collect();
             match (cmd.as_str(), rest.as_slice()) {
+                ("compress", [input, output]) if stream_mode => {
+                    commands::compress_stream(input, output, f32_mode, threads, depth_flag)
+                }
                 ("compress", [input, output]) => commands::compress(input, output, f32_mode),
                 ("decompress", [input, output]) => commands::decompress(input, output),
                 ("inspect", [input]) => commands::inspect(input),
@@ -117,7 +143,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32] [--stream [--threads N] [--pipeline-depth D]]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

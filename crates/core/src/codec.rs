@@ -34,6 +34,11 @@ pub struct Capabilities {
     /// analyzer rule: claiming `fused_scan: true` without overriding
     /// `try_scan_fused` (or vice versa) is a finding.
     pub fused_scan: bool,
+    /// An incremental, bounded-memory stream writer exists for this codec,
+    /// including a pipelined mode that overlaps compression with source
+    /// fill (see [`crate::ingest`]). Columns of any length can be ingested
+    /// without materializing them.
+    pub streaming_ingest: bool,
 }
 
 impl Capabilities {
@@ -46,6 +51,7 @@ impl Capabilities {
             block_based: false,
             cacheable_decode: true,
             fused_scan: false,
+            streaming_ingest: false,
         }
     }
 }

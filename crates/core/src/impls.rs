@@ -385,6 +385,7 @@ impl ColumnCodec for Alp {
             random_vector_access: true,
             f32: true,
             fused_scan: true,
+            streaming_ingest: true,
             ..Capabilities::vector()
         }
     }

@@ -1,0 +1,35 @@
+//! `alp_core::ingest` — the workspace's streaming-ingestion surface.
+//!
+//! Mirrors [`crate::par`]: the machinery lives in `alp` (the serial
+//! [`ColumnWriter`] in `alp::stream`, the pipelined
+//! [`PipelinedColumnWriter`] in `alp::pipeline`) and is re-exported here so
+//! the CLI, the benches, and downstream engines import ingestion through one
+//! module, next to a helper that picks the right mode from resolved knobs.
+//!
+//! Codecs advertising [`Capabilities::streaming_ingest`](crate::Capabilities)
+//! (today: ALP) can ingest unbounded columns through this surface; everything
+//! else still goes through the materializing [`ColumnCodec`](crate::ColumnCodec)
+//! path.
+
+use std::io::Write;
+
+pub use alp::pipeline::{
+    resolve_pipeline_depth, IngestError, PipelineConfig, PipelinedColumnWriter,
+    DEFAULT_PIPELINE_DEPTH, PIPELINE_DEPTH_ENV,
+};
+pub use alp::stream::{ColumnReader, ColumnWriter, StreamError, StreamFooter, StreamSummary};
+
+use alp::AlpFloat;
+
+/// A pipelined column writer from resolved knobs: `threads` and `depth`
+/// follow the same explicit-request → env (`ALP_THREADS`,
+/// `ALP_PIPELINE_DEPTH`) → default chain as the rest of the workspace.
+/// `threads <= 1` (after resolution) yields the serial inline path with the
+/// identical on-disk stream.
+pub fn pipelined_writer<F: AlpFloat, W: Write>(
+    sink: W,
+    threads: Option<usize>,
+    depth: Option<usize>,
+) -> PipelinedColumnWriter<F, W> {
+    PipelinedColumnWriter::new(sink, PipelineConfig::resolve(threads, depth))
+}

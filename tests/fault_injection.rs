@@ -70,7 +70,11 @@ fn transient_faults_are_absorbed_byte_identically() {
         writer.push(&data).unwrap_or_else(|e| panic!("{label}: push failed: {e}"));
         let summary = writer.finish().unwrap_or_else(|e| panic!("{label}: finish failed: {e}"));
         assert_eq!(summary.rowgroups, 3, "{label}");
-        assert_eq!(sink.into_inner(), clean, "{label}: faulty write is not byte-identical");
+        let written = sink.into_inner();
+        // Retried transients must not double-count: the summary tracks the
+        // bytes that reached the sink, not the attempts.
+        assert_eq!(summary.total_bytes, written.len(), "{label}: byte accounting drifted");
+        assert_eq!(written, clean, "{label}: faulty write is not byte-identical");
 
         // Read side: same schedule on the source; the stream must still read
         // committed and bit-exact.
