@@ -25,8 +25,10 @@
 
 use crate::encode::{AlpVector, ExcArena, ExcView};
 use crate::hash::{xxh64, CHECKSUM_SEED};
+use crate::parity::{self, ParityAccumulator, ParityConfig};
 use crate::rd::{RdMeta, RdVector};
 use crate::rowgroup::{AlpGroup, Compressed, RowGroup};
+use crate::sampler::ConfigError;
 use crate::traits::AlpFloat;
 use crate::wire::{GetExt, PutExt};
 
@@ -105,6 +107,51 @@ pub fn to_bytes<F: AlpFloat>(c: &Compressed<F>) -> Vec<u8> {
         out.put_slice(&body);
     }
     out
+}
+
+/// Serializes a compressed column like [`to_bytes`], then appends an XOR
+/// parity section: one checksummed `"ALPP"` parity frame (see
+/// [`crate::parity`]) per `parity.group_size` data frames, the last group
+/// possibly partial. The section trails the payload, so readers that predate
+/// parity — strict and salvage alike — never look at it; parity-aware
+/// salvage ([`from_bytes_salvage`]) uses it to reconstruct any *single*
+/// damaged row-group per group byte-identically.
+///
+/// Returns [`ConfigError`] when the group size is out of range.
+pub fn to_bytes_with_parity<F: AlpFloat>(
+    c: &Compressed<F>,
+    parity: ParityConfig,
+) -> Result<Vec<u8>, ConfigError> {
+    parity.validate()?;
+    let mut out = Vec::with_capacity(c.compressed_bits() / 8 + 64);
+    out.put_slice(MAGIC);
+    out.put_u8(F::BITS as u8);
+    out.put_u64_le(c.len as u64);
+    out.put_u32_le(c.rowgroups.len() as u32);
+    let mut acc = ParityAccumulator::new(parity.group_size);
+    let mut pframes = Vec::new();
+    let mut body = Vec::new();
+    for rg in &c.rowgroups {
+        body.clear();
+        write_rowgroup::<F>(&mut body, rg);
+        let frame_start = out.len();
+        out.put_u32_le(body.len() as u32);
+        out.put_u64_le(xxh64(&body, CHECKSUM_SEED));
+        out.put_slice(&body);
+        if let Some(frame) = out.get(frame_start..) {
+            acc.absorb(frame);
+        }
+        if acc.is_full() {
+            if let Some(pf) = acc.take_frame() {
+                pframes.extend_from_slice(&pf);
+            }
+        }
+    }
+    if let Some(pf) = acc.take_frame() {
+        pframes.extend_from_slice(&pf);
+    }
+    out.extend_from_slice(&pframes);
+    Ok(out)
 }
 
 /// Serializes a compressed column in the legacy `ALP1` layout (no per-row-group
@@ -267,31 +314,185 @@ fn read_framed_rowgroup<F: AlpFloat>(
     Ok(rg)
 }
 
-/// One discovered `ALP2` integrity frame: its stored checksum and body slice.
-struct FrameBounds<'a> {
+/// One delimited `ALP2` frame: the whole frame bytes (the XOR unit of parity
+/// repair) plus its parsed pieces. For a frame whose *length prefix* was
+/// corrupted, `whole` is the opaque damaged region up to the next trustworthy
+/// boundary and `stored`/`body` are best-effort views into it.
+struct LocatedFrame<'a> {
+    /// `rg_len:u32 | checksum:u64 | body`, exactly as written.
+    whole: &'a [u8],
     stored: u64,
     body: &'a [u8],
 }
 
-/// Serial frame-boundary scan over an `ALP2` payload: walks the length
-/// prefixes (cheap — no checksumming, no parsing) and records each frame's
-/// body slice. Stops at the first frame whose length field runs past the
-/// buffer — from there on, byte alignment cannot be trusted.
-fn scan_frames(mut buf: &[u8], rg_count: usize) -> Vec<FrameBounds<'_>> {
-    let mut frames = Vec::with_capacity(rg_count.min(1 << 20));
-    while frames.len() < rg_count {
-        if buf.len() < 4 + 8 {
-            break; // truncated mid-frame-header: the rest is lost
+/// Delimits the frame starting at `off`, bounded by `end`: `Some` when the
+/// 12-byte prefix is present and the recorded length lands inside the region.
+fn frame_at(buf: &[u8], off: usize, end: usize) -> Option<LocatedFrame<'_>> {
+    let region = buf.get(off..end)?;
+    let rg_len = u32::from_le_bytes(region.get(..4)?.try_into().ok()?) as usize;
+    let stored = u64::from_le_bytes(region.get(4..12)?.try_into().ok()?);
+    let total = 12usize.checked_add(rg_len)?;
+    let whole = region.get(..total)?;
+    let body = whole.get(12..)?;
+    Some(LocatedFrame { whole, stored, body })
+}
+
+/// Whether a checksum-verified frame starts at `off` — the resync probe for
+/// re-finding byte alignment after a corrupted length prefix.
+fn verified_frame_at(buf: &[u8], off: usize, end: usize) -> bool {
+    frame_at(buf, off, end).is_some_and(|f| xxh64(f.body, CHECKSUM_SEED) == f.stored)
+}
+
+/// Locates the parity section: the first offset where a checksum-verified
+/// `"ALPP"` parity frame begins. The magic sits at body position (12 bytes
+/// into the frame); the checksum plus the body-layout parse make a false
+/// positive inside packed float data vanishingly unlikely.
+fn find_parity_section(buf: &[u8]) -> Option<usize> {
+    let mut search = 0usize;
+    while let Some(rel) =
+        buf.get(search..)?.windows(4).position(|w| w == parity::PARITY_MAGIC.as_slice())
+    {
+        let pos = search + rel;
+        if let Some(start) = pos.checked_sub(12) {
+            if let Some(f) = frame_at(buf, start, buf.len()) {
+                if xxh64(f.body, CHECKSUM_SEED) == f.stored
+                    && parity::parse_parity_body(f.body).is_some()
+                {
+                    return Some(start);
+                }
+            }
         }
-        let rg_len = buf.get_u32_le() as usize;
-        let stored = buf.get_u64_le();
-        let Some(body) = buf.get(..rg_len) else {
-            break; // implausible length: resync impossible
-        };
-        frames.push(FrameBounds { stored, body });
-        buf.advance(rg_len);
+        search = pos + 1;
+    }
+    None
+}
+
+/// Walks the parity section starting at `off`: one entry per parity group,
+/// in group order. A damaged parity frame with a plausible length becomes
+/// `None` (its group is simply unprotected); an implausible length ends the
+/// walk, since group order past it cannot be trusted. Returns the parsed
+/// sections and the writer's group size (0 when none parsed).
+fn parse_parity_frames(buf: &[u8], mut off: usize) -> (Vec<Option<parity::ParityBody<'_>>>, usize) {
+    let mut sections = Vec::new();
+    let mut group_size = 0usize;
+    while off < buf.len() {
+        let Some(f) = frame_at(buf, off, buf.len()) else { break };
+        off += f.whole.len();
+        if xxh64(f.body, CHECKSUM_SEED) == f.stored {
+            if let Some(pb) = parity::parse_parity_body(f.body) {
+                group_size = group_size.max(pb.group_size);
+                sections.push(Some(pb));
+                continue;
+            }
+        }
+        sections.push(None);
+    }
+    (sections, group_size)
+}
+
+/// The parity group size advertised by `buf`'s trailing parity section, when
+/// the column carries one (located by magic scan and checksum-verified).
+/// `None` for unprotected or unrecognizable buffers — callers use this to
+/// re-encode a repaired column with the same protection it had.
+pub fn parity_group_size(buf: &[u8]) -> Option<usize> {
+    let start = find_parity_section(buf)?;
+    let (sections, group_size) = parse_parity_frames(buf, start);
+    if sections.is_empty() || group_size == 0 {
+        return None;
+    }
+    Some(group_size)
+}
+
+/// Serial frame-boundary walk over the `ALP2` data region `[0, data_end)`,
+/// delimiting up to `rg_count` frames by their length prefixes (cheap — no
+/// checksumming, no parsing).
+///
+/// Without a parity section (`can_resync == false`) this matches the
+/// historical scan: the walk ends at the first implausible length, and
+/// everything past it is lost. With one, the walk *resyncs* instead: the
+/// damaged stretch up to the next checksum-verified frame start (or the
+/// section itself) is recorded as one opaque damaged frame — parity can
+/// reconstruct it — and the walk continues on the re-found alignment.
+fn locate_data_frames(
+    buf: &[u8],
+    data_end: usize,
+    rg_count: usize,
+    can_resync: bool,
+) -> Vec<LocatedFrame<'_>> {
+    let mut frames: Vec<LocatedFrame<'_>> = Vec::with_capacity(rg_count.min(1 << 20));
+    let mut off = 0usize;
+    while frames.len() < rg_count && off < data_end {
+        if let Some(f) = frame_at(buf, off, data_end) {
+            off += f.whole.len();
+            frames.push(f);
+            continue;
+        }
+        if !can_resync {
+            break;
+        }
+        // Corrupted length prefix. The smallest real frame is 12 + 1 bytes,
+        // so the next boundary is at least 13 bytes on.
+        let resync = (off + 13..data_end).find(|&s| verified_frame_at(buf, s, data_end));
+        let span_end = resync.unwrap_or(data_end);
+        let whole = buf.get(off..span_end).unwrap_or(&[]);
+        let stored =
+            whole.get(4..12).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes).unwrap_or(0);
+        let body = whole.get(12..).unwrap_or(&[]);
+        frames.push(LocatedFrame { whole, stored, body });
+        off = span_end;
     }
     frames
+}
+
+/// Reconstructs, per parity group, the single damaged data frame (if any)
+/// from the group's intact frame bytes and its XOR block, decoding the
+/// repaired bytes through the same checksum-verified path as an on-disk
+/// frame. Successfully repaired indices land in `decoded` and `repaired`.
+fn repair_groups<F: AlpFloat>(
+    frames: &[LocatedFrame<'_>],
+    decoded: &mut [Option<RowGroup>],
+    repaired: &mut Vec<usize>,
+    sections: &[Option<parity::ParityBody<'_>>],
+    group_size: usize,
+    rg_count: usize,
+) {
+    if group_size == 0 {
+        return;
+    }
+    for (g, section) in sections.iter().enumerate() {
+        let Some(pb) = section else { continue };
+        let Some(start) = g.checked_mul(group_size) else { break };
+        let Some(group_end) = start.checked_add(pb.count) else { break };
+        let members = start..group_end.min(rg_count);
+        let damaged: Vec<usize> =
+            members.clone().filter(|&i| decoded.get(i).is_none_or(|d| d.is_none())).collect();
+        let Some(&victim) = damaged.first() else { continue };
+        if damaged.len() != 1 {
+            continue; // >= 2 faults in one group: beyond the protection level
+        }
+        let intact: Vec<&[u8]> = members
+            .clone()
+            .filter(|&i| i != victim)
+            .filter_map(|i| frames.get(i).map(|f| f.whole))
+            .collect();
+        if intact.len() + 1 != pb.count {
+            continue; // a member is missing entirely: cannot trust the XOR
+        }
+        let Some(rebuilt) = parity::try_repair_frame(pb.xor, &intact) else { continue };
+        let Some(stored) =
+            rebuilt.get(4..12).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes)
+        else {
+            continue;
+        };
+        let Some(body) = rebuilt.get(12..) else { continue };
+        if let Ok(rg) = decode_frame::<F>(body, stored, victim) {
+            if let Some(slot) = decoded.get_mut(victim) {
+                *slot = Some(rg);
+                repaired.push(victim);
+            }
+        }
+    }
+    repaired.sort_unstable();
 }
 
 /// Deserializes a column previously produced by [`to_bytes`] (or the legacy
@@ -324,6 +525,11 @@ pub struct Salvage<F: AlpFloat> {
     pub column: Compressed<F>,
     /// Indices (in file order) of row-groups that were lost to corruption.
     pub lost_rowgroups: Vec<usize>,
+    /// Indices (in file order) of row-groups that were damaged on disk but
+    /// reconstructed byte-identically from the column's parity section.
+    /// Repaired row-groups are present in `column` and never in
+    /// `lost_rowgroups`.
+    pub repaired_rowgroups: Vec<usize>,
     /// Row-group count the header promised.
     pub total_rowgroups: usize,
     /// Value count the header promised (what `len` would be undamaged).
@@ -341,12 +547,18 @@ impl<F: AlpFloat> Salvage<F> {
 /// returning the survivors and exactly which row-groups were lost.
 ///
 /// With the `ALP2` layout the length prefix of each integrity frame allows
-/// resyncing past a damaged body, so one flipped bit costs one row-group. A
-/// frame whose *length field itself* is implausible (runs past the buffer)
-/// ends recovery — everything from that frame on is reported lost. Legacy
-/// `ALP1` columns have no frames, so the first damaged row-group ends
-/// recovery the same way. A damaged header is unrecoverable and returns
-/// `Err` like [`from_bytes`].
+/// resyncing past a damaged body, so one flipped bit costs *at most* one
+/// row-group — and when the column carries a parity section
+/// ([`to_bytes_with_parity`]), a group's single damaged row-group is
+/// XOR-reconstructed byte-identically and reported in
+/// [`Salvage::repaired_rowgroups`] instead of lost. Two or more damaged
+/// row-groups in one parity group are beyond the protection level and
+/// degrade to the loss report. A frame whose *length field itself* is
+/// implausible ends recovery on parity-less columns; with parity, the reader
+/// rescans for the next checksum-verified frame boundary and continues.
+/// Legacy `ALP1` columns have no frames, so the first damaged row-group ends
+/// recovery outright. A damaged header is unrecoverable and returns `Err`
+/// like [`from_bytes`].
 ///
 /// Single-threaded shorthand for [`from_bytes_salvage_parallel`].
 pub fn from_bytes_salvage<F: AlpFloat>(buf: &[u8]) -> Result<Salvage<F>, FormatError> {
@@ -374,11 +586,17 @@ pub fn from_bytes_salvage_parallel<F: AlpFloat>(
     let rg_count = header.rg_count.min(buf.len() / min_frame + 1);
     let mut rowgroups = Vec::new();
     let mut lost = Vec::new();
+    let mut repaired = Vec::new();
     match header.version {
         Version::V2 => {
-            let frames = scan_frames(buf, rg_count);
-            // Phase 2: verify + decode every discovered frame independently.
-            let decoded = crate::par::map_morsels(
+            // Phase 1 (serial): find the trailing parity section, if any,
+            // then delimit the data frames — resyncing past corrupted length
+            // prefixes only when parity bounds the data region.
+            let pstart = find_parity_section(buf);
+            let data_end = pstart.unwrap_or(buf.len());
+            let frames = locate_data_frames(buf, data_end, rg_count, pstart.is_some());
+            // Phase 2: verify + decode every delimited frame independently.
+            let mut decoded = crate::par::map_morsels(
                 threads,
                 frames.len(),
                 || (),
@@ -387,15 +605,27 @@ pub fn from_bytes_salvage_parallel<F: AlpFloat>(
                     decode_frame::<F>(frame.body, frame.stored, m).ok()
                 },
             );
+            decoded.resize_with(rg_count, || None);
+            // Phase 3 (serial): XOR-reconstruct the single damaged frame of
+            // any group whose parity frame survived.
+            if let Some(pstart) = pstart {
+                let (sections, group_size) = parse_parity_frames(buf, pstart);
+                repair_groups::<F>(
+                    &frames,
+                    &mut decoded,
+                    &mut repaired,
+                    &sections,
+                    group_size,
+                    rg_count,
+                );
+            }
             for (i, rg) in decoded.into_iter().enumerate() {
                 match rg {
                     Some(rg) => rowgroups.push(rg),
-                    // Frame was delimited but damaged inside: one lost
-                    // row-group, the scan already resynced past it.
+                    // Damaged beyond repair (or beyond the scan): lost.
                     None => lost.push(i),
                 }
             }
-            lost.extend(frames.len()..rg_count);
         }
         Version::V1 => {
             let mut i = 0;
@@ -415,6 +645,7 @@ pub fn from_bytes_salvage_parallel<F: AlpFloat>(
     Ok(Salvage {
         column: Compressed::from_rowgroups(rowgroups, salvaged_len),
         lost_rowgroups: lost,
+        repaired_rowgroups: repaired,
         total_rowgroups: rg_count,
         expected_len: header.len,
     })
@@ -768,6 +999,173 @@ mod tests {
         for (a, b) in data.iter().zip(&decoded) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Parity-protected column with several small row-groups: 13 row-groups
+    /// of 2048 values each, parity groups of 4 (3 full groups + 1 partial).
+    fn parity_column_bytes() -> (Vec<f64>, Vec<u8>) {
+        let params = crate::sampler::SamplerParams {
+            vectors_per_rowgroup: 2,
+            ..crate::sampler::SamplerParams::default()
+        };
+        let data: Vec<f64> =
+            (0..13 * 2 * fastlanes::VECTOR_SIZE).map(|i| ((i % 901) as f64) * 0.05).collect();
+        let c = Compressor::with_params(params).unwrap().compress(&data);
+        assert_eq!(c.rowgroups.len(), 13);
+        let bytes = to_bytes_with_parity(&c, ParityConfig { group_size: 4 }).unwrap();
+        (data, bytes)
+    }
+
+    /// Frame spans `(start, end)` of the column's data frames, by length walk.
+    fn data_frame_spans(bytes: &[u8], count: usize) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut off = 4 + 1 + 8 + 4;
+        for _ in 0..count {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            spans.push((off, off + 12 + len));
+            off += 12 + len;
+        }
+        spans
+    }
+
+    fn assert_bit_exact(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parity_column_reads_clean_through_legacy_strict_and_salvage() {
+        let (data, bytes) = parity_column_bytes();
+        // Strict reader (which predates parity) ignores the trailing section.
+        let strict = from_bytes::<f64>(&bytes).unwrap();
+        assert_bit_exact(&data, &strict.decompress());
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert!(salvage.is_complete());
+        assert!(salvage.repaired_rowgroups.is_empty());
+        assert_bit_exact(&data, &salvage.column.decompress());
+    }
+
+    #[test]
+    fn one_damaged_rowgroup_per_group_repairs_byte_identically() {
+        let (data, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        // One victim in each parity group, partial tail group included.
+        let victims = [1usize, 6, 9, 12];
+        let mut bytes = clean.clone();
+        for &v in &victims {
+            let (s, e) = spans[v];
+            bytes[s + 12 + (e - s) / 2] ^= 0x40; // flip a body bit
+        }
+        for threads in [1usize, 4] {
+            let salvage = from_bytes_salvage_parallel::<f64>(&bytes, threads).unwrap();
+            assert_eq!(salvage.repaired_rowgroups, victims, "threads={threads}");
+            assert!(salvage.lost_rowgroups.is_empty());
+            assert!(salvage.is_complete());
+            assert_bit_exact(&data, &salvage.column.decompress());
+        }
+    }
+
+    #[test]
+    fn corrupted_length_prefix_resyncs_and_repairs() {
+        let (data, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        let mut bytes = clean.clone();
+        // Make frame 5's length implausible (runs past the buffer) AND
+        // damage its body so resync alone cannot recover it.
+        let (s, e) = spans[5];
+        bytes[s..s + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes[s + 20] ^= 0xFF;
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert_eq!(salvage.repaired_rowgroups, vec![5]);
+        assert!(salvage.lost_rowgroups.is_empty());
+        assert_bit_exact(&data, &salvage.column.decompress());
+        // With only the length corrupted, resync re-finds the true frame and
+        // no parity repair is even needed.
+        let mut bytes = clean.clone();
+        bytes[s..s + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let _ = e;
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert!(salvage.lost_rowgroups.is_empty());
+        assert_bit_exact(&data, &salvage.column.decompress());
+    }
+
+    #[test]
+    fn two_damaged_in_one_group_degrade_to_loss_report() {
+        let (data, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        let mut bytes = clean;
+        for &v in &[4usize, 6] {
+            let (s, e) = spans[v];
+            bytes[s + 12 + (e - s) / 2] ^= 0x01;
+        }
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert_eq!(salvage.lost_rowgroups, vec![4, 6]);
+        assert!(salvage.repaired_rowgroups.is_empty());
+        assert!(!salvage.is_complete());
+        let expected: Vec<f64> = data
+            .chunks(2 * fastlanes::VECTOR_SIZE)
+            .enumerate()
+            .filter(|(i, _)| *i != 4 && *i != 6)
+            .flat_map(|(_, c)| c.iter().copied())
+            .collect();
+        assert_bit_exact(&expected, &salvage.column.decompress());
+    }
+
+    #[test]
+    fn damaged_parity_section_costs_no_data() {
+        let (data, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        let parity_start = spans.last().unwrap().1;
+        let mut bytes = clean;
+        for b in &mut bytes[parity_start..] {
+            *b ^= 0x5A; // trash the entire parity section
+        }
+        let salvage = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert!(salvage.is_complete());
+        assert!(salvage.repaired_rowgroups.is_empty());
+        assert_bit_exact(&data, &salvage.column.decompress());
+    }
+
+    #[test]
+    fn parallel_parity_salvage_matches_serial() {
+        let (_, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        let mut bytes = clean;
+        let (s0, e0) = spans[2];
+        bytes[s0 + 12 + (e0 - s0) / 3] ^= 0x08; // group 0: repairable
+        let (s1, _) = spans[5];
+        bytes[s1 + 4] ^= 0xFF; // group 1: checksum field damaged, repairable
+        let (s2, e2) = spans[8];
+        bytes[s2 + 13] ^= 0x02;
+        bytes[e2 - 1] ^= 0x02; // still one frame: repairable
+        let serial = from_bytes_salvage::<f64>(&bytes).unwrap();
+        assert_eq!(serial.repaired_rowgroups, vec![2, 5, 8]);
+        for threads in [2, 4] {
+            let par = from_bytes_salvage_parallel::<f64>(&bytes, threads).unwrap();
+            assert_eq!(par.repaired_rowgroups, serial.repaired_rowgroups, "t={threads}");
+            assert_eq!(par.lost_rowgroups, serial.lost_rowgroups);
+            assert_eq!(par.column.decompress(), serial.column.decompress());
+        }
+    }
+
+    #[test]
+    fn truncated_parity_column_still_reads_data_prefix() {
+        let (data, clean) = parity_column_bytes();
+        let spans = data_frame_spans(&clean, 13);
+        // Cut inside the parity section: all data survives, repair is gone.
+        let parity_start = spans.last().unwrap().1;
+        let cut = parity_start + (clean.len() - parity_start) / 2;
+        let salvage = from_bytes_salvage::<f64>(&clean[..cut]).unwrap();
+        assert!(salvage.lost_rowgroups.is_empty());
+        assert_bit_exact(&data, &salvage.column.decompress());
+        // Cut inside the data: the tail (and the parity section with it) is
+        // lost — trailing parity cannot repair truncation, by design.
+        let (s, e) = spans[11];
+        let salvage = from_bytes_salvage::<f64>(&clean[..s + (e - s) / 2]).unwrap();
+        assert!(salvage.lost_rowgroups.contains(&11));
+        assert!(salvage.column.rowgroups.len() <= 11);
     }
 
     #[test]

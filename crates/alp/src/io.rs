@@ -439,6 +439,37 @@ pub fn read_full_retry<R: Read + ?Sized>(
     Ok(())
 }
 
+/// Like [`read_full_retry`], but a short source is not an error: returns
+/// the bytes filled, so a salvage reader can classify a torn tail from the
+/// partial frame it did get. Transient and hard faults behave identically
+/// to [`read_full_retry`].
+pub(crate) fn read_best_effort<R: Read + ?Sized>(
+    source: &mut R,
+    buf: &mut [u8],
+    policy: &RetryPolicy,
+) -> io::Result<usize> {
+    let mut filled = 0usize;
+    let mut transients = 0u32;
+    while let Some(rest) = buf.get_mut(filled..) {
+        if rest.is_empty() {
+            break;
+        }
+        match source.read(rest) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if is_transient(&e) => {
+                transients += 1;
+                if transients > policy.max_attempts {
+                    return Err(exhausted(transients, &e));
+                }
+                policy.backoff(transients);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
 /// Writes all of `buf`, absorbing up to `policy.max_attempts` transient
 /// faults with backoff. Short writes are not faults. A `write` returning
 /// `Ok(0)` is surfaced as [`ErrorKind::WriteZero`].

@@ -32,6 +32,7 @@
 //! * [`cascade`] — Dictionary/RLE cascades (the "LWC+ALP" column of Table 4).
 //! * [`stream`] — incremental `std::io` writer/reader (one row-group in memory).
 //! * [`mod@io`] — fault injection, bounded retry, and the fault taxonomy.
+//! * [`parity`] — XOR erasure protection: parity frames and single-loss repair.
 //! * [`par`] — the morsel-driven scheduler behind the `*_parallel` paths.
 //! * [`analysis`] — the dataset statistics of Table 2.
 
@@ -45,6 +46,7 @@ pub mod format;
 pub mod hash;
 pub mod io;
 pub mod par;
+pub mod parity;
 pub mod pipeline;
 pub mod rd;
 pub mod rowgroup;
@@ -58,6 +60,7 @@ pub use encode::{
     decode_one, encode_one, fast_round, AlpVector, ExcArena, ExcView, OwnedAlpVector,
 };
 pub use par::MorselFailure;
+pub use parity::ParityConfig;
 pub use pipeline::{IngestError, PipelineConfig, PipelinedColumnWriter};
 pub use rowgroup::{
     AlpGroup, Compressed, Compressor, DecompressSalvage, RowGroup, Scheme, VectorIndexError,

@@ -60,6 +60,7 @@ use std::thread::JoinHandle;
 
 use crate::io::RetryPolicy;
 use crate::par::{resolve_threads, run_morsels_contained, MorselFailure};
+use crate::parity::ParityConfig;
 use crate::rowgroup::Compressor;
 use crate::sampler::{ConfigError, SamplerParams};
 use crate::stream::{encode_frame, ColumnWriter, StreamSummary, StreamVersion};
@@ -391,6 +392,32 @@ impl<F: AlpFloat, W: Write> PipelinedColumnWriter<F, W> {
         config: PipelineConfig,
     ) -> Result<Self, ConfigError> {
         Ok(Self::build(ColumnWriter::with_params(sink, params)?, config))
+    }
+
+    /// Pipelined writer with erasure protection (see
+    /// [`ColumnWriter::with_parity`](crate::stream::ColumnWriter::with_parity)).
+    /// Workers only compress; parity is folded in on the caller thread from
+    /// the already-encoded frame bytes inside the shared commit seam, so the
+    /// stream stays byte-identical to the serial parity writer at every
+    /// thread count and pipeline depth.
+    pub fn with_parity(
+        sink: W,
+        config: PipelineConfig,
+        parity: ParityConfig,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::build(ColumnWriter::with_parity(sink, parity)?, config))
+    }
+
+    /// Pipelined writer with custom sampling parameters *and* erasure
+    /// protection. Returns [`ConfigError`] when any count in `params` is
+    /// zero or the parity group size is out of range.
+    pub fn with_params_and_parity(
+        sink: W,
+        params: SamplerParams,
+        config: PipelineConfig,
+        parity: ParityConfig,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::build(ColumnWriter::with_params_and_parity(sink, params, parity)?, config))
     }
 
     fn build(inner: ColumnWriter<F, W>, config: PipelineConfig) -> Self {

@@ -29,6 +29,15 @@
 //! Legacy `"ALPS"` streams (the pre-checksum layout, identical but with no
 //! `xxh64` field and no commit footer) are still read transparently.
 //!
+//! Writers configured with a [`ParityConfig`](crate::parity::ParityConfig)
+//! additionally emit one `"ALPP"` parity frame per `group_size` row-group
+//! frames (see [`crate::parity`]), which upgrades
+//! [`ColumnReader::next_rowgroup_salvaged`] from *skip and report* to
+//! *reconstruct, verify, and report repaired*: any single damaged frame per
+//! group comes back byte-identical. Readers that do not understand parity
+//! resync past the extra frames exactly as they would past damage, so the
+//! layout stays backward-compatible.
+//!
 //! # Example
 //! ```
 //! use alp::stream::{ColumnReader, ColumnWriter};
@@ -57,9 +66,12 @@ use fastlanes::VECTOR_SIZE;
 /// with compression overlapped onto a worker pool. See [`crate::pipeline`].
 pub use crate::pipeline;
 
+use std::collections::VecDeque;
+
 use crate::format::{read_rowgroup, write_rowgroup, FormatError};
 use crate::hash::{xxh64, CHECKSUM_SEED};
-use crate::io::{flush_retry, read_full_retry, write_all_retry, RetryPolicy};
+use crate::io::{flush_retry, read_best_effort, read_full_retry, write_all_retry, RetryPolicy};
+use crate::parity::{self, ParityAccumulator, ParityConfig};
 use crate::rowgroup::{Compressor, RowGroup};
 use crate::sampler::{ConfigError, SamplerParams};
 use crate::traits::AlpFloat;
@@ -133,6 +145,30 @@ pub(crate) fn encode_frame<F: AlpFloat>(rg: &RowGroup, version: StreamVersion, o
     }
 }
 
+/// Total byte length (prefix + body) of the frame at the head of `buf`, or
+/// `None` when `buf` does not hold a whole frame.
+fn frame_total_len(buf: &[u8], version: StreamVersion) -> Option<usize> {
+    let body = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+    let prefix: usize = match version {
+        StreamVersion::V1 => 4,
+        StreamVersion::V2 => 4 + 8,
+    };
+    let total = prefix.checked_add(body)?;
+    (total <= buf.len()).then_some(total)
+}
+
+/// Decodes one row-group frame body into its values; `None` when the body
+/// does not parse as exactly one row-group.
+fn decode_frame_values<F: AlpFloat>(body: &[u8]) -> Option<Vec<F>> {
+    let mut slice = body;
+    let rg = read_rowgroup::<F>(&mut slice).ok()?;
+    if !slice.is_empty() {
+        return None;
+    }
+    let len = rg.len();
+    Some(crate::rowgroup::Compressed::<F>::from_rowgroups(vec![rg], len).decompress())
+}
+
 /// Incremental column writer: buffers up to one row-group, compresses and
 /// frames it, and forwards the bytes to the sink.
 pub struct ColumnWriter<F: AlpFloat, W: Write> {
@@ -146,6 +182,9 @@ pub struct ColumnWriter<F: AlpFloat, W: Write> {
     scratch: Vec<u8>,
     version: StreamVersion,
     retry: RetryPolicy,
+    /// XOR erasure protection: when set, one `"ALPP"` parity frame is
+    /// emitted per `group_size` row-group frames (see [`crate::parity`]).
+    parity: Option<ParityAccumulator>,
 }
 
 impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
@@ -187,6 +226,30 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
         Self::build(sink, Compressor::new(), StreamVersion::V1, 1)
     }
 
+    /// Writer with erasure protection: every `parity.group_size` row-group
+    /// frames are followed by an XOR parity frame, so any *single* damaged
+    /// frame per group is reconstructible on read (see [`crate::parity`]).
+    ///
+    /// Returns [`ConfigError`] when the group size is out of range.
+    pub fn with_parity(sink: W, parity: ParityConfig) -> Result<Self, ConfigError> {
+        Self::with_params_and_parity(sink, SamplerParams::default(), parity)
+    }
+
+    /// Writer with both custom sampling parameters and erasure protection.
+    ///
+    /// Returns [`ConfigError`] when any count in `params` is zero or the
+    /// parity group size is out of range.
+    pub fn with_params_and_parity(
+        sink: W,
+        params: SamplerParams,
+        parity: ParityConfig,
+    ) -> Result<Self, ConfigError> {
+        parity.validate()?;
+        let mut writer = Self::build(sink, Compressor::with_params(params)?, StreamVersion::V2, 1);
+        writer.parity = Some(ParityAccumulator::new(parity.group_size));
+        Ok(writer)
+    }
+
     fn build(
         sink: W,
         compressor: Compressor,
@@ -206,6 +269,7 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             scratch: Vec::new(),
             version,
             retry: RetryPolicy::default(),
+            parity: None,
         }
     }
 
@@ -244,6 +308,15 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
             self.flush_rowgroup()?;
         }
         self.ensure_header()?;
+        // A partial final group still gets its parity frame, so the stream's
+        // tail is as protected as its body.
+        if let Some(acc) = self.parity.as_mut() {
+            if let Some(pframe) = acc.take_frame() {
+                write_all_retry(&mut self.sink, &pframe, &self.retry)?;
+                self.summary.payload_bytes += pframe.len();
+                self.summary.total_bytes += pframe.len();
+            }
+        }
         write_all_retry(&mut self.sink, &0u32.to_le_bytes(), &self.retry)?;
         self.summary.total_bytes += 4;
         if self.version == StreamVersion::V2 {
@@ -302,11 +375,42 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
         rowgroups: usize,
     ) -> io::Result<()> {
         self.ensure_header()?;
-        write_all_retry(&mut self.sink, frames, &self.retry)?;
+        if self.parity.is_none() {
+            write_all_retry(&mut self.sink, frames, &self.retry)?;
+            self.summary.payload_bytes += frames.len();
+            self.summary.total_bytes += frames.len();
+        } else {
+            // Walk the batch frame by frame so each parity frame lands
+            // immediately after the group it closes — the layout is then
+            // independent of flush batching and of the pipelined path, both
+            // of which funnel through this seam.
+            let mut rest = frames;
+            while !rest.is_empty() {
+                let Some(frame_len) = frame_total_len(rest, self.version) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed encoded frame batch",
+                    ));
+                };
+                let (frame, tail) = rest.split_at(frame_len);
+                rest = tail;
+                write_all_retry(&mut self.sink, frame, &self.retry)?;
+                self.summary.payload_bytes += frame.len();
+                self.summary.total_bytes += frame.len();
+                if let Some(acc) = self.parity.as_mut() {
+                    acc.absorb(frame);
+                    if acc.is_full() {
+                        if let Some(pframe) = acc.take_frame() {
+                            write_all_retry(&mut self.sink, &pframe, &self.retry)?;
+                            self.summary.payload_bytes += pframe.len();
+                            self.summary.total_bytes += pframe.len();
+                        }
+                    }
+                }
+            }
+        }
         self.summary.values += values;
         self.summary.rowgroups += rowgroups;
-        self.summary.payload_bytes += frames.len();
-        self.summary.total_bytes += frames.len();
         Ok(())
     }
 
@@ -327,23 +431,57 @@ impl<F: AlpFloat, W: Write> ColumnWriter<F, W> {
     }
 }
 
+/// Frames retained while probing for parity frames in a stream that may not
+/// carry any. A parity group holds at most 255 data frames, so a stream that
+/// has parity always shows its first parity frame within this many frames.
+const PARITY_PROBATION_FRAMES: usize = 256;
+
+/// Byte cap on the same probation window, for streams with huge frames.
+const PARITY_PROBATION_BYTES: usize = 64 << 20;
+
+/// One frame held by the salvage engine between parity resolutions.
+struct PendingFrame<F> {
+    /// Whole frame bytes — length prefix, checksum, and body — as read.
+    /// Intact frames feed XOR reconstruction of a damaged neighbor.
+    bytes: Vec<u8>,
+    /// Frame checksum verified (the bytes are what the writer wrote).
+    verified: bool,
+    /// Decoded values not yet handed to the caller (held while an earlier
+    /// frame in the group is unresolved, to preserve stream order).
+    values: Option<Vec<F>>,
+    /// Values handed out (or the loss recorded): its data index is assigned.
+    emitted: bool,
+}
+
 /// Incremental column reader: yields one decompressed row-group at a time.
 pub struct ColumnReader<F: AlpFloat, R: Read> {
     source: R,
     frame: Vec<u8>,
     done: bool,
     version: StreamVersion,
-    /// Index of the next frame to be read (== frames consumed so far).
+    /// Index of the next *data* row-group (parity frames are not counted).
     next_index: usize,
     /// Row-group indices skipped by the salvage path.
     lost: Vec<usize>,
+    /// Row-group indices the salvage path reconstructed from parity.
+    repaired: Vec<usize>,
     /// Whether the stream's commit record was found intact (see
     /// [`ColumnReader::is_committed`]).
     committed: bool,
     /// The parsed commit footer, when one was found and verified.
     footer: Option<StreamFooter>,
     retry: RetryPolicy,
-    _marker: core::marker::PhantomData<F>,
+    /// Frames since the last resolved parity group (salvage engine state).
+    window: Vec<PendingFrame<F>>,
+    /// Bytes retained in `window`, for the probation cap.
+    window_bytes: usize,
+    /// Decoded row-groups ready to hand out, in stream order.
+    pending: VecDeque<Vec<F>>,
+    /// Parity group size, once learned from a verified parity frame.
+    group_size: Option<usize>,
+    /// Cleared when the probation window fills without a parity frame: the
+    /// stream evidently carries none, so nothing is retained for repair.
+    parity_possible: bool,
 }
 
 /// Errors produced while reading a stream.
@@ -398,10 +536,15 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
             version,
             next_index: 0,
             lost: Vec::new(),
+            repaired: Vec::new(),
             committed: false,
             footer: None,
             retry,
-            _marker: core::marker::PhantomData,
+            window: Vec::new(),
+            window_bytes: 0,
+            pending: VecDeque::new(),
+            group_size: None,
+            parity_possible: version == StreamVersion::V2,
         })
     }
 
@@ -451,55 +594,89 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
     /// parse failure) leave the source positioned at the next frame, which is
     /// what lets [`ColumnReader::next_rowgroup_salvaged`] resync.
     pub fn next_rowgroup_compressed(&mut self) -> Result<Option<RowGroup>, StreamError> {
-        if self.done {
-            return Ok(None);
-        }
-        let mut len_bytes = [0u8; 4];
-        read_full_retry(&mut self.source, &mut len_bytes, &self.retry)?;
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if len == 0 {
-            self.done = true;
-            self.read_commit_footer();
-            return Ok(None);
-        }
-        let mut stored_checksum = 0u64;
-        if self.version == StreamVersion::V2 {
-            let mut checksum_bytes = [0u8; 8];
-            read_full_retry(&mut self.source, &mut checksum_bytes, &self.retry)?;
-            stored_checksum = u64::from_le_bytes(checksum_bytes);
-        }
-        self.frame.resize(len, 0);
-        read_full_retry(&mut self.source, &mut self.frame, &self.retry)?;
-        // The frame is fully consumed from here on: every error below is
-        // recoverable by reading the next frame.
-        let index = self.next_index;
-        self.next_index += 1;
-        if self.version == StreamVersion::V2 {
-            let computed = xxh64(&self.frame, CHECKSUM_SEED);
-            if computed != stored_checksum {
-                return Err(StreamError::Format(FormatError::ChecksumMismatch {
-                    rowgroup: index,
-                    stored: stored_checksum,
-                    computed,
-                }));
+        loop {
+            if self.done {
+                return Ok(None);
             }
+            let mut len_bytes = [0u8; 4];
+            read_full_retry(&mut self.source, &mut len_bytes, &self.retry)?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len == 0 {
+                self.done = true;
+                self.read_commit_footer();
+                return Ok(None);
+            }
+            let mut stored_checksum = 0u64;
+            if self.version == StreamVersion::V2 {
+                let mut checksum_bytes = [0u8; 8];
+                read_full_retry(&mut self.source, &mut checksum_bytes, &self.retry)?;
+                stored_checksum = u64::from_le_bytes(checksum_bytes);
+            }
+            self.frame.resize(len, 0);
+            read_full_retry(&mut self.source, &mut self.frame, &self.retry)?;
+            // The frame is fully consumed from here on: every error below is
+            // recoverable by reading the next frame.
+            if self.version == StreamVersion::V2 {
+                let computed = xxh64(&self.frame, CHECKSUM_SEED);
+                if computed != stored_checksum {
+                    let index = self.next_index;
+                    self.next_index += 1;
+                    return Err(StreamError::Format(FormatError::ChecksumMismatch {
+                        rowgroup: index,
+                        stored: stored_checksum,
+                        computed,
+                    }));
+                }
+                if parity::is_parity_body(&self.frame) {
+                    // Erasure-protection frame, not a row-group: skip it
+                    // without consuming a data index.
+                    continue;
+                }
+            }
+            self.next_index += 1;
+            let mut slice: &[u8] = &self.frame;
+            let rg = read_rowgroup::<F>(&mut slice)?;
+            if !slice.is_empty() {
+                return Err(StreamError::Format(FormatError::Corrupt("row-group frame length")));
+            }
+            return Ok(Some(rg));
         }
-        let mut slice: &[u8] = &self.frame;
-        let rg = read_rowgroup::<F>(&mut slice)?;
-        if !slice.is_empty() {
-            return Err(StreamError::Format(FormatError::Corrupt("row-group frame length")));
-        }
-        Ok(Some(rg))
     }
 
     /// Like [`ColumnReader::next_rowgroup`], but skips damaged frames instead
-    /// of failing, recording their indices in
-    /// [`ColumnReader::lost_rowgroups`]. A torn tail — the source ending
-    /// mid-frame, where resync is impossible because the next frame boundary
-    /// is gone — ends the walk with the cut frame recorded as lost, so the
-    /// caller keeps exactly the committed prefix. Other I/O errors (hard
-    /// faults, exhausted retry budgets) still surface as `Err`.
+    /// of failing — and, when the stream carries parity frames (see
+    /// [`ColumnWriter::with_parity`]), *reconstructs* any single damaged
+    /// frame per group, verifies the repaired frame's checksum, and records
+    /// its index in [`ColumnReader::repaired_rowgroups`]. Frames that remain
+    /// unrecoverable (two or more damaged in one group, or no parity at all)
+    /// are recorded in [`ColumnReader::lost_rowgroups`]. A torn tail — the
+    /// source ending mid-frame, where resync is impossible because the next
+    /// frame boundary is gone — ends the walk with the cut frame recorded as
+    /// lost, so the caller keeps exactly the committed prefix. Other I/O
+    /// errors (hard faults, exhausted retry budgets) still surface as `Err`.
+    ///
+    /// Repair accounting assumes the stream is drained through this method;
+    /// interleaving calls with the strict readers degrades repairs to losses
+    /// (never the other way around).
     pub fn next_rowgroup_salvaged(&mut self) -> Result<Option<Vec<F>>, StreamError> {
+        if self.version == StreamVersion::V1 {
+            return self.next_rowgroup_salvaged_v1();
+        }
+        loop {
+            if let Some(values) = self.pending.pop_front() {
+                return Ok(Some(values));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.pump_salvage()?;
+        }
+    }
+
+    /// The pre-parity salvage walk, still exact for legacy `"ALPS"` streams
+    /// (whose frames carry no checksums, so there is nothing to repair
+    /// against).
+    fn next_rowgroup_salvaged_v1(&mut self) -> Result<Option<Vec<F>>, StreamError> {
         loop {
             let before = self.next_index;
             match self.next_rowgroup() {
@@ -525,10 +702,273 @@ impl<F: AlpFloat, R: Read> ColumnReader<F, R> {
         }
     }
 
+    /// Reads one frame in salvage mode: verified row-groups decode (and are
+    /// handed out as soon as nothing earlier is unresolved), verified parity
+    /// frames resolve the pending group, damaged frames wait in the window
+    /// for reconstruction. Torn tails resolve whatever is pending and end
+    /// the stream.
+    fn pump_salvage(&mut self) -> Result<(), StreamError> {
+        let mut len_bytes = [0u8; 4];
+        if self.read_or_tear(&mut len_bytes)? {
+            return Ok(());
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 {
+            self.done = true;
+            self.read_commit_footer();
+            self.resolve_terminal();
+            return Ok(());
+        }
+        let mut raw = vec![0u8; 4 + 8 + len];
+        if let Some(head) = raw.get_mut(..4) {
+            head.copy_from_slice(&len_bytes);
+        }
+        let expected = raw.len() - 4;
+        let got = match raw.get_mut(4..) {
+            Some(rest) => {
+                read_best_effort(&mut self.source, rest, &self.retry).map_err(StreamError::Io)?
+            }
+            None => 0,
+        };
+        if got < expected {
+            // Torn tail. The partial frame still identifies itself: a cut
+            // that landed inside a *parity* frame costs no data, while a cut
+            // inside a row-group frame is a (possibly repairable) loss.
+            let body_prefix_known = 4 + got >= 16;
+            let parity_tear =
+                body_prefix_known && raw.get(12..16) == Some(parity::PARITY_MAGIC.as_slice());
+            if !parity_tear {
+                self.window.push(PendingFrame {
+                    bytes: Vec::new(),
+                    verified: false,
+                    values: None,
+                    emitted: false,
+                });
+            }
+            self.done = true;
+            self.resolve_terminal();
+            return Ok(());
+        }
+        let stored = raw
+            .get(4..12)
+            .and_then(|b| <[u8; 8]>::try_from(b).ok())
+            .map(u64::from_le_bytes)
+            .unwrap_or(0);
+        let body_checksum = raw.get(12..).map(|body| xxh64(body, CHECKSUM_SEED));
+        let verified = body_checksum == Some(stored);
+
+        if verified {
+            if let Some(body) = raw.get(12..) {
+                if parity::is_parity_body(body) {
+                    match parity::parse_parity_body(body) {
+                        Some(pb) => {
+                            self.group_size = Some(pb.group_size);
+                            self.parity_possible = true;
+                            self.resolve_group(pb.count, pb.xor);
+                            return Ok(());
+                        }
+                        None => {
+                            // Checksummed but malformed parity body: nothing
+                            // to resolve against; fall through as a frame
+                            // that occupies no data slot.
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+
+        let values = if verified { raw.get(12..).and_then(decode_frame_values::<F>) } else { None };
+
+        if !self.parity_possible {
+            // Probation expired with no parity frame in sight: the stream
+            // has none, so nothing is retained and damage is final.
+            let idx = self.next_index;
+            self.next_index += 1;
+            match values {
+                Some(v) => self.pending.push_back(v),
+                None => self.lost.push(idx),
+            }
+            return Ok(());
+        }
+
+        let mut entry = PendingFrame { bytes: raw, verified, values, emitted: false };
+        let holding = self.window.iter().any(|e| !e.emitted);
+        if !holding && entry.verified {
+            // Nothing unresolved ahead of this frame: hand it out (or record
+            // the loss) now, keeping only its bytes for a later repair.
+            let idx = self.next_index;
+            self.next_index += 1;
+            match entry.values.take() {
+                Some(v) => self.pending.push_back(v),
+                None => self.lost.push(idx),
+            }
+            entry.emitted = true;
+        }
+        self.window_bytes += entry.bytes.len();
+        self.window.push(entry);
+        self.enforce_window_bounds();
+        Ok(())
+    }
+
+    /// Reads `buf` in full, or — on a torn tail — records the cut frame as
+    /// damaged, resolves the pending window, and ends the stream. Returns
+    /// `true` when the tail was torn.
+    fn read_or_tear(&mut self, buf: &mut [u8]) -> Result<bool, StreamError> {
+        match read_full_retry(&mut self.source, buf, &self.retry) {
+            Ok(()) => Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.window.push(PendingFrame {
+                    bytes: Vec::new(),
+                    verified: false,
+                    values: None,
+                    emitted: false,
+                });
+                self.done = true;
+                self.resolve_terminal();
+                Ok(true)
+            }
+            Err(e) => Err(StreamError::Io(e)),
+        }
+    }
+
+    /// Caps salvage-window memory: a stream that never shows a parity frame
+    /// within the probation window carries none (groups hold at most 255
+    /// frames), and a stream whose parity frames are themselves repeatedly
+    /// damaged is beyond the single-fault protection level.
+    fn enforce_window_bounds(&mut self) {
+        match self.group_size {
+            Some(k) => {
+                if self.window.len() >= 3 * (k + 1) {
+                    // Two consecutive parity frames lost: resolve what
+                    // position arithmetic still can, and start fresh.
+                    let mut window = core::mem::take(&mut self.window);
+                    self.window_bytes = 0;
+                    self.settle_positional(&mut window, k);
+                }
+            }
+            None => {
+                if self.window.len() >= PARITY_PROBATION_FRAMES
+                    || self.window_bytes >= PARITY_PROBATION_BYTES
+                {
+                    self.parity_possible = false;
+                    let mut window = core::mem::take(&mut self.window);
+                    self.window_bytes = 0;
+                    self.settle_positional(&mut window, 0);
+                }
+            }
+        }
+    }
+
+    /// Resolves the window against a verified parity frame covering its last
+    /// `count` entries: a single damaged frame in the group is rebuilt by
+    /// XOR, self-verified, and handed out in stream order.
+    fn resolve_group(&mut self, count: usize, xor: &[u8]) {
+        let mut window = core::mem::take(&mut self.window);
+        self.window_bytes = 0;
+        let group_start = window.len().saturating_sub(count);
+        let (prefix, group) = window.split_at_mut(group_start);
+        // Entries before the group belong to earlier groups whose parity
+        // frame was itself damaged: position arithmetic settles them.
+        let k = self.group_size.unwrap_or(0);
+        self.settle_positional(prefix, k);
+        // Frames the window never saw (reader started mid-stream or mixed
+        // strict and salvaged reads) block reconstruction but damage nothing.
+        let missing = count.saturating_sub(group.len());
+        let damaged_count = group.iter().filter(|e| !e.verified).count();
+        let mut repaired_values: Option<Vec<F>> = None;
+        if missing == 0 && damaged_count == 1 {
+            let intact: Vec<&[u8]> =
+                group.iter().filter(|e| e.verified).map(|e| e.bytes.as_slice()).collect();
+            if let Some(frame) = parity::try_repair_frame(xor, &intact) {
+                repaired_values = frame.get(12..).and_then(decode_frame_values::<F>);
+            }
+        }
+        for e in group.iter_mut() {
+            if e.emitted {
+                continue;
+            }
+            let idx = self.next_index;
+            self.next_index += 1;
+            if e.verified {
+                match e.values.take() {
+                    Some(v) => self.pending.push_back(v),
+                    None => self.lost.push(idx),
+                }
+            } else if let Some(v) = repaired_values.take() {
+                self.pending.push_back(v);
+                self.repaired.push(idx);
+            } else {
+                self.lost.push(idx);
+            }
+            e.emitted = true;
+        }
+    }
+
+    /// End-of-stream resolution: settle everything still pending by position
+    /// arithmetic, then let a verified footer arbitrate — trailing "losses"
+    /// in excess of its row-group count were parity frames, not data.
+    fn resolve_terminal(&mut self) {
+        let k = self.group_size.unwrap_or(0);
+        let mut window = core::mem::take(&mut self.window);
+        self.window_bytes = 0;
+        self.settle_positional(&mut window, k);
+        if let Some(f) = self.footer {
+            let total = f.rowgroups as usize;
+            while self.next_index > total && self.lost.last() == Some(&(self.next_index - 1)) {
+                self.lost.pop();
+                self.next_index -= 1;
+            }
+            self.committed = total == self.next_index;
+        }
+    }
+
+    /// Settles entries without a resolving parity frame. Verified entries
+    /// are data (parity frames never linger in the window); damaged entries
+    /// are classified by their position within `k + 1`-frame chunks — one
+    /// parity slot per chunk — and a damaged frame sitting in a parity slot
+    /// costs no data. With `k == 0` (no parity knowledge) every damaged
+    /// frame is a data loss, the pre-parity behavior.
+    fn settle_positional(&mut self, entries: &mut [PendingFrame<F>], k: usize) {
+        let mut pos = 0usize;
+        for e in entries.iter_mut() {
+            let parity_slot = k > 0 && pos == k;
+            if parity_slot {
+                pos = 0;
+            } else {
+                pos += 1;
+            }
+            if e.emitted {
+                continue;
+            }
+            if e.verified {
+                let idx = self.next_index;
+                self.next_index += 1;
+                match e.values.take() {
+                    Some(v) => self.pending.push_back(v),
+                    None => self.lost.push(idx),
+                }
+            } else if !parity_slot {
+                let idx = self.next_index;
+                self.next_index += 1;
+                self.lost.push(idx);
+            }
+            e.emitted = true;
+        }
+    }
+
     /// Row-group indices skipped so far by
     /// [`ColumnReader::next_rowgroup_salvaged`].
     pub fn lost_rowgroups(&self) -> &[usize] {
         &self.lost
+    }
+
+    /// Row-group indices reconstructed from parity so far by
+    /// [`ColumnReader::next_rowgroup_salvaged`]. Repaired row-groups are
+    /// byte-identical to what the writer emitted (the reconstruction is
+    /// verified against the frame's own checksum before use).
+    pub fn repaired_rowgroups(&self) -> &[usize] {
+        &self.repaired
     }
 
     /// Whether the stream's commit record was found intact. Meaningful once
@@ -989,6 +1429,201 @@ mod tests {
         writer.push(&data).unwrap();
         writer.finish().unwrap();
         assert_eq!(sink.into_inner(), clean);
+    }
+
+    /// Writes `data` as a parity-protected stream with `vectors_per_rowgroup
+    /// = 2` (small row-groups, many frames) and the given group size.
+    fn parity_stream(data: &[f64], group_size: usize) -> Vec<u8> {
+        let params = SamplerParams { vectors_per_rowgroup: 2, ..SamplerParams::default() };
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::with_params_and_parity(
+            &mut file,
+            params,
+            ParityConfig { group_size },
+        )
+        .unwrap();
+        writer.push(data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_bytes, file.len());
+        file
+    }
+
+    /// Byte ranges `(start, len)` of every frame in a V2 stream, in order.
+    fn frame_spans(file: &[u8]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut at = 5;
+        loop {
+            let len = u32::from_le_bytes(file[at..at + 4].try_into().unwrap()) as usize;
+            if len == 0 {
+                break;
+            }
+            spans.push((at, 12 + len));
+            at += 12 + len;
+        }
+        spans
+    }
+
+    /// Whether the frame at `span` is a parity frame.
+    fn is_parity_span(file: &[u8], span: (usize, usize)) -> bool {
+        file[span.0 + 12..span.0 + span.1].starts_with(parity::PARITY_MAGIC.as_slice())
+    }
+
+    fn drain_salvaged(file: &[u8]) -> (Vec<f64>, Vec<usize>, Vec<usize>, bool) {
+        let mut reader = ColumnReader::<f64, _>::new(file).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        (
+            restored,
+            reader.lost_rowgroups().to_vec(),
+            reader.repaired_rowgroups().to_vec(),
+            reader.is_committed(),
+        )
+    }
+
+    #[test]
+    fn parity_stream_reads_clean_through_strict_and_salvage_paths() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 333) as f64 / 4.0).collect();
+        let file = parity_stream(&data, 4);
+        let spans = frame_spans(&file);
+        let parity_frames = spans.iter().filter(|&&s| is_parity_span(&file, s)).count();
+        let data_frames = spans.len() - parity_frames;
+        // 20_000 values / 2048 per row-group = 10 frames → 2 full groups + 1
+        // partial (tail) group → 3 parity frames.
+        assert_eq!(data_frames, 10);
+        assert_eq!(parity_frames, 3);
+
+        let mut reader = ColumnReader::<f64, _>::new(&file[..]).unwrap();
+        let mut strict = Vec::new();
+        while let Some(values) = reader.next_rowgroup().unwrap() {
+            strict.extend(values);
+        }
+        assert_eq!(strict, data);
+        assert!(reader.is_committed());
+        assert_eq!(reader.footer().unwrap().rowgroups, 10);
+
+        let (salvaged, lost, repaired, committed) = drain_salvaged(&file);
+        assert_eq!(salvaged, data);
+        assert!(lost.is_empty());
+        assert!(repaired.is_empty());
+        assert!(committed);
+    }
+
+    #[test]
+    fn single_damaged_frame_per_group_is_repaired_byte_identically() {
+        let data: Vec<f64> = (0..20_000).map(|i| ((i % 777) as f64) / 8.0).collect();
+        let file = parity_stream(&data, 4);
+        let spans = frame_spans(&file);
+        let data_spans: Vec<(usize, usize)> =
+            spans.iter().copied().filter(|&s| !is_parity_span(&file, s)).collect();
+        // One damaged data frame in each of the three groups, including the
+        // partial tail group — every one must come back repaired.
+        for &victim in &[1usize, 6, 9] {
+            let mut hurt = file.clone();
+            let (start, len) = data_spans[victim];
+            hurt[start + len / 2] ^= 0x40;
+            let (restored, lost, repaired, committed) = drain_salvaged(&hurt);
+            assert_eq!(restored, data, "victim {victim} must restore bit-exactly");
+            assert!(lost.is_empty(), "victim {victim} must not be lost");
+            assert_eq!(repaired, vec![victim]);
+            assert!(committed);
+        }
+    }
+
+    #[test]
+    fn two_damaged_frames_in_one_group_degrade_to_loss_report() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 555) as f64 / 2.0).collect();
+        let file = parity_stream(&data, 4);
+        let spans = frame_spans(&file);
+        let data_spans: Vec<(usize, usize)> =
+            spans.iter().copied().filter(|&s| !is_parity_span(&file, s)).collect();
+        let mut hurt = file.clone();
+        for &victim in &[4usize, 6] {
+            let (start, len) = data_spans[victim];
+            hurt[start + len / 2] ^= 0x08;
+        }
+        let (restored, lost, repaired, committed) = drain_salvaged(&hurt);
+        assert_eq!(lost, vec![4, 6]);
+        assert!(repaired.is_empty());
+        assert!(committed, "in-place damage does not un-commit a stream");
+        // Everything outside the two lost row-groups is intact and ordered.
+        let rg = 2 * VECTOR_SIZE;
+        let mut expect = Vec::new();
+        for (i, chunk) in data.chunks(rg).enumerate() {
+            if i != 4 && i != 6 {
+                expect.extend_from_slice(chunk);
+            }
+        }
+        assert_eq!(restored, expect);
+    }
+
+    #[test]
+    fn damaged_parity_frame_costs_no_data() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 999) as f64 / 16.0).collect();
+        let file = parity_stream(&data, 4);
+        let spans = frame_spans(&file);
+        let parity_spans: Vec<(usize, usize)> =
+            spans.iter().copied().filter(|&s| is_parity_span(&file, s)).collect();
+        for &(start, len) in &parity_spans {
+            let mut hurt = file.clone();
+            hurt[start + len / 2] ^= 0x01;
+            let (restored, lost, repaired, committed) = drain_salvaged(&hurt);
+            assert_eq!(restored, data);
+            assert!(lost.is_empty());
+            assert!(repaired.is_empty());
+            assert!(committed);
+        }
+    }
+
+    #[test]
+    fn truncation_into_tail_parity_keeps_all_data() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 444) as f64 / 4.0).collect();
+        let file = parity_stream(&data, 4);
+        let spans = frame_spans(&file);
+        let &(pstart, plen) = spans.iter().rfind(|&&s| is_parity_span(&file, s)).unwrap();
+        // Cut mid-way through the final (tail) parity frame: every data
+        // frame is intact, so nothing is lost — but the commit record is
+        // gone, so the stream reads as uncommitted.
+        let cut = pstart + plen / 2;
+        let mut reader = ColumnReader::<f64, _>::new(&file[..cut]).unwrap();
+        let mut restored = Vec::new();
+        while let Some(values) = reader.next_rowgroup_salvaged().unwrap() {
+            restored.extend(values);
+        }
+        assert_eq!(restored, data);
+        assert!(reader.lost_rowgroups().is_empty());
+        assert!(!reader.is_committed());
+    }
+
+    #[test]
+    fn parity_accounting_matches_sink_length() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i % 321) as f64 / 2.0).collect();
+        let params = SamplerParams { vectors_per_rowgroup: 2, ..SamplerParams::default() };
+        let mut file = Vec::new();
+        let mut writer = ColumnWriter::<f64, _>::with_params_and_parity(
+            &mut file,
+            params,
+            ParityConfig { group_size: 4 },
+        )
+        .unwrap();
+        writer.push(&data).unwrap();
+        let summary = writer.finish().unwrap();
+        assert_eq!(summary.total_bytes, file.len());
+        assert_eq!(summary.total_bytes, 5 + summary.payload_bytes + 4 + COMMIT_FOOTER_LEN);
+        // Parity frames count as payload bytes but never as row-groups.
+        assert_eq!(summary.rowgroups, 10);
+        assert_eq!(summary.values, data.len());
+    }
+
+    #[test]
+    fn zero_parity_group_size_is_rejected_with_typed_error() {
+        let sink: Vec<u8> = Vec::new();
+        let err = match ColumnWriter::<f64, _>::with_parity(sink, ParityConfig { group_size: 0 }) {
+            Err(e) => e,
+            Ok(_) => panic!("zero parity group size must be rejected"),
+        };
+        assert_eq!(err.param, "parity group_size");
     }
 
     #[test]

@@ -131,14 +131,23 @@ impl Default for Config {
                 "refill",
                 "advance",
                 "untranspose",
+                // Self-healing paths (DESIGN.md §16): parity reconstruction
+                // and the scrubber run on damaged or quarantined input, the
+                // least trustworthy bytes in the system.
+                "repair",
+                "scrub",
             ]),
             pairing_files: strings(&[
                 "crates/codecs/src/*",
                 "crates/gpzip/src/*",
                 "crates/alp/src/format.rs",
                 "crates/alp/src/stream.rs",
+                // Parity reconstruction decodes damaged frames; its decode
+                // entry points need fallible twins like any other reader.
+                "crates/alp/src/parity.rs",
                 // The query service decodes untrusted-by-policy pages: its
                 // public decompress entry points need fallible twins too.
+                // (`crates/vectorq/src/scrub.rs` rides this glob.)
                 "crates/vectorq/src/*",
             ]),
             wire_files: strings(&["crates/alp/src/format.rs", "crates/alp/src/stream.rs"]),

@@ -44,6 +44,20 @@ fn no_panic_good_is_clean() {
 }
 
 #[test]
+fn repair_bad_flags_the_panicking_xor_fold() {
+    // Labeled as the real parity module: `repair_rowgroup` matches the
+    // `repair` decode-name pattern inside the `alp` decode crate.
+    let found = scan("crates/alp/src/parity.rs", include_str!("fixtures/repair_bad.rs"));
+    assert_eq!(found, pairs(&[("no-panic", 9)]));
+}
+
+#[test]
+fn repair_good_is_clean() {
+    let found = scan("crates/alp/src/parity.rs", include_str!("fixtures/repair_good.rs"));
+    assert_eq!(found, pairs(&[]));
+}
+
+#[test]
 fn undocumented_unsafe_bad_flags_the_block() {
     let found = scan("crates/alp/src/unsafe_fix.rs", include_str!("fixtures/unsafe_bad.rs"));
     assert_eq!(found, pairs(&[("undocumented-unsafe", 4)]));

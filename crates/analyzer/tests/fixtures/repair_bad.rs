@@ -1,0 +1,13 @@
+//! Known-bad fixture for `no-panic` on the parity repair path: the XOR fold
+//! indexes the accumulator with the frame's length, so a frame longer than
+//! the parity body panics mid-repair (covered via the `repair` name pattern).
+
+pub fn repair_rowgroup(frames: &[Vec<u8>], parity: &[u8]) -> Vec<u8> {
+    let mut out = parity.to_vec();
+    for frame in frames {
+        for (i, byte) in frame.iter().enumerate() {
+            out[i] ^= *byte;
+        }
+    }
+    out
+}

@@ -37,8 +37,12 @@ const SCHEMA: &str = concat!(
     "valid/invalid validity-bitmap counts. ingest: end-to-end stream-write ",
     "throughput on the sweep dataset — serial_mbps (inline ColumnWriter) vs ",
     "pipelined_mbps (worker-pool PipelinedColumnWriter at the resolved ",
-    "threads/depth), best-of-N, byte-identical outputs asserted. Every run ",
-    "also appends one line to results/BENCH_HISTORY.jsonl (see ",
+    "threads/depth), best-of-N, byte-identical outputs asserted. scrub: one ",
+    "background-scrubber pass over a seeded-corruption store (quarantine via ",
+    "a full scan, heal, then a timed scrub_once) — scrub_pass_ms is the ",
+    "pass's wall clock, repair_mbps the decoded bytes of re-verified pages ",
+    "per second, pages_repaired the quarantined pages returned to service. ",
+    "Every run also appends one line to results/BENCH_HISTORY.jsonl (see ",
     "HISTORY_SCHEMA_VERSION)."
 );
 
@@ -46,8 +50,9 @@ const SCHEMA: &str = concat!(
 /// per-line keys change; consumers skip lines with unknown versions.
 /// v2 added the pipelined-ingest keys (`ingest_serial_mbps`,
 /// `ingest_pipelined_mbps`, `ingest_speedup`, `ingest_threads`,
-/// `ingest_depth`).
-const HISTORY_SCHEMA_VERSION: u32 = 2;
+/// `ingest_depth`); v3 added the scrubber keys (`scrub_pass_ms`,
+/// `scrub_repair_mbps`, `scrub_pages_repaired`).
+const HISTORY_SCHEMA_VERSION: u32 = 3;
 
 /// Dataset the thread sweep runs on: decimal-heavy and scheme-mixed, so both
 /// ALP vector decoding and exception patching are exercised.
@@ -124,6 +129,7 @@ fn main() {
     let sweep_json = if batch_ms > 0 { thread_sweep_json() } else { String::new() };
     let service = service_json(batch_ms);
     let ingest = ingest_json(batch_ms);
+    let scrub = scrub_json(batch_ms);
 
     let doc = format!(
         concat!(
@@ -137,7 +143,8 @@ fn main() {
             "  \"records\": [\n{}\n  ],\n",
             "  \"thread_sweep\": [\n{}\n  ],\n",
             "  \"service\": {},\n",
-            "  \"ingest\": {}\n",
+            "  \"ingest\": {},\n",
+            "  \"scrub\": {}\n",
             "}}\n"
         ),
         esc(SCHEMA),
@@ -150,6 +157,7 @@ fn main() {
         sweep_json,
         service.json,
         ingest.json,
+        scrub.json,
     );
 
     std::fs::create_dir_all(results_dir()).ok();
@@ -161,13 +169,13 @@ fn main() {
     std::fs::write(&path, &doc).expect("write json");
     println!("wrote {}", path.display());
 
-    append_history(batch_ms, &service, &ingest);
+    append_history(batch_ms, &service, &ingest, &scrub);
 }
 
 /// Appends this run's headline numbers as one schema-versioned line of
 /// `results/BENCH_HISTORY.jsonl` — the ROADMAP's perf ledger. The file is
 /// append-only: each run adds a line, so regressions are a diff away.
-fn append_history(batch_ms: u64, service: &ServiceBench, ingest: &IngestBench) {
+fn append_history(batch_ms: u64, service: &ServiceBench, ingest: &IngestBench, scrub: &ScrubBench) {
     use std::io::Write;
 
     let unix_epoch_s = std::time::SystemTime::now()
@@ -184,7 +192,9 @@ fn append_history(batch_ms: u64, service: &ServiceBench, ingest: &IngestBench) {
             "\"service_fused_speedup\": {}, ",
             "\"ingest_threads\": {}, \"ingest_depth\": {}, ",
             "\"ingest_serial_mbps\": {}, \"ingest_pipelined_mbps\": {}, ",
-            "\"ingest_speedup\": {}}}\n"
+            "\"ingest_speedup\": {}, ",
+            "\"scrub_pass_ms\": {}, \"scrub_repair_mbps\": {}, ",
+            "\"scrub_pages_repaired\": {}}}\n"
         ),
         HISTORY_SCHEMA_VERSION,
         unix_epoch_s,
@@ -201,6 +211,9 @@ fn append_history(batch_ms: u64, service: &ServiceBench, ingest: &IngestBench) {
         json_f64(ingest.serial_mbps),
         json_f64(ingest.pipelined_mbps),
         json_f64(ingest.pipelined_mbps / ingest.serial_mbps),
+        json_f64(scrub.pass_ms),
+        json_f64(scrub.repair_mbps),
+        scrub.pages_repaired,
     );
     let path = results_dir().join("BENCH_HISTORY.jsonl");
     let appended = std::fs::OpenOptions::new()
@@ -393,6 +406,85 @@ fn ingest_json(batch_ms: u64) -> IngestBench {
     );
     eprintln!("ingest done: serial {serial_mbps:.0} MB/s, pipelined {pipelined_mbps:.0} MB/s");
     IngestBench { json, threads, depth, serial_mbps, pipelined_mbps }
+}
+
+/// The background-scrubber section plus the headline numbers the history
+/// ledger reuses.
+struct ScrubBench {
+    json: String,
+    /// Wall clock of one healing `scrub_once` pass, milliseconds.
+    pass_ms: f64,
+    /// Decoded bytes of re-verified pages per second during that pass.
+    repair_mbps: f64,
+    /// Quarantined pages the pass returned to service.
+    pages_repaired: usize,
+}
+
+/// One detect→contain→repair cycle on the sweep dataset: a seeded poison
+/// plan quarantines a deterministic page set during a full scan, the fault
+/// is healed, and a single `scrub_once` pass re-verifies and un-quarantines
+/// every page — timed best-of-N with a fresh store per rep, since a
+/// successful scrub drains the quarantine it measures.
+fn scrub_json(batch_ms: u64) -> ScrubBench {
+    use vectorq::cache::CacheConfig;
+    use vectorq::scrub::ScrubOptions;
+    use vectorq::service::{PoisonPlan, QueryOptions, Service, ServiceConfig, Store};
+
+    let data = bench::dataset(SWEEP_DATASET);
+    // Small pages so even reduced-size runs span enough of them for the
+    // ~25% poison rate to hit, and a seed picked deterministically from the
+    // page geometry (not ALP_FAULT_SEED: benchmark numbers must be
+    // comparable across runs regardless of the fault environment).
+    let page_rows = 10 * 1024;
+    let cache = CacheConfig { page_size_rows: page_rows, ..CacheConfig::default_config() };
+    let page_count = data.len().div_ceil(page_rows);
+    let seed = (1..=64u64)
+        .find(|&s| (0..page_count).any(|p| PoisonPlan::seeded(s).poisons(p)))
+        .expect("some seed in 1..=64 poisons a page");
+
+    let reps = if batch_ms == 0 { 1 } else { 3 };
+    let mut best_s = f64::INFINITY;
+    let mut pages_repaired = 0usize;
+    let mut repaired_bytes = 0usize;
+    let mut pages_total = 0usize;
+    for _ in 0..reps {
+        let column = vectorq::Column::from_f64(&data, vectorq::Format::alp());
+        let store =
+            std::sync::Arc::new(Store::with_poison(column, cache, PoisonPlan::seeded(seed)));
+        let service = Service::new(std::sync::Arc::clone(&store), ServiceConfig::default());
+        // Detect + contain: the full scan quarantines every poisoned page.
+        let scan = service
+            .sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default())
+            .expect("quarantining scan");
+        assert!(!scan.loss.is_complete(), "seeded poison must quarantine pages");
+        let bad = store.quarantined_pages();
+        repaired_bytes = bad.iter().map(|&p| store.page_rows(p) * 8).sum();
+        pages_total = store.pages();
+        // Heal, then time the repair pass.
+        store.heal_poison();
+        let t0 = std::time::Instant::now();
+        let report = service.scrub_once(&ScrubOptions::default());
+        best_s = best_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(report.pages_repaired, bad.len(), "healed pages must all repair");
+        pages_repaired = report.pages_repaired;
+    }
+
+    let pass_ms = best_s * 1e3;
+    let repair_mbps = repaired_bytes as f64 / 1e6 / best_s;
+    let json = format!(
+        concat!(
+            "{{\"dataset\": \"{}\", \"pages\": {}, \"pages_repaired\": {}, ",
+            "\"repaired_bytes\": {}, \"scrub_pass_ms\": {}, \"repair_mbps\": {}}}"
+        ),
+        esc(SWEEP_DATASET),
+        pages_total,
+        pages_repaired,
+        repaired_bytes,
+        json_f64(pass_ms),
+        json_f64(repair_mbps),
+    );
+    eprintln!("scrub done: {pages_repaired} pages repaired in {pass_ms:.2} ms");
+    ScrubBench { json, pass_ms, repair_mbps, pages_repaired }
 }
 
 /// Runs the 1/2/4/N morsel-scheduler sweep on every codec with a timed byte

@@ -1,15 +1,24 @@
 //! `alp` — command-line front end for the ALP compression library.
 //!
 //! ```text
-//! alp compress   <in.f64> <out.alp> [--f32]     raw LE floats -> ALP column
+//! alp compress   <in.f64> <out.alp> [--f32] [--parity K]   raw LE floats -> ALP column
 //!                [--stream [--threads N] [--pipeline-depth D]]
 //!                --stream writes the incremental "ALPT" stream layout via
 //!                the pipelined ingest path (compression overlapped with
-//!                file reads; identical bytes at every N and D)
+//!                file reads; identical bytes at every N and D);
+//!                --parity K emits one XOR parity frame per K row-groups so
+//!                any single damaged row-group per group repairs on read
 //! alp decompress <in.alp> <out.f64>             ALP column/stream -> raw LE floats
+//!                (repair-on-read: parity-reconstructible damage decompresses
+//!                byte-identically, with the repaired row-groups named)
 //! alp inspect    <in.alp>                       header, row-groups, schemes
 //! alp verify     <in.alp> [--threads N]         checksum + salvage report
-//!                exit codes: 0 clean, 3 salvageable, 4 unreadable, 1 error
+//!                exit codes: 0 clean, 2 damaged-but-fully-repaired,
+//!                3 salvageable, 4 unreadable, 1 error
+//! alp scrub      <in.alp> [--threads N] [--rewrite]
+//!                walk + repair report for a column or stream; --rewrite
+//!                atomically replaces a fully-repaired column file
+//!                exit codes: same as verify
 //! alp stats      <in.f64> [--f32]               Table 2-style dataset metrics
 //! alp gen        <dataset> <n> <out.f64>        synthetic dataset to a file
 //! alp shootout   <in.f64> [--threads N]         ratio/speed of every codec
@@ -68,6 +77,22 @@ fn main() -> ExitCode {
         }
         args.drain(i..=i + 1);
     }
+    // `--parity` (compress) takes a value too: the row-group group size.
+    let mut parity_flag: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--parity") {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--parity requires a value (row-groups per parity frame)");
+            return usage();
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 && n <= 255 => parity_flag = Some(n),
+            _ => {
+                eprintln!("--parity expects an integer in 1..=255, got {value:?}");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     // `--deadline-ms` (query) takes a value too.
     let mut deadline_ms: Option<u64> = None;
     if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
@@ -90,8 +115,10 @@ fn main() -> ExitCode {
     let f32_mode = flags.iter().any(|f| f.as_str() == "--f32");
     let no_fused = flags.iter().any(|f| f.as_str() == "--no-fused");
     let stream_mode = flags.iter().any(|f| f.as_str() == "--stream");
-    if let Some(unknown) =
-        flags.iter().find(|f| !matches!(f.as_str(), "--f32" | "--no-fused" | "--stream"))
+    let rewrite = flags.iter().any(|f| f.as_str() == "--rewrite");
+    if let Some(unknown) = flags
+        .iter()
+        .find(|f| !matches!(f.as_str(), "--f32" | "--no-fused" | "--stream" | "--rewrite"))
     {
         eprintln!("unknown flag {unknown}");
         return usage();
@@ -101,16 +128,33 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => {
             let rest: Vec<&str> = rest.iter().map(|s| s.as_str()).collect();
             match (cmd.as_str(), rest.as_slice()) {
-                ("compress", [input, output]) if stream_mode => {
-                    commands::compress_stream(input, output, f32_mode, threads, depth_flag)
+                ("compress", [input, output]) if stream_mode => commands::compress_stream(
+                    input,
+                    output,
+                    f32_mode,
+                    threads,
+                    depth_flag,
+                    parity_flag,
+                ),
+                ("compress", [input, output]) => {
+                    commands::compress(input, output, f32_mode, parity_flag)
                 }
-                ("compress", [input, output]) => commands::compress(input, output, f32_mode),
                 ("decompress", [input, output]) => commands::decompress(input, output),
                 ("inspect", [input]) => commands::inspect(input),
-                // `verify` triages archives through its exit code (clean /
-                // salvageable / unreadable), so it bypasses the unit match.
+                // `verify` and `scrub` triage archives through their exit
+                // codes (clean / repaired / salvageable / unreadable), so
+                // they bypass the unit match.
                 ("verify", [input]) => {
                     return match commands::verify_column(input, threads) {
+                        Ok(code) => ExitCode::from(code),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    };
+                }
+                ("scrub", [input]) => {
+                    return match commands::scrub(input, threads, rewrite) {
                         Ok(code) => ExitCode::from(code),
                         Err(e) => {
                             eprintln!("error: {e}");
@@ -143,7 +187,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  alp compress   <in.f64> <out.alp> [--f32] [--stream [--threads N] [--pipeline-depth D]]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
+        "usage:\n  alp compress   <in.f64> <out.alp> [--f32] [--parity K] [--stream [--threads N] [--pipeline-depth D]]\n  alp decompress <in.alp> <out.f64>\n  alp inspect    <in.alp>\n  alp verify     <in.alp> [--threads N]\n  alp scrub      <in.alp> [--threads N] [--rewrite]\n  alp stats      <in.f64> [--f32]\n  alp gen        <dataset> <n> <out.f64>\n  alp shootout   <in.f64> [--threads N]\n  alp query      <in.f64> <lo> <hi> [--threads N] [--deadline-ms M] [--no-fused]\n  alp codecs\n  alp datasets\n  alp analyze    [--root <path>] [--format text|json]"
     );
     ExitCode::FAILURE
 }

@@ -18,7 +18,9 @@ pub use alp::pipeline::{
     DEFAULT_PIPELINE_DEPTH, PIPELINE_DEPTH_ENV,
 };
 pub use alp::stream::{ColumnReader, ColumnWriter, StreamError, StreamFooter, StreamSummary};
+pub use alp::ParityConfig;
 
+use alp::sampler::ConfigError;
 use alp::AlpFloat;
 
 /// A pipelined column writer from resolved knobs: `threads` and `depth`
@@ -32,4 +34,21 @@ pub fn pipelined_writer<F: AlpFloat, W: Write>(
     depth: Option<usize>,
 ) -> PipelinedColumnWriter<F, W> {
     PipelinedColumnWriter::new(sink, PipelineConfig::resolve(threads, depth))
+}
+
+/// [`pipelined_writer`] with XOR erasure protection: one parity frame per
+/// `group_size` row-group frames, making any single damaged frame per group
+/// reconstructible on read. Returns [`ConfigError`] when the group size is
+/// out of range (zero, or more than 255).
+pub fn pipelined_writer_with_parity<F: AlpFloat, W: Write>(
+    sink: W,
+    threads: Option<usize>,
+    depth: Option<usize>,
+    group_size: usize,
+) -> Result<PipelinedColumnWriter<F, W>, ConfigError> {
+    PipelinedColumnWriter::with_parity(
+        sink,
+        PipelineConfig::resolve(threads, depth),
+        ParityConfig { group_size },
+    )
 }

@@ -30,7 +30,10 @@ pub mod scan;
 pub mod scratch;
 
 pub use codec::{Capabilities, ColumnCodec};
-pub use container::{try_read_container_into, write_container, Container};
+pub use container::{
+    try_read_container_into, try_read_container_salvaged, write_container,
+    write_container_with_parity, Container, ContainerSalvage,
+};
 pub use error::CoreError;
 pub use registry::{Registry, SPEED_IDS, TABLE4_IDS};
 pub use scan::{scan_values, ScanAgg, ScanPredicate, ScanResult, Validity};

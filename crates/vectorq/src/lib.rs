@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod scrub;
 pub mod service;
 pub mod table;
 

@@ -35,6 +35,7 @@ use alp_core::Scratch;
 use fastlanes::VECTOR_SIZE;
 
 use crate::cache::{CacheConfig, CacheStats, PageCache};
+use crate::scrub::{ScrubOptions, ScrubReport};
 use crate::{accumulate, Column, FilteredSum};
 
 // ---------------------------------------------------------------------------
@@ -112,10 +113,19 @@ pub struct PageLoss {
 /// Which pages a query could not serve. An empty report means the result is
 /// complete; a non-empty one means the result is a partial over the healthy
 /// pages — the paper-faithful aggregate minus `rows_lost()` rows.
+///
+/// The report also carries the store's cumulative scrub history (DESIGN.md
+/// §16), so a caller watching results transition partial→complete can see
+/// the repairs that drove the transition.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LossReport {
     /// Lost pages, sorted by page index.
     pub pages: Vec<PageLoss>,
+    /// Quarantined pages re-verified by scrub passes over the store's
+    /// lifetime, snapshotted when the query completed.
+    pub scrub_checked: u64,
+    /// Pages un-quarantined by scrub passes over the store's lifetime.
+    pub scrub_repaired: u64,
 }
 
 impl LossReport {
@@ -218,13 +228,24 @@ pub struct Store {
     vectors: usize,
     vectors_per_page: usize,
     pages: usize,
-    /// One flag per page; set once, never cleared (the column is immutable,
-    /// so a bad page stays bad).
+    /// One flag per page; set when the page fails decode or poisons a
+    /// worker, cleared only by a scrub pass that re-verified the page
+    /// decodes cleanly (see [`Store::unquarantine`]).
     quarantined: Vec<AtomicBool>,
     /// First-observed quarantine reason per page, for reporting.
     reasons: Mutex<BTreeMap<usize, LossReason>>,
     cache: PageCache,
     poison: PoisonPlan,
+    /// When set, the injected fault plan stops firing — models the faulty
+    /// medium having been repaired out-of-band (e.g. the backing file
+    /// rewritten through the parity repair path), so scrub recovery is
+    /// deterministic in the fault suites. Production stores (seed 0) never
+    /// poison and are unaffected.
+    healed: AtomicBool,
+    /// Cumulative quarantined pages re-verified by scrub passes.
+    scrub_checked: AtomicU64,
+    /// Cumulative pages un-quarantined by scrub passes.
+    scrub_repaired: AtomicU64,
 }
 
 impl Store {
@@ -251,6 +272,9 @@ impl Store {
             reasons: Mutex::new(BTreeMap::new()),
             cache: PageCache::new(&cache),
             poison,
+            healed: AtomicBool::new(false),
+            scrub_checked: AtomicU64::new(0),
+            scrub_repaired: AtomicU64::new(0),
         }
     }
 
@@ -328,6 +352,89 @@ impl Store {
             Err(poisoned) => poisoned.into_inner(),
         };
         reasons.get(&page).cloned()
+    }
+
+    /// Clears `page`'s quarantine after a scrub pass re-verified it decodes
+    /// cleanly (the scrubber is the only caller — queries never clear flags).
+    ///
+    /// Inverse publication order of [`Store::quarantine`]: the stale verdict
+    /// is removed and any cached copy invalidated *before* the flag clears,
+    /// and the flag store is `Release` paired with the same `Acquire` loads —
+    /// so a query that observes the flag low decodes the page fresh and never
+    /// finds a leftover reason (or payload) behind a healthy flag.
+    pub(crate) fn unquarantine(&self, page: usize) {
+        {
+            let mut reasons = match self.reasons.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            reasons.remove(&page);
+        }
+        self.cache.invalidate(page);
+        if let Some(q) = self.quarantined.get(page) {
+            q.store(false, Ordering::Release);
+        }
+    }
+
+    /// Stops the injected fault plan from firing: models the faulty medium
+    /// having been repaired out-of-band (e.g. the backing file rewritten
+    /// through the parity repair path), so a following scrub pass observes
+    /// recovery deterministically. Idempotent; a no-op on production stores.
+    pub fn heal_poison(&self) {
+        self.healed.store(true, Ordering::Release);
+    }
+
+    /// The active poison verdict for `page`: the seeded plan's decision,
+    /// unless the store has been healed.
+    fn poison_verdict(&self, page: usize) -> Option<PoisonKind> {
+        if self.healed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.poison.decide(page)
+    }
+
+    /// Re-verifies that `page` decodes cleanly end to end — the scrubber's
+    /// probe. Walks every vector through the same fallible decode path
+    /// queries use, bypassing the cache (a verdict must come from the
+    /// payload, not a stale copy). An injected `Panic` fault fires here too:
+    /// the governed scrub runner's containment seam absorbs it exactly like
+    /// a query worker's.
+    pub(crate) fn verify_page(&self, page: usize, ctx: &mut PageCtx) -> Result<(), LossReason> {
+        match self.poison_verdict(page) {
+            // ANALYZER-ALLOW(no-panic): deliberate fault injection — this is
+            // the panic the governed scrub runner's containment seam exists
+            // to absorb, enabled only by a nonzero poison seed.
+            Some(PoisonKind::Panic) => panic!("injected page poison (page {page})"),
+            Some(PoisonKind::Corrupt) => {
+                return Err(LossReason::Decode(format!("injected corruption (page {page})")));
+            }
+            None => {}
+        }
+        let (v0, v1) = self.page_vectors(page);
+        for v in v0..v1 {
+            self.column
+                .try_decompress_vector_at(v, &mut ctx.vec_buf, &mut ctx.scratch)
+                .map_err(|e| LossReason::Decode(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Test-only quarantine entry so the scrub suite can seed damage without
+    /// running a full query first.
+    #[cfg(test)]
+    pub(crate) fn quarantine_for_test(&self, page: usize) {
+        self.quarantine(page, LossReason::Decode(format!("seeded by test (page {page})")));
+    }
+
+    /// Accumulates one scrub pass's counters.
+    pub(crate) fn note_scrub(&self, checked: u64, repaired: u64) {
+        self.scrub_checked.fetch_add(checked, Ordering::Relaxed);
+        self.scrub_repaired.fetch_add(repaired, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(pages checked, pages repaired)` across every scrub pass.
+    pub fn scrub_totals(&self) -> (u64, u64) {
+        (self.scrub_checked.load(Ordering::Relaxed), self.scrub_repaired.load(Ordering::Relaxed))
     }
 
     /// Global vector range `[v0, v1)` covered by page `page`.
@@ -444,7 +551,7 @@ impl Store {
             // actually reads it).
             return PageOutcome::Pruned(v1 - v0);
         }
-        match self.poison.decide(page) {
+        match self.poison_verdict(page) {
             // ANALYZER-ALLOW(no-panic): deliberate fault injection — this is
             // the panic the governed runner's containment seam exists to
             // absorb, enabled only by a nonzero poison seed.
@@ -495,15 +602,17 @@ impl Store {
 }
 
 /// Per-worker query scratch: codec staging plus vector/page assembly buffers,
-/// built once per worker and reused across every page it claims.
-struct PageCtx {
+/// built once per worker and reused across every page it claims. Shared with
+/// the scrubber ([`crate::scrub`]), whose workers re-verify pages through the
+/// same decode path.
+pub(crate) struct PageCtx {
     scratch: Scratch,
     vec_buf: Vec<f64>,
     page_buf: Vec<f64>,
 }
 
 impl PageCtx {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { scratch: Scratch::new(), vec_buf: Vec::new(), page_buf: Vec::new() }
     }
 }
@@ -724,13 +833,33 @@ impl Service {
             return Err(ServiceError::DeadlineExceeded { elapsed });
         }
         loss.sort_by_key(|p| p.page);
+        let (scrub_checked, scrub_repaired) = store.scrub_totals();
         Ok(QueryResult {
             value,
             pages_fused,
             pages_materialized,
-            loss: LossReport { pages: loss },
+            loss: LossReport { pages: loss, scrub_checked, scrub_repaired },
             elapsed,
         })
+    }
+
+    /// One background-scrubber pass (DESIGN.md §16): re-verifies every
+    /// quarantined page through the same fallible decode path queries use and
+    /// un-quarantines the pages that decode cleanly again, so later queries
+    /// serve them with full results. Deadline-governed like a query — the
+    /// token is checked at every morsel boundary, and an expired deadline
+    /// leaves the remaining pages for the next pass. Scrubbing bypasses the
+    /// admission gate (it is maintenance, not query load) and never panics.
+    pub fn scrub_once(&self, opts: &ScrubOptions) -> ScrubReport {
+        let token = match opts.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let threads = match opts.threads.unwrap_or(self.threads) {
+            0 => resolve_threads(None),
+            t => t,
+        };
+        crate::scrub::scrub_store(&self.store, threads, &token)
     }
 
     /// Snapshot of the store's cache counters (for `bench_json` and the CLI).
@@ -1028,6 +1157,56 @@ mod tests {
         }
         let healthy = (0..store.pages()).find(|p| !store.is_quarantined(*p)).unwrap();
         assert_eq!(store.loss_reason(healthy), None);
+    }
+
+    #[test]
+    fn scrub_heals_transient_faults_and_restores_complete_results() {
+        let data = sample(800_000);
+        let poison = PoisonPlan::seeded(1);
+        let store = Arc::new(Store::with_poison(
+            Column::from_f64(&data, Format::alp()),
+            CacheConfig::default_config(),
+            poison,
+        ));
+        let svc = Service::new(Arc::clone(&store), ServiceConfig::default());
+        let all = QueryOptions::default();
+
+        let partial = svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &all).unwrap();
+        assert!(!partial.loss.is_complete());
+        let bad = store.quarantined_pages();
+        assert!(!bad.is_empty());
+
+        // The fault persists: a scrub pass re-checks every page, repairs
+        // nothing, and leaves the quarantine set untouched.
+        let stuck = svc.scrub_once(&ScrubOptions::default());
+        assert_eq!(stuck.pages_checked, bad.len());
+        assert_eq!(stuck.pages_repaired, 0);
+        assert_eq!(stuck.pages_still_bad, bad.len());
+        assert_eq!(store.quarantined_pages(), bad);
+
+        // Repair the medium; the next pass un-quarantines everything.
+        store.heal_poison();
+        let healed = svc.scrub_once(&ScrubOptions::default());
+        assert_eq!(healed.pages_repaired, bad.len());
+        assert_eq!(healed.pages_still_bad, 0);
+        assert!(store.quarantined_pages().is_empty());
+
+        // Results transition partial → complete, bit-identical to a store
+        // that was never poisoned, and the report carries the scrub history.
+        let complete = svc.sum_where(f64::NEG_INFINITY, f64::INFINITY, &all).unwrap();
+        assert!(complete.loss.is_complete());
+        let clean = Service::new(
+            Arc::new(Store::new(
+                Column::from_f64(&data, Format::alp()),
+                CacheConfig::default_config(),
+            )),
+            ServiceConfig::default(),
+        );
+        let reference = clean.sum_where(f64::NEG_INFINITY, f64::INFINITY, &all).unwrap();
+        assert_eq!(complete.value.sum.to_bits(), reference.value.sum.to_bits());
+        assert_eq!(complete.value.matches, reference.value.matches);
+        assert_eq!(complete.loss.scrub_checked, 2 * bad.len() as u64);
+        assert_eq!(complete.loss.scrub_repaired, bad.len() as u64);
     }
 
     #[test]

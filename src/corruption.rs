@@ -41,6 +41,154 @@ pub fn transient_plans(seed: u64) -> Vec<(String, FaultPlan)> {
     ]
 }
 
+/// What a parity-aware fault case must do to a salvaging stream reader.
+/// The driver (`tests/self_healing.rs`) asserts each expectation literally;
+/// the cases themselves are pure functions of the `ALP_FAULT_SEED` base.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParityExpectation {
+    /// Exactly one frame per parity group is damaged: salvage must repair
+    /// every group and decode byte-identically to the pristine stream.
+    Repairs,
+    /// Two frames inside one parity group are damaged: single-fault XOR
+    /// parity cannot reconstruct, so salvage must degrade to an honest loss
+    /// report — never silently return wrong values.
+    DegradesToLoss,
+    /// Only parity frames are damaged: the data path must read completely
+    /// clean, with nothing lost and nothing repaired.
+    DataClean,
+}
+
+/// One parity-aware corruption of a protected `"ALPT"` stream.
+pub struct ParityCase {
+    /// Reproducing description (`"flip byte N of data frame F (group G)"` …).
+    pub label: String,
+    /// The corrupted stream bytes.
+    pub bytes: Vec<u8>,
+    /// The contract the salvage path must uphold on these bytes.
+    pub expect: ParityExpectation,
+}
+
+/// Frame spans of an `"ALPT"`/`"ALPS"` stream: `(start, end, is_parity)` per
+/// `len:u32 | xxh64:u64 | body` frame, stopping at the zero-length
+/// terminator or the first span that runs past the buffer. Parity frames are
+/// recognised by their `"ALPP"` body magic. Public so suites can aim
+/// corruption at a specific frame's body rather than at raw offsets.
+pub fn stream_frame_spans(bytes: &[u8]) -> Vec<(usize, usize, bool)> {
+    let mut at = 5;
+    let mut spans = Vec::new();
+    while at + 4 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("frame length")) as usize;
+        if len == 0 {
+            break;
+        }
+        let end = at + 4 + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        let is_parity = len >= 4 && &bytes[at + 12..at + 16] == b"ALPP";
+        spans.push((at, end, is_parity));
+        at = end;
+    }
+    spans
+}
+
+/// The three parity fault families over one parity-protected stream, derived
+/// from `seed` alone:
+///
+/// 1. one seed-picked data frame corrupted in *every* parity group
+///    (must repair — each group absorbs one fault);
+/// 2. two data frames corrupted inside *one* group (must degrade to a loss
+///    report — beyond the single-fault repair budget);
+/// 3. every parity frame corrupted, data frames untouched (data must read
+///    clean — protection metadata is not payload).
+///
+/// Byte positions land strictly inside frame *bodies* (past the 12-byte
+/// `len | xxh64` prefix) so the corruption models payload rot rather than
+/// framing damage; the torn-framing classes live in [`truncations`].
+pub fn parity_fault_family(original: &[u8], seed: u64) -> Vec<ParityCase> {
+    /// One parity group while bucketing spans: the data-frame spans plus the
+    /// trailing parity-frame span, when present.
+    type GroupSpans = (Vec<(usize, usize)>, Option<(usize, usize)>);
+
+    let spans = stream_frame_spans(original);
+    // Group the data frames by their trailing parity frame.
+    let mut groups: Vec<GroupSpans> = Vec::new();
+    let mut run: Vec<(usize, usize)> = Vec::new();
+    for &(s, e, is_parity) in &spans {
+        if is_parity {
+            groups.push((std::mem::take(&mut run), Some((s, e))));
+        } else {
+            run.push((s, e));
+        }
+    }
+    if !run.is_empty() {
+        groups.push((run, None));
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x0F0F_0F0F_0F0F_0F0F);
+    let body = |(s, e): (usize, usize), rng: &mut SplitMix64| s + 12 + rng.below(e - s - 12);
+    let mut cases = Vec::new();
+
+    // Family 1: one damaged data frame per group, all groups at once.
+    let mut bytes = original.to_vec();
+    let mut label = String::from("one data frame corrupt per group:");
+    for (gi, (data, _)) in groups.iter().enumerate() {
+        if data.is_empty() {
+            continue;
+        }
+        let frame = data[rng.below(data.len())];
+        let pos = body(frame, &mut rng);
+        bytes[pos] ^= 0xFF;
+        label.push_str(&format!(" g{gi}@{pos}"));
+    }
+    cases.push(ParityCase { label, bytes, expect: ParityExpectation::Repairs });
+
+    // Family 2: two damaged frames inside one group. Prefer a group with two
+    // data frames; a single-frame tail group degrades the same way when its
+    // data *and* parity frames are both hit.
+    if let Some((gi, (data, _))) = groups.iter().enumerate().find(|(_, (d, _))| d.len() >= 2) {
+        let mut bytes = original.to_vec();
+        let a = body(data[0], &mut rng);
+        let b = body(data[1], &mut rng);
+        bytes[a] ^= 0xFF;
+        bytes[b] ^= 0xFF;
+        cases.push(ParityCase {
+            label: format!("two data frames corrupt in group {gi}: @{a} @{b}"),
+            bytes,
+            expect: ParityExpectation::DegradesToLoss,
+        });
+    } else if let Some((gi, (data, Some(parity)))) =
+        groups.iter().enumerate().find(|(_, (d, p))| d.len() == 1 && p.is_some())
+    {
+        let mut bytes = original.to_vec();
+        let a = body(data[0], &mut rng);
+        let b = body(*parity, &mut rng);
+        bytes[a] ^= 0xFF;
+        bytes[b] ^= 0xFF;
+        cases.push(ParityCase {
+            label: format!("data + parity corrupt in group {gi}: @{a} @{b}"),
+            bytes,
+            expect: ParityExpectation::DegradesToLoss,
+        });
+    }
+
+    // Family 3: every parity frame damaged, all data frames pristine.
+    let mut bytes = original.to_vec();
+    let mut label = String::from("all parity frames corrupt:");
+    let mut hit = false;
+    for (gi, (_, parity)) in groups.iter().enumerate() {
+        if let Some(frame) = parity {
+            let pos = body(*frame, &mut rng);
+            bytes[pos] ^= 0xFF;
+            label.push_str(&format!(" g{gi}@{pos}"));
+            hit = true;
+        }
+    }
+    if hit {
+        cases.push(ParityCase { label, bytes, expect: ParityExpectation::DataClean });
+    }
+    cases
+}
+
 /// Minimal deterministic generator for corpus construction (SplitMix64).
 /// Self-contained on purpose: the harness must not drag RNG dependencies
 /// into the library build.

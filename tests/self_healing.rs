@@ -1,0 +1,301 @@
+//! Acceptance suite for the self-healing storage layer (DESIGN.md §16).
+//!
+//! Four guarantees, end to end:
+//!
+//! * (a) a parity-protected stream repairs *any* single corrupted data frame
+//!   per group byte-identically, for every group size, at seed-derived
+//!   corruption offsets (property test);
+//! * (b) the three parity fault families uphold their contracts: one fault
+//!   per group repairs, two faults in one group degrade to an honest loss
+//!   report, a damaged parity frame costs no data;
+//! * (c) the pipelined parity writer is byte-identical to the serial parity
+//!   writer at every thread count × pipeline depth;
+//! * (d) the query-service scrubber un-quarantines healed pages while query
+//!   workers race it — results only ever improve (partial → complete, loss
+//!   never grows), and the final result is complete and bit-identical to a
+//!   never-poisoned store.
+//!
+//! Plus the registry-wide container check: every codec's `"ALPC"` envelope,
+//! written with `ParityConfig { group_size: 4 }`, survives a corrupted
+//! payload chunk and decodes byte-identically through the salvage path.
+//!
+//! Everything derives from `ALP_FAULT_SEED` (default 42 for corruption
+//! offsets, 1 for poison plans) so CI sweeps seeds without recompiling.
+
+use std::sync::Arc;
+
+use alp::io::fault_seed;
+use alp::pipeline::{PipelineConfig, PipelinedColumnWriter};
+use alp::stream::{ColumnReader, ColumnWriter};
+use alp::ParityConfig;
+use alp_repro::corruption::{
+    parity_fault_family, stream_frame_spans, ParityExpectation, SplitMix64,
+};
+use fastlanes::VECTOR_SIZE;
+use proptest::prelude::*;
+use vectorq::cache::CacheConfig;
+use vectorq::scrub::ScrubOptions;
+use vectorq::service::{PoisonPlan, QueryOptions, Service, ServiceConfig, Store};
+use vectorq::{Column, Format};
+
+/// 250 000 decimal-friendly values: two full row-groups plus a tail group.
+fn dataset() -> Vec<f64> {
+    (0..250_000).map(|i| ((i % 901) as f64) / 8.0 + (i / 901) as f64).collect()
+}
+
+/// A parity-protected `"ALPT"` stream over `data`.
+fn parity_stream(data: &[f64], group_size: usize) -> Vec<u8> {
+    let mut sink = Vec::new();
+    let mut writer = ColumnWriter::<f64, _>::with_parity(&mut sink, ParityConfig { group_size })
+        .expect("valid group size");
+    writer.push(data).expect("clean push");
+    writer.finish().expect("clean finish");
+    sink
+}
+
+/// Drains `bytes` through the repairing salvage reader; returns the values
+/// plus the loss and repair reports.
+fn drain_salvaged(bytes: &[u8]) -> (Vec<f64>, Vec<usize>, Vec<usize>) {
+    let mut reader = ColumnReader::<f64, _>::new(bytes).expect("open stream");
+    let mut values = Vec::new();
+    while let Some(chunk) = reader.next_rowgroup_salvaged().expect("salvage walk") {
+        values.extend(chunk);
+    }
+    (values, reader.lost_rowgroups().to_vec(), reader.repaired_rowgroups().to_vec())
+}
+
+fn assert_bits_eq(expect: &[f64], got: &[f64], label: &str) {
+    assert_eq!(expect.len(), got.len(), "{label}: length");
+    for (i, (a, b)) in expect.iter().zip(got).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: value {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) For every group size and a seed-derived corruption offset inside
+    /// a seed-picked data frame's body, the salvage reader reconstructs the
+    /// stream byte-identically and names exactly the repaired row-group.
+    #[test]
+    fn any_single_corrupt_frame_per_group_repairs_byte_identically(
+        gs_index in 0usize..3,
+        frame_pick in any::<u64>(),
+        offset_pick in any::<u64>(),
+    ) {
+        let group_size = [2usize, 4, 8][gs_index];
+        let data = dataset();
+        let clean = parity_stream(&data, group_size);
+
+        let spans = stream_frame_spans(&clean);
+        let data_frames: Vec<(usize, usize)> =
+            spans.iter().filter(|&&(_, _, p)| !p).map(|&(s, e, _)| (s, e)).collect();
+        prop_assert_eq!(data_frames.len(), 3);
+
+        let victim = (frame_pick % data_frames.len() as u64) as usize;
+        let (s, e) = data_frames[victim];
+        // Land strictly inside the frame body, past the len|xxh64 prefix.
+        let pos = s + 12 + (offset_pick % (e - s - 12) as u64) as usize;
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0xFF;
+
+        let (values, lost, repaired) = drain_salvaged(&bytes);
+        prop_assert!(lost.is_empty(), "group {group_size}, frame {victim}, byte {pos}: lost {lost:?}");
+        prop_assert_eq!(repaired, vec![victim]);
+        prop_assert_eq!(values.len(), data.len());
+        for (i, (a, b)) in data.iter().zip(&values).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "value {}", i);
+        }
+    }
+}
+
+/// (b) The seeded fault families against a group-size-4 stream: repairable
+/// damage repairs bit-exactly, over-budget damage degrades to a loss report,
+/// parity-only damage costs no data.
+#[test]
+fn parity_fault_families_uphold_their_contracts() {
+    let seed = fault_seed(42);
+    let data = dataset();
+    let clean = parity_stream(&data, 4);
+
+    let cases = parity_fault_family(&clean, seed);
+    assert!(cases.len() >= 3, "expected all three fault families");
+    for case in cases {
+        let label = &case.label;
+        let (values, lost, repaired) = drain_salvaged(&case.bytes);
+        match case.expect {
+            ParityExpectation::Repairs => {
+                assert!(lost.is_empty(), "{label}: lost {lost:?}");
+                assert!(!repaired.is_empty(), "{label}: nothing repaired");
+                assert_bits_eq(&data, &values, label);
+            }
+            ParityExpectation::DegradesToLoss => {
+                assert!(!lost.is_empty(), "{label}: over-budget damage went unreported");
+                assert!(values.len() < data.len(), "{label}: loss not reflected in output");
+            }
+            ParityExpectation::DataClean => {
+                assert!(lost.is_empty(), "{label}: lost {lost:?}");
+                assert!(repaired.is_empty(), "{label}: repaired {repaired:?}");
+                assert_bits_eq(&data, &values, label);
+            }
+        }
+    }
+}
+
+/// (c) The pipelined parity writer commits the exact bytes of the serial
+/// parity writer at every thread count × pipeline depth (PR-9 byte-identity
+/// extended to the parity frames, which are folded in at the commit seam).
+#[test]
+fn pipelined_parity_is_byte_identical_across_threads_and_depths() {
+    let data = dataset();
+    let reference = parity_stream(&data, 4);
+
+    for threads in [1usize, 2, 7] {
+        for depth in [1usize, 2, 4] {
+            let config = PipelineConfig { threads, depth, ..PipelineConfig::default() };
+            let mut sink = Vec::new();
+            let mut writer = PipelinedColumnWriter::<f64, _>::with_parity(
+                &mut sink,
+                config,
+                ParityConfig { group_size: 4 },
+            )
+            .expect("valid parity config");
+            writer.push(&data).expect("pipelined push");
+            writer.finish().expect("pipelined finish");
+            assert_eq!(
+                sink, reference,
+                "threads {threads} depth {depth}: pipelined parity stream diverged"
+            );
+        }
+    }
+}
+
+/// Registry-wide container repair: every serializable codec's checksummed
+/// `"ALPC"` envelope, written with parity group size 4, survives a corrupted
+/// payload byte — the salvage read repairs the damaged chunk and decodes
+/// byte-identically, while the strict read proves the damage was real.
+#[test]
+fn every_registry_codec_container_repairs_single_chunk_damage() {
+    use alp_core::{try_read_container_into, Registry, Scratch};
+
+    let seed = fault_seed(42);
+    let data: Vec<f64> = (0..40_000).map(|i| ((i % 523) as f64) / 4.0).collect();
+    let mut scratch = Scratch::new();
+    for codec in Registry::all().iter().filter(|c| !c.caps().ratio_only) {
+        let frame = alp_core::write_container_with_parity(
+            *codec,
+            &data,
+            &mut scratch,
+            ParityConfig { group_size: 4 },
+        )
+        .unwrap_or_else(|e| panic!("{}: parity container write failed: {e}", codec.id()));
+
+        // Probe seed-derived offsets until one provably damages the strict
+        // read (a flip inside the parity section would not), then demand the
+        // salvage read repair it.
+        let mut rng = SplitMix64::new(seed ^ alp::hash::xxh64(codec.id().as_bytes(), 2));
+        let mut out = Vec::new();
+        let mut repaired_one = false;
+        for _ in 0..64 {
+            let pos = 16 + rng.below(frame.len() - 16);
+            let mut bytes = frame.clone();
+            bytes[pos] ^= 0xFF;
+            if try_read_container_into(&bytes, &mut out, &mut scratch).is_ok() {
+                continue; // flip landed outside the checksummed payload
+            }
+            let salvage = alp_core::try_read_container_salvaged(&bytes, &mut out, &mut scratch, 2)
+                .unwrap_or_else(|e| panic!("{}: repair at byte {pos} failed: {e}", codec.id()));
+            assert!(
+                !salvage.repaired_chunks.is_empty(),
+                "{}: salvage at byte {pos} repaired nothing",
+                codec.id()
+            );
+            assert_bits_eq(&data, &out, codec.id());
+            repaired_one = true;
+            break;
+        }
+        assert!(repaired_one, "{}: no probe damaged the strict read", codec.id());
+    }
+}
+
+/// (d) The concurrent healing drill: a poisoned store serves partial results;
+/// after the fault heals, a scrubber un-quarantines pages while 8 query
+/// workers race it. Loss must shrink monotonically per worker, and the final
+/// result must be complete and bit-identical to a never-poisoned store.
+#[test]
+fn scrubber_heals_pages_while_query_workers_race() {
+    let data: Vec<f64> = (0..60 * 10 * VECTOR_SIZE).map(|i| ((i % 9173) as f64) / 100.0).collect();
+    let cache = CacheConfig {
+        max_entries: 8,
+        page_size_rows: 10 * VECTOR_SIZE,
+        max_bytes: 6 * 10 * VECTOR_SIZE * 8,
+    };
+    let poison = PoisonPlan::seeded(fault_seed(1));
+    let pages = data.len().div_ceil(10 * VECTOR_SIZE);
+    let expected_bad: Vec<usize> = (0..pages).filter(|&p| poison.poisons(p)).collect();
+    assert!(
+        !expected_bad.is_empty(),
+        "seed poisons no page out of {pages}; pick a different ALP_FAULT_SEED"
+    );
+
+    let store = Arc::new(Store::with_poison(Column::from_f64(&data, Format::alp()), cache, poison));
+    let service = Service::new(
+        Arc::clone(&store),
+        ServiceConfig { max_concurrent: 9, max_queued: 64, threads: 2 },
+    );
+
+    // Reference: the same column, never poisoned.
+    let clean_store = Arc::new(Store::new(Column::from_f64(&data, Format::alp()), cache));
+    let clean = Service::new(clean_store, ServiceConfig::default())
+        .sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default())
+        .expect("clean reference query");
+    assert!(clean.loss.is_complete());
+
+    // Detect + contain: the first full scan quarantines the poisoned pages
+    // and degrades to a partial result.
+    let opts = QueryOptions::default();
+    let first = service.sum_where(f64::NEG_INFINITY, f64::INFINITY, &opts).expect("first query");
+    assert!(!first.loss.is_complete(), "poisoned store served a complete result");
+    assert_eq!(store.quarantined_pages(), expected_bad);
+
+    // Heal the underlying fault, then race the scrubber against 8 workers.
+    store.heal_poison();
+    std::thread::scope(|scope| {
+        let service = &service;
+        scope.spawn(move || {
+            // Repair: scrub until the quarantine drains. Each pass
+            // re-verifies every quarantined page, so one pass suffices once
+            // the fault is healed; the loop guards against scheduling races.
+            while !service.store().quarantined_pages().is_empty() {
+                let report = service.scrub_once(&ScrubOptions::default());
+                assert!(!report.cancelled, "scrub pass cancelled without a deadline");
+            }
+        });
+        for worker in 0..8usize {
+            scope.spawn(move || {
+                let mut last_lost = usize::MAX;
+                for round in 0..20 {
+                    let result = service
+                        .sum_where(f64::NEG_INFINITY, f64::INFINITY, &QueryOptions::default())
+                        .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                    let lost = result.loss.rows_lost();
+                    assert!(
+                        lost <= last_lost,
+                        "worker {worker} round {round}: loss regressed {last_lost} -> {lost}"
+                    );
+                    last_lost = lost;
+                }
+            });
+        }
+    });
+
+    // After the race: fully healed, complete, and bit-identical to the
+    // never-poisoned store — with the scrub counters on the report.
+    assert!(store.quarantined_pages().is_empty());
+    let healed = service.sum_where(f64::NEG_INFINITY, f64::INFINITY, &opts).expect("healed query");
+    assert!(healed.loss.is_complete(), "healed store still partial: {:?}", healed.loss.pages);
+    assert_eq!(healed.value.sum.to_bits(), clean.value.sum.to_bits());
+    assert_eq!(healed.value.matches, clean.value.matches);
+    assert!(healed.loss.scrub_repaired >= expected_bad.len() as u64);
+    assert!(healed.loss.scrub_checked >= healed.loss.scrub_repaired);
+}
